@@ -1,0 +1,13 @@
+"""A2: the connection cap creates Fig 11's modes and guards incast."""
+
+from repro.experiments import format_table
+from repro.experiments.ablations import run_connection_cap_ablation
+
+
+def test_ablation_connection_cap(benchmark, report):
+    result = benchmark.pedantic(
+        run_connection_cap_ablation, kwargs={"seed": 32}, rounds=1, iterations=1
+    )
+    report(format_table("A2: connection-cap ablation", result.rows()))
+    assert result.modes_with_cap > result.modes_without_cap
+    assert result.peak_fan_in_without_cap > result.peak_fan_in_with_cap

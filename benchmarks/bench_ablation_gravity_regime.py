@@ -1,0 +1,15 @@
+"""A3: gravity priors fit ISP TMs, not datacenter TMs (paper §5)."""
+
+from repro.experiments import format_table
+from repro.experiments.ablations import run_gravity_regime_ablation
+
+
+def test_ablation_gravity_regime(benchmark, report):
+    result = benchmark.pedantic(
+        run_gravity_regime_ablation, kwargs={"trials": 12, "seed": 33},
+        rounds=1, iterations=1,
+    )
+    report(format_table("A3: gravity-regime ablation", result.rows()))
+    assert result.median_isp_error < 0.1
+    assert result.median_dc_error > 0.2
+    assert result.median_dc_error > 5 * result.median_isp_error

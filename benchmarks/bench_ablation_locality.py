@@ -1,0 +1,14 @@
+"""A1: work-seeks-bandwidth is a policy, not an accident."""
+
+from repro.experiments import format_table
+from repro.experiments.ablations import run_locality_ablation
+
+
+def test_ablation_locality(benchmark, report):
+    result = benchmark.pedantic(
+        run_locality_ablation, kwargs={"seed": 31}, rounds=1, iterations=1
+    )
+    report(format_table("A1: locality ablation", result.rows()))
+    assert result.local_placements_with > 0.7
+    assert result.local_placements_without < 0.3
+    assert result.in_rack_with_locality > result.in_rack_without_locality

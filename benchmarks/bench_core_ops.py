@@ -1,0 +1,68 @@
+"""Microbenchmarks of the core operations a campaign exercises millions
+of times: flow reconstruction, TM binning, max-min water-filling."""
+
+import numpy as np
+
+from repro.cluster.routing import Router
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.core.flows import reconstruct_flows
+from repro.core.traffic_matrix import tm_series_from_events
+from repro.simulation.transport import FluidTransport, TransferMeta
+
+
+def test_flow_reconstruction_throughput(benchmark, standard_dataset):
+    log = standard_dataset.result.socket_log
+    flows = benchmark(reconstruct_flows, log)
+    assert len(flows) > 0
+
+
+def test_tm_binning_throughput(benchmark, standard_dataset):
+    result = standard_dataset.result
+    series = benchmark(
+        tm_series_from_events,
+        result.socket_log,
+        result.topology,
+        10.0,
+        standard_dataset.config.duration,
+    )
+    assert series.total().sum() > 0
+
+
+def test_maxmin_waterfill(benchmark):
+    topo = ClusterTopology(
+        ClusterSpec(racks=12, servers_per_rack=8, racks_per_vlan=4,
+                    external_hosts=0)
+    )
+    router = Router(topo)
+    transport = FluidTransport(topo)
+    rng = np.random.default_rng(0)
+    meta = TransferMeta(kind="fetch")
+    endpoints = topo.endpoints()
+    for _ in range(500):
+        src, dst = rng.choice(endpoints, size=2, replace=False)
+        transport.add_flow(int(src), int(dst), 1e9,
+                           router.path_links(int(src), int(dst)), meta)
+
+    def recompute():
+        transport.rates_dirty = True
+        transport.recompute_rates()
+
+    benchmark(recompute)
+    assert transport.utilization_snapshot().max() <= 1.05
+
+
+def test_small_campaign_simulation(benchmark):
+    """End-to-end cost of a small measurement campaign."""
+    from repro.config import SimulationConfig
+    from repro.simulation.simulator import simulate
+    from repro.workload.generator import WorkloadConfig
+
+    config = SimulationConfig(
+        cluster=ClusterSpec(racks=4, servers_per_rack=5, racks_per_vlan=2,
+                            external_hosts=1),
+        workload=WorkloadConfig(job_arrival_rate=0.2),
+        duration=30.0,
+        seed=5,
+    )
+    result = benchmark.pedantic(simulate, args=(config,), rounds=1, iterations=1)
+    assert result.stats["transfers_completed"] > 0

@@ -1,0 +1,15 @@
+"""E1: the paper's §5.3 future work — role-aware tomography prior."""
+
+from repro.experiments import ext_roleprior, format_table
+
+
+def test_ext_roleprior(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        ext_roleprior.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("E1: role-aware prior (§5.3 future work)",
+                        result.rows()))
+    # The directional role prior should at least match the symmetric job
+    # prior it refines (the paper expected role info to help).
+    assert result.median("role") <= result.median("job") * 1.1
+    assert result.gravity_errors.size >= 5

@@ -1,0 +1,17 @@
+"""F2: the work-seeks-bandwidth / scatter-gather TM (paper Fig 2)."""
+
+from repro.experiments import fig02, format_table
+
+
+def test_fig02_tm_patterns(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig02.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F2: TM patterns (Fig 2)", result.rows()))
+    summary = result.summary
+    # The diagonal blocks carry far more than a uniform spread would.
+    assert result.locality_amplification > 2.0
+    # Scatter-gather lines are present.
+    assert summary.scatter_gather_server_count > 0
+    # External traffic exists but is a sliver (the far corner).
+    assert 0.0 < result.full_span_summary.external_byte_fraction < 0.2

@@ -1,0 +1,20 @@
+"""F3: bytes exchanged between server pairs (paper Fig 3)."""
+
+from repro.experiments import fig03, format_table
+
+
+def test_fig03_pair_bytes(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig03.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F3: pair-byte distributions (Fig 3)", result.rows()))
+    # Zero-probabilities: silence dominates, cross-rack far more so
+    # (paper: 89% in-rack vs 99.5% cross-rack).
+    assert result.prob_zero_in_rack > 0.5
+    assert result.prob_zero_cross_rack > result.prob_zero_in_rack
+    assert result.prob_zero_cross_rack > 0.85
+    # Heavy tail spanning many orders of magnitude (paper ~[e^4, e^20]).
+    low, high = result.log_range
+    assert high - low > 6.0
+    # In-rack pairs skew larger.
+    assert result.in_rack_median_log >= result.cross_rack_median_log - 0.5

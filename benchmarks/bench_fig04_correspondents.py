@@ -1,0 +1,17 @@
+"""F4: how many other servers a server talks to (paper Fig 4)."""
+
+from repro.experiments import fig04, format_table
+
+
+def test_fig04_correspondents(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig04.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F4: correspondent counts (Fig 4)", result.rows()))
+    # Medians are small integers (paper: 2 in-rack, 4 cross-rack).
+    assert 0 <= result.median_in_rack <= 6
+    assert 0 <= result.median_cross_rack <= 20
+    # Bimodality: some samples talk to most of the rack...
+    assert result.frac_talking_to_most_of_rack > 0.02
+    # ...and the cross-rack distribution has a spike at zero.
+    assert result.frac_silent_outside_rack > 0.01

@@ -1,0 +1,18 @@
+"""F5: when and where congestion happens (paper Fig 5)."""
+
+from repro.experiments import fig05, format_table
+
+
+def test_fig05_congestion_where(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig05.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F5: congestion coverage (Fig 5)", result.rows()))
+    # Most inter-switch links see >=10 s congestion (paper: 86%)...
+    assert result.frac_links_hot_10s > 0.5
+    # ...far fewer see >=100 s (paper: 15%), and never more than the 10 s set.
+    assert result.frac_links_hot_100s < result.frac_links_hot_10s
+    # Short congestion is correlated across links.
+    assert result.peak_simultaneous >= 5
+    # Long congestion is localized to a small set of links.
+    assert result.links_with_long_episodes <= result.summary.num_links / 2

@@ -1,0 +1,16 @@
+"""F6: lengths of congestion episodes (paper Fig 6)."""
+
+from repro.experiments import fig06, format_table
+
+
+def test_fig06_congestion_duration(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig06.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F6: congestion episode durations (Fig 6)",
+                        result.rows()))
+    # Most >1 s episodes are short (paper: >90% at most 10 s).
+    assert result.frac_short > 0.6
+    # A long tail of multi-ten-second episodes exists.
+    assert result.summary.episodes_over_10s > 0
+    assert result.longest > 30.0

@@ -1,0 +1,14 @@
+"""F7: collateral damage to flows under congestion (paper Fig 7)."""
+
+from repro.experiments import fig07, format_table
+
+
+def test_fig07_victim_flows(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig07.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F7: victim flow rates (Fig 7)", result.rows()))
+    # "The rates do not change appreciably": medians within 2x and CDFs
+    # close over the shared support.
+    assert 0.5 < result.median_ratio < 2.0
+    assert result.max_cdf_gap() < 0.3

@@ -1,0 +1,19 @@
+"""F8: read-failure uplift under congestion (paper Fig 8)."""
+
+from repro.experiments import fig08, format_table
+
+
+def test_fig08_read_failures(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig08.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F8: read-failure impact (Fig 8)", result.rows()))
+    # Congestion-exposed jobs fail to read inputs more often (paper:
+    # median 1.1x uplift; per-day bars from -90% to +2427%).
+    pooled = result.pooled_uplift_ratio
+    assert pooled > 1.0  # inf also passes: exposed jobs fail, clear ones don't
+    # All eight days are analysed.
+    assert len(result.study.days) == 8
+    # Both groups exist overall.
+    assert sum(d.jobs_overlapping for d in result.study.days) > 0
+    assert sum(d.jobs_clear for d in result.study.days) > 0

@@ -1,0 +1,17 @@
+"""F9: flow durations and bytes-by-duration (paper Fig 9)."""
+
+from repro.experiments import fig09, format_table
+
+
+def test_fig09_flow_durations(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig09.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F9: flow durations (Fig 9)", result.rows()))
+    stats = result.stats
+    # "More than 80% of flows last less than ten seconds".
+    assert stats.frac_flows_under_10s > 0.8
+    # "Fewer than 0.1% last longer than 200 s" (shape: a tiny tail).
+    assert stats.frac_flows_over_200s < 0.01
+    # "More than half the bytes are in flows lasting less than 25 s".
+    assert stats.frac_bytes_under_25s > 0.5

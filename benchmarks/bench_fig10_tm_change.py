@@ -1,0 +1,16 @@
+"""F10: traffic change over time (paper Fig 10)."""
+
+from repro.experiments import fig10, format_table
+
+
+def test_fig10_tm_change(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig10.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F10: TM churn (Fig 10)", result.rows()))
+    # Median normalised change is large at both time-scales.
+    assert result.median_change_10s > 0.3
+    assert result.median_change_100s > 0.3
+    # Rate spikes approach/exceed half the full-duplex bisection
+    # bandwidth (>= 0.5 of the one-directional bisection used here).
+    assert result.stats.peak_over_bisection > 0.5

@@ -1,0 +1,19 @@
+"""F11: flow inter-arrival times (paper Fig 11)."""
+
+import pytest
+
+from repro.experiments import fig11, format_table
+
+
+def test_fig11_interarrivals(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig11.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F11: flow inter-arrivals (Fig 11)", result.rows()))
+    # Periodic modes spaced by the stop-and-go quantum (paper: ~15 ms).
+    assert result.stats.server_modes.size >= 2
+    assert result.mode_spacing == pytest.approx(result.expected_quantum, rel=0.4)
+    # Long tail: servers can go seconds between flows.
+    assert result.server_tail > 1.0
+    # The cluster-wide arrival rate dwarfs any single server's.
+    assert result.stats.median_cluster_rate > 10.0

@@ -1,0 +1,17 @@
+"""F12: tomography estimation error CDFs (paper Fig 12)."""
+
+from repro.experiments import fig12, format_table
+
+
+def test_fig12_tomography_error(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig12.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F12: tomography errors (Fig 12)", result.rows()))
+    # Tomogravity is substantially wrong on DC TMs (paper: median 60%).
+    assert result.median_tomogravity_error > 0.15
+    # The job-metadata prior helps at most marginally.
+    assert result.median_job_prior_error > 0.3 * result.median_tomogravity_error
+    # Sparsity maximisation estimates worse than tomogravity.
+    assert result.median_sparsity_error > result.median_tomogravity_error
+    assert len(result.study.windows) >= 8

@@ -1,0 +1,14 @@
+"""F13: tomogravity error vs ground-truth sparsity (paper Fig 13)."""
+
+from repro.experiments import fig13, format_table
+
+
+def test_fig13_sparsity_correlation(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig13.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F13: error vs sparsity (Fig 13)", result.rows()))
+    assert result.errors.size >= 8
+    # Sparser ground truth must not make tomogravity *better*: the
+    # correlation is negative (paper) or at worst flat at this scale.
+    assert result.correlation < 0.3

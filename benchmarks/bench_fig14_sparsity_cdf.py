@@ -1,0 +1,21 @@
+"""F14: sparsity of estimated vs ground-truth TMs (paper Fig 14)."""
+
+from repro.experiments import fig14, format_table
+
+
+def test_fig14_sparsity_cdf(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        fig14.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("F14: TM sparsity by method (Fig 14)", result.rows()))
+    truth = result.median_fraction("truth")
+    tomogravity = result.median_fraction("tomogravity")
+    sparse = result.median_fraction("sparsity")
+    # Ground truth sits between dense tomogravity and over-sparse MILP.
+    assert sparse < truth
+    assert tomogravity > 0.8 * truth
+    # The MILP's non-zeros rarely coincide with true heavy hitters.
+    overlaps = result.study.sparsity_heavy_hitter_overlaps()
+    nonzeros = result.study.sparsity_nonzeros()
+    assert overlaps and nonzeros
+    assert result.milp_heavy_hitter_overlap < sum(nonzeros) / len(nonzeros)

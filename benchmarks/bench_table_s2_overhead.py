@@ -1,0 +1,16 @@
+"""T-S2: instrumentation overhead accounting (paper §2)."""
+
+from repro.experiments import format_table, table_s2
+
+
+def test_table_s2_overhead(benchmark, standard_dataset, report):
+    result = benchmark.pedantic(
+        table_s2.run, args=(standard_dataset,), rounds=1, iterations=1
+    )
+    report(format_table("T-S2: instrumentation overhead (§2)",
+                        result.rows()))
+    # §2 claims, shape-level.
+    assert result.report.cpu_utilization_increase_pct < 5.0
+    assert result.report.disk_utilization_increase_pct < 5.0
+    assert result.report.compression_ratio >= 10.0
+    assert result.report.throughput_drop_mbps < 1.0

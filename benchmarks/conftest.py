@@ -1,0 +1,45 @@
+"""Benchmark fixtures: one standard campaign per session.
+
+The standard campaign (96 servers, eight scaled days) takes a couple of
+minutes to build and is shared — memoised — by every benchmark.  Each
+benchmark appends its paper-vs-measured table to a session report that is
+printed at the end and written to ``benchmarks/report.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import build_dataset, standard_config
+from repro.experiments.common import ExperimentDataset
+
+_REPORT: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def standard_dataset() -> ExperimentDataset:
+    """The standard measurement campaign, built once per session."""
+    return build_dataset(standard_config())
+
+
+@pytest.fixture()
+def report():
+    """Callable that records a table for the end-of-session report."""
+
+    def add(text: str) -> None:
+        _REPORT.append(text)
+
+    return add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORT:
+        return
+    body = "\n\n".join(_REPORT)
+    banner = "\n" + "=" * 72 + "\nPAPER vs MEASURED (this session)\n" + "=" * 72
+    print(banner)
+    print(body)
+    out = pathlib.Path(__file__).parent / "report.txt"
+    out.write_text(body + "\n")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Can SNMP link counters replace server instrumentation? (paper §5)
+
+Runs the paper's tomography evaluation: ToR-level ground-truth TMs from
+a simulated campaign, link counts derived from them, and three
+estimators — tomogravity, tomogravity with the job-metadata prior, and
+sparsity maximisation — scored by RMSRE over the entries carrying 75% of
+traffic.  Also contrasts the datacenter regime against an ISP-style
+gravity regime where tomogravity excels.
+
+Run:  python examples/tomography_study.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.experiments import (
+    build_dataset,
+    fig12,
+    fig13,
+    fig14,
+    format_table,
+    small_config,
+)
+from repro.experiments.ablations import run_gravity_regime_ablation
+from repro.util.ascii import render_cdf
+
+
+def main(seed: int = 7) -> None:
+    print("Building campaign dataset...")
+    dataset = build_dataset(small_config(seed=seed))
+
+    result12 = fig12.run(dataset)
+    print(format_table("F12 — estimation error", result12.rows()))
+    print()
+    print(render_cdf(result12.error_cdfs(),
+                     title="Fig 12: RMSRE CDF by method"))
+    print()
+
+    result13 = fig13.run(dataset)
+    print(format_table("F13 — error vs sparsity", result13.rows()))
+    if result13.errors.size >= 2:
+        order = np.argsort(result13.sparsity_fractions)
+        print("\n  sparsity-fraction -> tomogravity RMSRE (per window):")
+        for index in order:
+            fraction = result13.sparsity_fractions[index]
+            error = result13.errors[index]
+            print(f"    {fraction:6.1%} -> {error:6.1%}")
+    print()
+
+    result14 = fig14.run(dataset)
+    print(format_table("F14 — sparsity of estimated TMs", result14.rows()))
+    print()
+    print(render_cdf(result14.sparsity_cdfs(),
+                     title="Fig 14: fraction of entries carrying 75% of volume"))
+    print()
+
+    print("Why does tomography fail here but work for ISPs?  The regime test:")
+    regime = run_gravity_regime_ablation(seed=seed)
+    print(format_table("A3 — gravity regime ablation", regime.rows()))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so the package can be installed in environments without the
+``wheel`` package or network access (``python setup.py develop``), where
+pip's PEP 517 editable path is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of *The Nature of Datacenter Traffic:
+Measurements & Analysis* (Kandula, Sengupta, Greenberg, Patel, Chaiken;
+IMC 2009).
+
+The package has three layers:
+
+* **substrates** — :mod:`repro.cluster` (topology/routing),
+  :mod:`repro.workload` (Cosmos-like block store, Scope-like jobs,
+  locality scheduler, executor), :mod:`repro.simulation` (fluid
+  transport), :mod:`repro.instrumentation` (ETW-like socket logging,
+  application logs, SNMP counters);
+* **analyses** — :mod:`repro.core` (flow reconstruction, traffic
+  matrices, patterns, congestion, churn, impact) and
+  :mod:`repro.tomography` (tomogravity, sparsity maximisation, job-aware
+  priors);
+* **experiments** — :mod:`repro.experiments`, one module per paper
+  figure, shared by the benchmark harness and EXPERIMENTS.md.
+
+Quickstart::
+
+    from repro import SimulationConfig, simulate
+    from repro.core import reconstruct_flows, duration_stats
+
+    result = simulate(SimulationConfig(duration=60.0, seed=1))
+    flows = reconstruct_flows(result.socket_log)
+    print(duration_stats(flows).frac_flows_under_10s)
+"""
+
+from .cluster import ClusterSpec, ClusterTopology, Router
+from .config import SimulationConfig
+from .simulation import SimulationResult, Simulator, simulate
+from .workload import WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "ClusterSpec",
+    "ClusterTopology",
+    "Router",
+    "WorkloadConfig",
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the library's workflow:
+
+* ``simulate`` — run a measurement campaign and print its statistics,
+  optionally dumping the compressed socket-event log;
+* ``figures`` — reproduce any subset of the paper's figures against a
+  campaign and print the paper-vs-measured tables;
+* ``ablations`` — run the A1-A3 design-choice ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cluster.topology import ClusterSpec
+from .config import SimulationConfig
+from .util.units import GBPS, format_bytes
+from .workload.generator import WorkloadConfig
+
+_FIGURES = (
+    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table_s2",
+    "ext_roleprior", "ext_sampling",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Nature of Datacenter Traffic' (IMC 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one measurement campaign")
+    sim.add_argument("--racks", type=int, default=6)
+    sim.add_argument("--servers-per-rack", type=int, default=8)
+    sim.add_argument("--racks-per-vlan", type=int, default=3)
+    sim.add_argument("--external-hosts", type=int, default=2)
+    sim.add_argument("--uplink-gbps", type=float, default=2.5)
+    sim.add_argument("--duration", type=float, default=120.0)
+    sim.add_argument("--arrival-rate", type=float, default=0.3,
+                     help="job arrivals per second")
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--dump-log", metavar="PATH",
+                     help="write the compressed socket-event log here")
+
+    figures = sub.add_parser("figures", help="reproduce paper figures")
+    figures.add_argument("names", nargs="*", default=[],
+                         help=f"subset of: {', '.join(_FIGURES)} (default all)")
+    figures.add_argument("--standard", action="store_true",
+                         help="use the standard campaign (slower, sharper)")
+    figures.add_argument("--seed", type=int, default=None)
+
+    ablations = sub.add_parser("ablations", help="run design-choice ablations")
+    ablations.add_argument("names", nargs="*", default=[],
+                           help="subset of: locality, conncap, gravity (default all)")
+    ablations.add_argument("--seed", type=int, default=11)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .instrumentation.storage import serialize_log
+    from .simulation.simulator import simulate
+
+    config = SimulationConfig(
+        cluster=ClusterSpec(
+            racks=args.racks,
+            servers_per_rack=args.servers_per_rack,
+            racks_per_vlan=args.racks_per_vlan,
+            external_hosts=args.external_hosts,
+            tor_uplink_capacity=args.uplink_gbps * GBPS,
+        ),
+        workload=WorkloadConfig(job_arrival_rate=args.arrival_rate),
+        duration=args.duration,
+        seed=args.seed,
+    )
+    result = simulate(config)
+    print(f"cluster:  {result.topology.describe()}")
+    for key in sorted(result.stats):
+        print(f"  {key}: {result.stats[key]:.0f}")
+    total = sum(t.size for t in result.transfers)
+    print(f"  bytes transferred: {format_bytes(total)}")
+    if args.dump_log:
+        serialized = serialize_log(result.socket_log)
+        with open(args.dump_log, "wb") as handle:
+            handle.write(serialized.compressed)
+        print(f"wrote {format_bytes(serialized.compressed_size)} "
+              f"(compressed {serialized.compression_ratio:.1f}x) to {args.dump_log}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from . import experiments
+    from .experiments import build_dataset, format_table, small_config, standard_config
+
+    names = args.names or list(_FIGURES)
+    unknown = [n for n in names if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.standard:
+        config = standard_config() if args.seed is None else standard_config(args.seed)
+    else:
+        config = small_config() if args.seed is None else small_config(args.seed)
+    print("Building campaign dataset...")
+    dataset = build_dataset(config)
+    for name in names:
+        module = getattr(experiments, name)
+        result = module.run(dataset)
+        print()
+        print(format_table(f"{name} — paper vs this reproduction", result.rows()))
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .experiments.ablations import (
+        run_connection_cap_ablation,
+        run_gravity_regime_ablation,
+        run_locality_ablation,
+    )
+
+    runners = {
+        "locality": lambda: run_locality_ablation(seed=args.seed),
+        "conncap": lambda: run_connection_cap_ablation(seed=args.seed),
+        "gravity": lambda: run_gravity_regime_ablation(seed=args.seed),
+    }
+    names = args.names or list(runners)
+    unknown = [n for n in names if n not in runners]
+    if unknown:
+        print(f"unknown ablations: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"Running ablation {name!r}...")
+        result = runners[name]()
+        print(format_table(f"ablation: {name}", result.rows()))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "figures": _cmd_figures,
+        "ablations": _cmd_ablations,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

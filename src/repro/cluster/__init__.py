@@ -1,0 +1,14 @@
+"""Cluster substrate: topology (paper Fig 1) and tree routing."""
+
+from .routing import Router, bisection_bandwidth, tor_routing_matrix
+from .topology import ClusterSpec, ClusterTopology, Link, NodeKind
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterTopology",
+    "Link",
+    "NodeKind",
+    "Router",
+    "tor_routing_matrix",
+    "bisection_bandwidth",
+]

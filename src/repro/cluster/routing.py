@@ -1,0 +1,141 @@
+"""Deterministic tree routing and the tomography routing matrix.
+
+Traffic in the measured cluster follows the only paths a tree offers: up
+from the source to the lowest common switch, then down to the destination.
+``Router`` materialises those paths as tuples of directed link ids (what
+the transport engine consumes) and caches them, since a simulation reuses
+a small set of rack-pair paths millions of times.
+
+``tor_routing_matrix`` builds the classic tomography ``A`` matrix relating
+ToR-to-ToR traffic-matrix entries to inter-switch link loads, ``y = A x``
+(paper §5 methodology: link counts are computed from the ground-truth TM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .topology import ClusterTopology, NodeKind
+
+__all__ = ["Router", "tor_routing_matrix", "bisection_bandwidth"]
+
+
+class Router:
+    """Computes and caches up/down tree paths between endpoints."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        self._path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    def _ancestry(self, node: int) -> list[int]:
+        """Chain of nodes from ``node`` up to the core router, inclusive."""
+        topo = self.topology
+        kind = topo.node_kind(node)
+        if kind == NodeKind.SERVER:
+            rack = topo.rack_of(node)
+            return [
+                node,
+                topo.tor_of_rack(rack),
+                topo.agg_of_vlan(topo.vlan_of_rack(rack)),
+                topo.core_id,
+            ]
+        if kind == NodeKind.EXTERNAL:
+            return [node, topo.core_id]
+        if kind == NodeKind.TOR:
+            rack = node - topo.tor_of_rack(0)
+            return [node, topo.agg_of_vlan(topo.vlan_of_rack(rack)), topo.core_id]
+        if kind == NodeKind.AGG:
+            return [node, topo.core_id]
+        return [node]
+
+    def path_nodes(self, src: int, dst: int) -> tuple[int, ...]:
+        """Node sequence from ``src`` to ``dst`` (inclusive of both).
+
+        For ``src == dst`` the path is the single node: local transfers
+        touch no network links (Cosmos writes outputs to the local disk,
+        paper §3).
+        """
+        if src == dst:
+            return (src,)
+        up = self._ancestry(src)
+        down = self._ancestry(dst)
+        up_set = {node: depth for depth, node in enumerate(up)}
+        for depth_down, node in enumerate(down):
+            if node in up_set:
+                meet_up = up_set[node]
+                return tuple(up[: meet_up + 1] + list(reversed(down[:depth_down])))
+        raise ValueError(f"no common ancestor for nodes {src} and {dst}")
+
+    def path_links(self, src: int, dst: int) -> tuple[int, ...]:
+        """Directed link ids along the path from ``src`` to ``dst``."""
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        nodes = self.path_nodes(src, dst)
+        links = tuple(
+            self.topology.link_between(a, b).link_id
+            for a, b in zip(nodes[:-1], nodes[1:])
+        )
+        self._path_cache[key] = links
+        return links
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of links traversed between two endpoints."""
+        return len(self.path_links(src, dst))
+
+
+def tor_routing_matrix(
+    topology: ClusterTopology,
+) -> tuple[np.ndarray, list[tuple[int, int]], list[int]]:
+    """Build the tomography routing matrix at ToR granularity.
+
+    Returns ``(A, pairs, observed_links)`` where:
+
+    * ``pairs`` lists the ordered ToR-index pairs ``(i, j), i != j`` that
+      form the unknown TM vector ``x`` (the ToR-to-ToR TM has a zero
+      diagonal by construction, paper §3);
+    * ``observed_links`` lists the link ids of inter-switch links whose
+      byte counters SNMP exposes;
+    * ``A[l, k] == 1`` iff pair ``k``'s path crosses observed link ``l``.
+
+    The under-constrained nature the paper highlights is visible directly
+    in the shape: ``len(observed_links)`` grows linearly with rack count
+    while ``len(pairs)`` grows quadratically.
+    """
+    router = Router(topology)
+    observed = [link.link_id for link in topology.inter_switch_links()]
+    link_row = {link_id: row for row, link_id in enumerate(observed)}
+    pairs = [
+        (i, j)
+        for i in range(topology.num_racks)
+        for j in range(topology.num_racks)
+        if i != j
+    ]
+    matrix = np.zeros((len(observed), len(pairs)), dtype=float)
+    for column, (i, j) in enumerate(pairs):
+        src_tor = topology.tor_of_rack(i)
+        dst_tor = topology.tor_of_rack(j)
+        for link_id in router.path_links(src_tor, dst_tor):
+            row = link_row.get(link_id)
+            if row is not None:
+                matrix[row, column] = 1.0
+    return matrix, pairs, observed
+
+
+def bisection_bandwidth(topology: ClusterTopology) -> float:
+    """One-directional bisection bandwidth of the tree (bytes/s).
+
+    The narrowest cut splitting the cluster in half runs through the
+    core: the sum of aggregation-to-core capacities.  The paper's Fig 10
+    observation ("the top of the spikes is more than half the full-duplex
+    bisection bandwidth") doubles this to count both directions.
+    """
+    total = 0.0
+    for link in topology.inter_switch_links():
+        if (
+            topology.node_kind(link.src) == NodeKind.AGG
+            and topology.node_kind(link.dst) == NodeKind.CORE
+        ):
+            total += link.capacity
+    return total

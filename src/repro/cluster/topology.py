@@ -1,0 +1,302 @@
+"""Cluster topology: the physical structure sketched in the paper's Fig 1.
+
+The measured cluster is a classic two-tier tree: tens of servers per rack
+connect to an inexpensive top-of-rack (ToR) switch; ToRs connect to
+high-degree aggregation switches; aggregation switches connect to an IP
+router ("core").  VLANs span small groups of racks to keep broadcast
+domains small.  A handful of *external* hosts outside the cluster upload
+new data and pull out results (the sparse far corner of Fig 2).
+
+Nodes and links are plain integers indexing dense arrays, because the
+transport engine manipulates thousands of paths per second and the
+tomography code needs a routing matrix; object graphs would be needlessly
+slow.  :class:`ClusterTopology` provides the human-facing accessors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.units import GBPS
+
+__all__ = ["NodeKind", "Link", "ClusterSpec", "ClusterTopology"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the tree."""
+
+    SERVER = "server"
+    TOR = "tor"
+    AGG = "agg"
+    CORE = "core"
+    EXTERNAL = "external"
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed, capacitated link.
+
+    ``capacity`` is in bytes per second.  Each physical cable contributes
+    two :class:`Link` objects, one per direction, because datacenter
+    congestion is directional (a full ToR uplink says nothing about the
+    downlink).
+    """
+
+    link_id: int
+    src: int
+    dst: int
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.link_id} has non-positive capacity")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters describing a cluster to build.
+
+    Defaults give a small but structurally faithful cluster; the paper's
+    cluster is approximately ``racks=75, servers_per_rack=20``.
+    """
+
+    racks: int = 5
+    servers_per_rack: int = 10
+    racks_per_vlan: int = 5
+    external_hosts: int = 2
+    server_nic_capacity: float = 1 * GBPS
+    tor_uplink_capacity: float = 10 * GBPS
+    agg_uplink_capacity: float = 40 * GBPS
+    external_link_capacity: float = 10 * GBPS
+
+    def __post_init__(self) -> None:
+        if self.racks < 1:
+            raise ValueError("cluster needs at least one rack")
+        if self.servers_per_rack < 1:
+            raise ValueError("racks need at least one server")
+        if self.racks_per_vlan < 1:
+            raise ValueError("VLANs need at least one rack")
+        if self.external_hosts < 0:
+            raise ValueError("external_hosts must be non-negative")
+
+    @property
+    def num_servers(self) -> int:
+        """Number of in-cluster servers."""
+        return self.racks * self.servers_per_rack
+
+    @property
+    def num_vlans(self) -> int:
+        """Number of VLANs (and aggregation switches, one per VLAN)."""
+        return (self.racks + self.racks_per_vlan - 1) // self.racks_per_vlan
+
+
+class ClusterTopology:
+    """A built cluster: nodes, directed links, and structural queries.
+
+    Node id layout (dense, in order):
+
+    * ``0 .. num_servers-1`` — servers,
+    * then one ToR per rack,
+    * then one aggregation switch per VLAN,
+    * then the core router,
+    * then external hosts.
+
+    External hosts hang off the core router directly; they stand in for
+    "servers external to the cluster which upload new data into the
+    cluster or pull out results from it" (paper §4.1).
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.num_servers = spec.num_servers
+        self.num_racks = spec.racks
+        self.num_vlans = spec.num_vlans
+
+        self._tor_base = self.num_servers
+        self._agg_base = self._tor_base + self.num_racks
+        self._core_id = self._agg_base + self.num_vlans
+        self._external_base = self._core_id + 1
+        self.num_nodes = self._external_base + spec.external_hosts
+
+        self._links: list[Link] = []
+        #: map (src, dst) -> link id for direct edges
+        self._edge_index: dict[tuple[int, int], int] = {}
+        self._build_links()
+        self.capacities = np.array([link.capacity for link in self._links])
+
+    # ------------------------------------------------------------------ build
+
+    def _add_duplex(self, a: int, b: int, capacity: float) -> None:
+        for src, dst in ((a, b), (b, a)):
+            link_id = len(self._links)
+            self._links.append(Link(link_id, src, dst, capacity))
+            self._edge_index[(src, dst)] = link_id
+
+    def _build_links(self) -> None:
+        spec = self.spec
+        for server in range(self.num_servers):
+            self._add_duplex(server, self.tor_of_rack(self.rack_of(server)),
+                             spec.server_nic_capacity)
+        for rack in range(self.num_racks):
+            agg = self.agg_of_vlan(self.vlan_of_rack(rack))
+            self._add_duplex(self.tor_of_rack(rack), agg, spec.tor_uplink_capacity)
+        for vlan in range(self.num_vlans):
+            self._add_duplex(self.agg_of_vlan(vlan), self._core_id,
+                             spec.agg_uplink_capacity)
+        for index in range(spec.external_hosts):
+            self._add_duplex(self._external_base + index, self._core_id,
+                             spec.external_link_capacity)
+
+    # ------------------------------------------------------------ node lookup
+
+    def node_kind(self, node: int) -> NodeKind:
+        """Classify a node id."""
+        if node < 0 or node >= self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        if node < self._tor_base:
+            return NodeKind.SERVER
+        if node < self._agg_base:
+            return NodeKind.TOR
+        if node < self._core_id:
+            return NodeKind.AGG
+        if node == self._core_id:
+            return NodeKind.CORE
+        return NodeKind.EXTERNAL
+
+    def rack_of(self, server: int) -> int:
+        """Rack index of an in-cluster server."""
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"{server} is not an in-cluster server")
+        return server // self.spec.servers_per_rack
+
+    def vlan_of_rack(self, rack: int) -> int:
+        """VLAN index of a rack."""
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"rack {rack} out of range")
+        return rack // self.spec.racks_per_vlan
+
+    def vlan_of(self, server: int) -> int:
+        """VLAN index of a server."""
+        return self.vlan_of_rack(self.rack_of(server))
+
+    def tor_of_rack(self, rack: int) -> int:
+        """Node id of a rack's ToR switch."""
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"rack {rack} out of range")
+        return self._tor_base + rack
+
+    def agg_of_vlan(self, vlan: int) -> int:
+        """Node id of a VLAN's aggregation switch."""
+        if not 0 <= vlan < self.num_vlans:
+            raise ValueError(f"vlan {vlan} out of range")
+        return self._agg_base + vlan
+
+    @property
+    def core_id(self) -> int:
+        """Node id of the core router."""
+        return self._core_id
+
+    def servers_in_rack(self, rack: int) -> range:
+        """Server ids housed in a rack."""
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"rack {rack} out of range")
+        start = rack * self.spec.servers_per_rack
+        return range(start, start + self.spec.servers_per_rack)
+
+    def racks_in_vlan(self, vlan: int) -> range:
+        """Rack indices belonging to a VLAN."""
+        if not 0 <= vlan < self.num_vlans:
+            raise ValueError(f"vlan {vlan} out of range")
+        start = vlan * self.spec.racks_per_vlan
+        return range(start, min(start + self.spec.racks_per_vlan, self.num_racks))
+
+    def external_hosts(self) -> range:
+        """Node ids of external (out-of-cluster) hosts."""
+        return range(self._external_base, self.num_nodes)
+
+    def is_external(self, node: int) -> bool:
+        """True if the node is an external host."""
+        return node >= self._external_base
+
+    def is_endpoint(self, node: int) -> bool:
+        """True if flows may originate/terminate at this node."""
+        return node < self.num_servers or self.is_external(node)
+
+    def endpoints(self) -> list[int]:
+        """All flow endpoints: in-cluster servers then external hosts."""
+        return list(range(self.num_servers)) + list(self.external_hosts())
+
+    def same_rack(self, server_a: int, server_b: int) -> bool:
+        """True if both endpoints are in-cluster servers sharing a rack."""
+        if server_a >= self.num_servers or server_b >= self.num_servers:
+            return False
+        return self.rack_of(server_a) == self.rack_of(server_b)
+
+    def same_vlan(self, server_a: int, server_b: int) -> bool:
+        """True if both endpoints are in-cluster servers sharing a VLAN."""
+        if server_a >= self.num_servers or server_b >= self.num_servers:
+            return False
+        return self.vlan_of(server_a) == self.vlan_of(server_b)
+
+    def ip_of(self, node: int) -> str:
+        """A synthetic dotted-quad for an endpoint (virtualisation-free:
+        each IP corresponds to a distinct machine, paper §3)."""
+        if node < self.num_servers:
+            rack = self.rack_of(node)
+            position = node - rack * self.spec.servers_per_rack
+            return f"10.{rack // 250}.{rack % 250}.{position + 1}"
+        if self.is_external(node):
+            index = node - self._external_base
+            return f"192.168.200.{index + 1}"
+        raise ValueError(f"node {node} is not an addressable endpoint")
+
+    # ------------------------------------------------------------ link lookup
+
+    @property
+    def links(self) -> list[Link]:
+        """All directed links (index == link id)."""
+        return self._links
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links."""
+        return len(self._links)
+
+    def link_between(self, src: int, dst: int) -> Link:
+        """The directed link for a direct edge, or raise ``KeyError``."""
+        return self._links[self._edge_index[(src, dst)]]
+
+    def inter_switch_links(self) -> list[Link]:
+        """Directed links between switches (ToR↔Agg, Agg↔Core).
+
+        These are the links the paper's §4.2 congestion study observes
+        ("inter-switch links that carry the traffic of the monitored
+        machines") and the counters SNMP would expose for tomography.
+        """
+        switch_kinds = {NodeKind.TOR, NodeKind.AGG, NodeKind.CORE}
+        return [
+            link
+            for link in self._links
+            if self.node_kind(link.src) in switch_kinds
+            and self.node_kind(link.dst) in switch_kinds
+        ]
+
+    def server_access_links(self) -> list[Link]:
+        """Directed server↔ToR links (the cluster's edge)."""
+        return [
+            link
+            for link in self._links
+            if NodeKind.SERVER in (self.node_kind(link.src), self.node_kind(link.dst))
+        ]
+
+    def describe(self) -> str:
+        """One-line structural summary."""
+        spec = self.spec
+        return (
+            f"{self.num_servers} servers / {self.num_racks} racks "
+            f"({spec.servers_per_rack} per rack) / {self.num_vlans} VLANs / "
+            f"{spec.external_hosts} external hosts / {self.num_links} links"
+        )

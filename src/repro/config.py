@@ -1,0 +1,57 @@
+"""Top-level experiment configuration.
+
+A :class:`SimulationConfig` fully determines a simulated measurement
+campaign: the cluster to build, the workload to run over it, the
+instrumentation parameters, the duration and the seed.  Two identical
+configs produce bit-identical logs, which is what lets the experiment
+layer memoise datasets across benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .cluster.topology import ClusterSpec
+from .instrumentation.collector import CollectorConfig
+from .workload.generator import WorkloadConfig
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to reproduce one simulated run."""
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
+    duration: float = 120.0
+    seed: int = 0
+    #: Bandwidth-sharing model: "maxmin" (default) or "bottleneck".
+    fairness: str = "maxmin"
+    #: A link is a hot-spot when its one-second average utilisation is at
+    #: least this (paper §4.2 uses C = 70%).
+    congestion_threshold: float = 0.7
+    #: Minimum spacing between fair-share recomputations.  Flow set
+    #: changes inside one window share a single allocation pass; deferred
+    #: flows idle at ~zero rate until it runs, so links are never
+    #: oversubscribed.  0 recomputes on every event (exact fluid model).
+    rate_update_interval: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.fairness not in ("maxmin", "bottleneck"):
+            raise ValueError(f"unknown fairness mode {self.fairness!r}")
+        if not 0.0 < self.congestion_threshold <= 1.0:
+            raise ValueError("congestion_threshold must lie in (0, 1]")
+        if self.rate_update_interval < 0:
+            raise ValueError("rate_update_interval must be non-negative")
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """The same campaign with a different random seed."""
+        return replace(self, seed=seed)
+
+    def with_duration(self, duration: float) -> "SimulationConfig":
+        """The same campaign with a different duration."""
+        return replace(self, duration=duration)

@@ -1,0 +1,103 @@
+"""Traffic-matrix churn over time (paper §4.3, Fig 10).
+
+Two views of how traffic changes: the aggregate rate over all server
+pairs (the spiky top series, whose peaks approach half the full-duplex
+bisection bandwidth), and the *participant* churn — the normalised L1
+distance between TMs ``τ`` apart:
+
+    NormalizedChange(t, τ) = |M(t + τ) − M(t)| / |M(t)|
+
+where the numerator is the entry-wise absolute difference summed and the
+denominator the sum of ``M(t)``'s entries.  The paper evaluates τ = 10 s
+and τ = 100 s and finds large median change at both scales: the pairs
+moving the bytes change even when the total does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .traffic_matrix import TrafficMatrixSeries
+
+__all__ = ["ChurnStats", "normalized_change_series", "churn_stats"]
+
+
+def normalized_change_series(series: TrafficMatrixSeries) -> np.ndarray:
+    """Normalised L1 change between consecutive windows of a TM series.
+
+    Entry ``k`` compares windows ``k`` and ``k+1`` (i.e. τ equals the
+    series' window size).  Windows with zero traffic yield NaN.
+    """
+    matrices = series.matrices
+    if matrices.shape[0] < 2:
+        return np.empty(0)
+    diffs = np.abs(matrices[1:] - matrices[:-1]).sum(axis=(1, 2))
+    bases = matrices[:-1].sum(axis=(1, 2))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        change = np.where(bases > 0, diffs / bases, np.nan)
+    return change
+
+
+@dataclass(frozen=True)
+class ChurnStats:
+    """Fig 10 summary for one run."""
+
+    aggregate_rate: np.ndarray       # bytes/s per fine window
+    rate_window: float
+    change_short: np.ndarray         # normalised change at the short τ
+    change_long: np.ndarray          # normalised change at the long τ
+    tau_short: float
+    tau_long: float
+    peak_rate: float
+    bisection_bandwidth: float
+
+    @property
+    def median_change_short(self) -> float:
+        """Median normalised change at the short time-scale."""
+        valid = self.change_short[~np.isnan(self.change_short)]
+        return float(np.median(valid)) if valid.size else float("nan")
+
+    @property
+    def median_change_long(self) -> float:
+        """Median normalised change at the long time-scale."""
+        valid = self.change_long[~np.isnan(self.change_long)]
+        return float(np.median(valid)) if valid.size else float("nan")
+
+    @property
+    def peak_over_bisection(self) -> float:
+        """Peak aggregate rate / one-directional bisection bandwidth.
+
+        The paper notes spikes above *half the full-duplex* bisection
+        bandwidth, i.e. this ratio approaching (or exceeding) 1.0 in the
+        one-directional normalisation used here.
+        """
+        if self.bisection_bandwidth <= 0:
+            return float("nan")
+        return self.peak_rate / self.bisection_bandwidth
+
+
+def churn_stats(
+    fine_series: TrafficMatrixSeries,
+    bisection_bandwidth: float,
+    long_factor: int = 10,
+) -> ChurnStats:
+    """Build the Fig 10 statistics from a fine-grained TM series.
+
+    ``fine_series`` provides the short time-scale (e.g. 10 s windows);
+    aggregating by ``long_factor`` gives the long one (e.g. 100 s).
+    """
+    totals = fine_series.totals_per_window()
+    rate = totals / fine_series.window
+    coarse = fine_series.aggregate(long_factor)
+    return ChurnStats(
+        aggregate_rate=rate,
+        rate_window=fine_series.window,
+        change_short=normalized_change_series(fine_series),
+        change_long=normalized_change_series(coarse),
+        tau_short=fine_series.window,
+        tau_long=coarse.window,
+        peak_rate=float(rate.max()) if rate.size else 0.0,
+        bisection_bandwidth=bisection_bandwidth,
+    )

@@ -1,0 +1,242 @@
+"""Congestion analysis (paper §4.2, Figs 5-7).
+
+"We shift focus to hot-spots in the network, i.e., links that have
+average utilization above some constant C.  Results in this section use
+a value of C = 70%."  Given per-link per-second utilisation, this module
+extracts:
+
+* which links were hot and for how long (Fig 5),
+* maximal congestion *episodes* per link and their length distribution
+  (Fig 6),
+* cross-link correlation of short congestion periods,
+* victim flows: flows whose path overlapped a hot link-second, and how
+  their rates compare to the population (Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.routing import Router
+from ..util.stats import Ecdf, ecdf
+from .flows import FlowTable
+
+__all__ = [
+    "CongestionEpisode",
+    "CongestionSummary",
+    "hot_matrix",
+    "find_episodes",
+    "congestion_summary",
+    "simultaneous_hot_links",
+    "VictimFlowComparison",
+    "victim_flow_comparison",
+    "flows_overlapping_congestion",
+]
+
+DEFAULT_THRESHOLD = 0.7
+
+
+@dataclass(frozen=True)
+class CongestionEpisode:
+    """A maximal run of consecutive hot seconds on one link."""
+
+    link_id: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Episode end time."""
+        return self.start + self.duration
+
+
+def hot_matrix(utilization: np.ndarray, threshold: float = DEFAULT_THRESHOLD) -> np.ndarray:
+    """Boolean (links, seconds) matrix of hot link-seconds."""
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must lie in (0, 1]")
+    return utilization >= threshold
+
+
+def find_episodes(
+    hot: np.ndarray, bin_width: float = 1.0, link_ids: np.ndarray | None = None
+) -> list[CongestionEpisode]:
+    """Extract maximal hot runs per link from a boolean (links, bins) matrix."""
+    episodes: list[CongestionEpisode] = []
+    num_links, num_bins = hot.shape
+    ids = link_ids if link_ids is not None else np.arange(num_links)
+    for row in range(num_links):
+        series = hot[row]
+        if not series.any():
+            continue
+        padded = np.concatenate(([False], series, [False]))
+        changes = np.diff(padded.astype(np.int8))
+        starts = np.flatnonzero(changes == 1)
+        ends = np.flatnonzero(changes == -1)
+        for start, end in zip(starts, ends):
+            episodes.append(
+                CongestionEpisode(
+                    link_id=int(ids[row]),
+                    start=start * bin_width,
+                    duration=(end - start) * bin_width,
+                )
+            )
+    return episodes
+
+
+@dataclass(frozen=True)
+class CongestionSummary:
+    """The Fig 5/6 headline statistics for one run."""
+
+    num_links: int
+    links_with_any_congestion: int
+    frac_links_hot_at_least_10s: float
+    frac_links_hot_at_least_100s: float
+    episodes: list[CongestionEpisode]
+    longest_episode: float
+    episodes_over_10s: int
+
+    def episode_duration_ecdf(self, min_duration: float = 1.0) -> Ecdf:
+        """ECDF of episode durations at least ``min_duration`` (Fig 6)."""
+        durations = [e.duration for e in self.episodes if e.duration >= min_duration]
+        return ecdf(durations)
+
+    def frac_episodes_at_most(self, limit: float, min_duration: float = 1.0) -> float:
+        """Fraction of episodes >= ``min_duration`` lasting <= ``limit``."""
+        durations = [e.duration for e in self.episodes if e.duration >= min_duration]
+        if not durations:
+            return 0.0
+        return sum(1 for d in durations if d <= limit) / len(durations)
+
+
+def congestion_summary(
+    utilization: np.ndarray,
+    threshold: float = DEFAULT_THRESHOLD,
+    bin_width: float = 1.0,
+    link_ids: np.ndarray | None = None,
+) -> CongestionSummary:
+    """Characterise hot links and episodes for a utilisation matrix.
+
+    ``utilization`` should cover the *observed* links only (the paper
+    studies "the inter-switch links that carry the traffic of the
+    monitored machines"); pass the corresponding ``link_ids`` so episode
+    records refer back to topology links.
+    """
+    hot = hot_matrix(utilization, threshold)
+    episodes = find_episodes(hot, bin_width=bin_width, link_ids=link_ids)
+    num_links = hot.shape[0]
+    longest_by_link: dict[int, float] = {}
+    for episode in episodes:
+        longest_by_link[episode.link_id] = max(
+            longest_by_link.get(episode.link_id, 0.0), episode.duration
+        )
+    longest_values = np.array(list(longest_by_link.values()))
+    return CongestionSummary(
+        num_links=num_links,
+        links_with_any_congestion=len(longest_by_link),
+        frac_links_hot_at_least_10s=(
+            float((longest_values >= 10.0).sum()) / num_links if num_links else 0.0
+        ),
+        frac_links_hot_at_least_100s=(
+            float((longest_values >= 100.0).sum()) / num_links if num_links else 0.0
+        ),
+        episodes=episodes,
+        longest_episode=float(longest_values.max()) if longest_values.size else 0.0,
+        episodes_over_10s=sum(1 for e in episodes if e.duration > 10.0),
+    )
+
+
+def simultaneous_hot_links(
+    utilization: np.ndarray, threshold: float = DEFAULT_THRESHOLD
+) -> np.ndarray:
+    """Number of links simultaneously hot in each second.
+
+    The paper observes that short congestion periods "are highly
+    correlated across many tens of links" — visible here as seconds where
+    this count spikes well above its median.
+    """
+    return hot_matrix(utilization, threshold).sum(axis=0)
+
+
+@dataclass(frozen=True)
+class VictimFlowComparison:
+    """Fig 7: rates of congestion-overlapping flows vs all flows."""
+
+    all_rates: np.ndarray
+    overlapping_rates: np.ndarray
+
+    def all_ecdf(self) -> Ecdf:
+        """Rate ECDF over every flow."""
+        return ecdf(self.all_rates)
+
+    def overlapping_ecdf(self) -> Ecdf:
+        """Rate ECDF over flows that overlapped congestion."""
+        return ecdf(self.overlapping_rates)
+
+    @property
+    def median_ratio(self) -> float:
+        """median(overlapping) / median(all); ≈1 means little collateral
+        rate damage, the paper's reading of Fig 7."""
+        if self.overlapping_rates.size == 0 or self.all_rates.size == 0:
+            return float("nan")
+        all_median = float(np.median(self.all_rates))
+        if all_median == 0:
+            return float("nan")
+        return float(np.median(self.overlapping_rates)) / all_median
+
+
+def flows_overlapping_congestion(
+    flows: FlowTable,
+    router: Router,
+    utilization: np.ndarray,
+    threshold: float = DEFAULT_THRESHOLD,
+    bin_width: float = 1.0,
+) -> np.ndarray:
+    """Boolean mask: which flows crossed a hot link-second they overlapped.
+
+    A flow overlaps congestion when some link on its path was hot during
+    some second of the flow's lifetime.
+    """
+    hot = hot_matrix(utilization, threshold)
+    num_bins = hot.shape[1]
+    overlap = np.zeros(len(flows), dtype=bool)
+    # Hot seconds per link, for a quick emptiness test.
+    hot_any = hot.any(axis=1)
+    path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+    for i in range(len(flows)):
+        src = int(flows.src[i])
+        dst = int(flows.dst[i])
+        key = (src, dst)
+        path = path_cache.get(key)
+        if path is None:
+            path = router.path_links(src, dst)
+            path_cache[key] = path
+        if not path:
+            continue
+        first_bin = max(int(flows.start_time[i] // bin_width), 0)
+        last_bin = min(int(flows.end_time[i] // bin_width), num_bins - 1)
+        if last_bin < first_bin:
+            continue
+        for link in path:
+            if link < hot.shape[0] and hot_any[link]:
+                if hot[link, first_bin : last_bin + 1].any():
+                    overlap[i] = True
+                    break
+    return overlap
+
+
+def victim_flow_comparison(
+    flows: FlowTable,
+    router: Router,
+    utilization: np.ndarray,
+    threshold: float = DEFAULT_THRESHOLD,
+    bin_width: float = 1.0,
+) -> VictimFlowComparison:
+    """Build the Fig 7 comparison for a reconstructed flow table."""
+    overlap = flows_overlapping_congestion(flows, router, utilization,
+                                           threshold, bin_width)
+    return VictimFlowComparison(
+        all_rates=flows.rates,
+        overlapping_rates=flows.rates[overlap],
+    )

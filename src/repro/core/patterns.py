@@ -1,0 +1,214 @@
+"""Macroscopic traffic patterns (paper §4.1, Figs 2-4).
+
+Quantifies the two dominant patterns and the pair-level statistics the
+paper reports:
+
+* **work-seeks-bandwidth** — traffic concentrates among servers that sit
+  close in the topology (same rack, same VLAN);
+* **scatter-gather** — single servers push to / pull from many servers
+  across the cluster (map/reduce primitives);
+* pair-byte distributions (Fig 3): heavy-tailed log-byte distributions
+  with very different zero-probabilities in-rack vs cross-rack;
+* correspondent counts (Fig 4): bimodal in-rack behaviour, median two
+  in-rack and four cross-rack correspondents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..util.stats import Ecdf, ecdf
+
+__all__ = [
+    "PairByteStats",
+    "CorrespondentStats",
+    "PatternSummary",
+    "pair_byte_stats",
+    "correspondent_stats",
+    "pattern_summary",
+    "scatter_gather_servers",
+]
+
+
+def _rack_masks(
+    topology: ClusterTopology, endpoint_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(server mask, same-rack pair mask, cross-rack pair mask).
+
+    Pair masks are (n, n) with the diagonal excluded; external endpoints
+    are excluded from both masks (they have no rack).
+    """
+    racks = np.array(
+        [
+            topology.rack_of(int(node)) if int(node) < topology.num_servers else -1
+            for node in endpoint_ids
+        ]
+    )
+    is_server = racks >= 0
+    same_rack = (racks[:, None] == racks[None, :]) & is_server[:, None] & is_server[None, :]
+    cross_rack = (racks[:, None] != racks[None, :]) & is_server[:, None] & is_server[None, :]
+    np.fill_diagonal(same_rack, False)
+    return is_server, same_rack, cross_rack
+
+
+@dataclass(frozen=True)
+class PairByteStats:
+    """Fig 3: distribution of bytes exchanged between server pairs."""
+
+    in_rack_log_bytes: np.ndarray
+    cross_rack_log_bytes: np.ndarray
+    prob_zero_in_rack: float
+    prob_zero_cross_rack: float
+
+    @property
+    def prob_talk_in_rack(self) -> float:
+        """Probability an in-rack pair exchanged any traffic."""
+        return 1.0 - self.prob_zero_in_rack
+
+    @property
+    def prob_talk_cross_rack(self) -> float:
+        """Probability a cross-rack pair exchanged any traffic."""
+        return 1.0 - self.prob_zero_cross_rack
+
+
+def pair_byte_stats(
+    tm: np.ndarray, topology: ClusterTopology, endpoint_ids: np.ndarray
+) -> PairByteStats:
+    """Split TM entries into in-rack/cross-rack and characterise them.
+
+    Pairs are *directed* (TM entries), matching the paper's "non-zero
+    entries of the TM".
+    """
+    _, same_rack, cross_rack = _rack_masks(topology, endpoint_ids)
+    in_rack_values = tm[same_rack]
+    cross_values = tm[cross_rack]
+    in_nonzero = in_rack_values[in_rack_values > 0]
+    cross_nonzero = cross_values[cross_values > 0]
+    return PairByteStats(
+        in_rack_log_bytes=np.log(in_nonzero) if in_nonzero.size else np.empty(0),
+        cross_rack_log_bytes=np.log(cross_nonzero) if cross_nonzero.size else np.empty(0),
+        prob_zero_in_rack=(
+            1.0 - in_nonzero.size / in_rack_values.size if in_rack_values.size else 1.0
+        ),
+        prob_zero_cross_rack=(
+            1.0 - cross_nonzero.size / cross_values.size if cross_values.size else 1.0
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CorrespondentStats:
+    """Fig 4: how many other servers a server corresponds with."""
+
+    in_rack_fraction: np.ndarray  # per server, fraction of rack peers talked to
+    cross_rack_fraction: np.ndarray
+    in_rack_counts: np.ndarray
+    cross_rack_counts: np.ndarray
+
+    @property
+    def median_in_rack(self) -> float:
+        """Median number of in-rack correspondents."""
+        return float(np.median(self.in_rack_counts)) if self.in_rack_counts.size else 0.0
+
+    @property
+    def median_cross_rack(self) -> float:
+        """Median number of cross-rack correspondents."""
+        return (
+            float(np.median(self.cross_rack_counts))
+            if self.cross_rack_counts.size
+            else 0.0
+        )
+
+    def in_rack_ecdf(self) -> Ecdf:
+        """ECDF of the in-rack correspondent fraction."""
+        return ecdf(self.in_rack_fraction)
+
+    def cross_rack_ecdf(self) -> Ecdf:
+        """ECDF of the cross-rack correspondent fraction."""
+        return ecdf(self.cross_rack_fraction)
+
+
+def correspondent_stats(
+    tm: np.ndarray, topology: ClusterTopology, endpoint_ids: np.ndarray
+) -> CorrespondentStats:
+    """Count correspondents per server, in either direction.
+
+    A pair corresponds when traffic flowed either way between them,
+    matching "how many other servers does a server correspond with".
+    """
+    is_server, same_rack, cross_rack = _rack_masks(topology, endpoint_ids)
+    talked = (tm > 0) | (tm.T > 0)
+    per_rack_peers = max(topology.spec.servers_per_rack - 1, 1)
+    cross_peers = max(topology.num_servers - topology.spec.servers_per_rack, 1)
+    in_counts = (talked & same_rack).sum(axis=1)[is_server]
+    cross_counts = (talked & cross_rack).sum(axis=1)[is_server]
+    return CorrespondentStats(
+        in_rack_fraction=in_counts / per_rack_peers,
+        cross_rack_fraction=cross_counts / cross_peers,
+        in_rack_counts=in_counts,
+        cross_rack_counts=cross_counts,
+    )
+
+
+@dataclass(frozen=True)
+class PatternSummary:
+    """Aggregate measures of the two §4.1 patterns in one TM."""
+
+    total_bytes: float
+    in_rack_byte_fraction: float
+    cross_rack_byte_fraction: float
+    external_byte_fraction: float
+    scatter_gather_server_count: int
+    num_active_pairs: int
+
+    @property
+    def locality_ratio(self) -> float:
+        """In-rack bytes relative to cross-rack bytes (work-seeks-bandwidth
+        pushes this well above the uniform-spread expectation)."""
+        if self.cross_rack_byte_fraction == 0:
+            return float("inf")
+        return self.in_rack_byte_fraction / self.cross_rack_byte_fraction
+
+
+def scatter_gather_servers(
+    tm: np.ndarray,
+    topology: ClusterTopology,
+    endpoint_ids: np.ndarray,
+    min_fanout_fraction: float = 0.25,
+) -> np.ndarray:
+    """Servers exhibiting scatter or gather behaviour in this TM.
+
+    A server scatters (or gathers) when it exchanges traffic with at
+    least ``min_fanout_fraction`` of servers *outside* its rack in one
+    window — the visible horizontal/vertical lines of Fig 2.
+    """
+    stats = correspondent_stats(tm, topology, endpoint_ids)
+    mask = stats.cross_rack_fraction >= min_fanout_fraction
+    servers = np.array(
+        [int(node) for node in endpoint_ids if int(node) < topology.num_servers]
+    )
+    return servers[mask]
+
+
+def pattern_summary(
+    tm: np.ndarray, topology: ClusterTopology, endpoint_ids: np.ndarray
+) -> PatternSummary:
+    """Byte-share decomposition of a TM plus scatter-gather counts."""
+    is_server, same_rack, cross_rack = _rack_masks(topology, endpoint_ids)
+    total = float(tm.sum())
+    in_rack = float(tm[same_rack].sum())
+    cross = float(tm[cross_rack].sum())
+    external = total - in_rack - cross
+    return PatternSummary(
+        total_bytes=total,
+        in_rack_byte_fraction=in_rack / total if total else 0.0,
+        cross_rack_byte_fraction=cross / total if total else 0.0,
+        external_byte_fraction=external / total if total else 0.0,
+        scatter_gather_server_count=int(
+            scatter_gather_servers(tm, topology, endpoint_ids).size
+        ),
+        num_active_pairs=int(np.count_nonzero(tm)),
+    )

@@ -1,0 +1,114 @@
+"""One-call traffic characterisation — the paper's §4 in a single object.
+
+``characterize`` runs the full analysis pipeline over a campaign result
+and returns a :class:`TrafficCharacterization` bundling every statistic
+the paper reports, with a text rendering for operators.  This is the
+facade downstream users reach for first; the individual analyses remain
+available for surgical use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.routing import bisection_bandwidth
+from ..simulation.simulator import SimulationResult
+from ..util.units import format_bytes, format_duration
+from .change import ChurnStats, churn_stats
+from .congestion import CongestionSummary, congestion_summary
+from .flow_stats import DurationStats, InterarrivalStats, duration_stats, interarrival_stats
+from .flows import FlowTable, reconstruct_flows
+from .incast import IncastAudit, incast_audit
+from .patterns import PairByteStats, PatternSummary, pair_byte_stats, pattern_summary
+from .traffic_matrix import TrafficMatrixSeries, tm_series_from_events
+
+__all__ = ["TrafficCharacterization", "characterize"]
+
+
+@dataclass(frozen=True)
+class TrafficCharacterization:
+    """Every §4 statistic for one campaign, in one place."""
+
+    flows: FlowTable
+    tm_series: TrafficMatrixSeries
+    patterns: PatternSummary
+    pair_bytes: PairByteStats
+    congestion: CongestionSummary
+    durations: DurationStats
+    interarrivals: InterarrivalStats
+    churn: ChurnStats
+    incast: IncastAudit
+
+    def render(self) -> str:
+        """A compact operator-facing text report."""
+        lines = [
+            "Traffic characterization (after Kandula et al., IMC 2009)",
+            "-" * 58,
+            f"flows reconstructed:        {len(self.flows)} "
+            f"({format_bytes(self.flows.total_bytes())})",
+            f"  under 10 s:               {self.durations.frac_flows_under_10s:.1%}"
+            "   (paper: >80%)",
+            f"  bytes in flows < 25 s:    {self.durations.frac_bytes_under_25s:.1%}"
+            "   (paper: >50%)",
+            f"in-rack byte share:         {self.patterns.in_rack_byte_fraction:.1%}"
+            "   (work-seeks-bandwidth)",
+            f"P(pair silent) in/cross:    {self.pair_bytes.prob_zero_in_rack:.0%} / "
+            f"{self.pair_bytes.prob_zero_cross_rack:.1%}"
+            "   (paper: 89% / 99.5%)",
+            f"links hot >=10 s:           "
+            f"{self.congestion.frac_links_hot_at_least_10s:.0%}"
+            "   (paper: 86%)",
+            f"longest congestion episode: "
+            f"{format_duration(self.congestion.longest_episode)}"
+            "   (paper: 382 s)",
+            f"median TM churn (10 s):     {self.churn.median_change_short:.0%}",
+            f"inter-arrival mode spacing: "
+            f"{self._spacing_text()}   (paper: ~15 ms)",
+            f"peak inbound fan-in:        {self.incast.peak_fan_in} flows"
+            "   (incast guard)",
+        ]
+        return "\n".join(lines)
+
+    def _spacing_text(self) -> str:
+        spacing = self.interarrivals.server_mode_spacing
+        if not np.isfinite(spacing):
+            return "none detected"
+        return f"{spacing * 1e3:.1f} ms"
+
+
+def characterize(
+    result: SimulationResult,
+    window: float = 10.0,
+    threshold: float | None = None,
+) -> TrafficCharacterization:
+    """Run the complete §4 pipeline over one campaign result."""
+    config = result.config
+    if threshold is None:
+        threshold = config.congestion_threshold
+    flows = reconstruct_flows(result.socket_log)
+    series = tm_series_from_events(
+        result.socket_log, result.topology, window=window, duration=result.duration
+    )
+    total_tm = series.total()
+    observed = np.array(
+        [link.link_id for link in result.topology.inter_switch_links()], dtype=int
+    )
+    utilization = result.link_loads.utilization_matrix()
+    return TrafficCharacterization(
+        flows=flows,
+        tm_series=series,
+        patterns=pattern_summary(total_tm, result.topology, series.endpoint_ids),
+        pair_bytes=pair_byte_stats(total_tm, result.topology, series.endpoint_ids),
+        congestion=congestion_summary(
+            utilization[observed], threshold=threshold, link_ids=observed
+        ),
+        durations=duration_stats(flows),
+        interarrivals=interarrival_stats(flows, result.topology),
+        churn=churn_stats(series, bisection_bandwidth(result.topology)),
+        incast=incast_audit(
+            flows, result.topology,
+            connection_cap=config.workload.max_connections,
+        ),
+    )

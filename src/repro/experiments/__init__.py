@@ -1,0 +1,68 @@
+"""Experiment harness: one module per paper figure, plus ablations.
+
+Each ``figNN.run(dataset)`` reproduces one figure's analysis from the
+shared, memoised campaign dataset and returns a typed result with a
+``rows()`` paper-vs-measured table.  The benchmark suite and
+EXPERIMENTS.md both consume these.
+"""
+
+from . import (
+    ablations,
+    ext_roleprior,
+    ext_sampling,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table_s2,
+    tomography_study,
+)
+from .common import (
+    DAY_LENGTH,
+    NUM_DAYS,
+    ExperimentDataset,
+    build_dataset,
+    clear_dataset_cache,
+    small_config,
+    standard_config,
+)
+from .reporting import Row, format_table
+
+__all__ = [
+    "ExperimentDataset",
+    "build_dataset",
+    "clear_dataset_cache",
+    "standard_config",
+    "small_config",
+    "DAY_LENGTH",
+    "NUM_DAYS",
+    "Row",
+    "format_table",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table_s2",
+    "tomography_study",
+    "ablations",
+    "ext_roleprior",
+    "ext_sampling",
+]

@@ -1,0 +1,256 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* **A1 locality** — turn off the scheduler's locality preference
+  (``locality_bias = 0``): the work-seeks-bandwidth diagonal should
+  dissolve and cross-rack byte share rise, demonstrating that the Fig 2
+  pattern is produced by placement policy, not by accident.
+* **A2 connection cap** — remove the per-vertex connection cap and the
+  stop-and-go quantum: the periodic inter-arrival modes of Fig 11 should
+  vanish and peak fan-in (the incast precondition, §4.4) should grow.
+* **A3 gravity regime** — run tomogravity on dense gravity-structured
+  TMs (the ISP regime) vs sparse job-clustered DC TMs: the gravity prior
+  should be excellent in the former and poor in the latter, the paper's
+  §5 explanation for why ISP tomography does not transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cluster.routing import tor_routing_matrix
+from ..cluster.topology import ClusterSpec, ClusterTopology
+from ..core.flow_stats import interarrival_stats
+from ..core.flows import reconstruct_flows
+from ..core.incast import incast_audit
+from ..instrumentation.collector import SERVICE_PORTS
+from ..simulation.simulator import simulate
+from ..synthetic.model import SyntheticTrafficModel, gravity_synthetic_tm
+from ..tomography.gravity import gravity_prior_for_pairs
+from ..tomography.metrics import rmsre
+from ..tomography.tomogravity import tomogravity_estimate
+from .common import small_config
+from .reporting import Row
+
+__all__ = [
+    "LocalityAblation",
+    "run_locality_ablation",
+    "ConnectionCapAblation",
+    "run_connection_cap_ablation",
+    "GravityRegimeAblation",
+    "run_gravity_regime_ablation",
+]
+
+
+@dataclass(frozen=True)
+class LocalityAblation:
+    """A1: fetch locality with and without work-seeks-bandwidth."""
+
+    in_rack_with_locality: float
+    in_rack_without_locality: float
+    cross_rack_with_locality: float
+    cross_rack_without_locality: float
+    #: Fraction of vertex placements that landed on a data-holding server.
+    local_placements_with: float
+    local_placements_without: float
+
+    @property
+    def locality_gain(self) -> float:
+        """How much the preference ladder multiplies the in-rack share."""
+        if self.in_rack_without_locality <= 0:
+            return float("inf")
+        return self.in_rack_with_locality / self.in_rack_without_locality
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        return [
+            Row("data-local placements, locality on", "dominant",
+                f"{self.local_placements_with:.1%}"),
+            Row("data-local placements, locality off", "collapse",
+                f"{self.local_placements_without:.1%}"),
+            Row("in-rack fetch byte share, locality on", "large chunk (Fig 2)",
+                f"{self.in_rack_with_locality:.1%}"),
+            Row("in-rack fetch byte share, locality off", "dissolves",
+                f"{self.in_rack_without_locality:.1%}"),
+            Row("work-seeks-bandwidth gain", "> 1",
+                f"{self.locality_gain:.1f}x"),
+        ]
+
+
+def _locality_profile(config) -> tuple[float, float, float]:
+    """(in-rack fetch share, cross-rack fetch share, local placement frac).
+
+    Fetch traffic isolates the scheduler's effect: replication and
+    evacuation bytes follow block-placement policy, which the ablation
+    does not vary.
+    """
+    result = simulate(config)
+    flows = reconstruct_flows(result.socket_log)
+    fetch_port = SERVICE_PORTS["fetch"]
+    fetch = flows.select(flows.src_port == fetch_port)
+    topo = result.topology
+    total = fetch.total_bytes()
+    in_rack = sum(
+        float(fetch.num_bytes[i])
+        for i in range(len(fetch))
+        if topo.same_rack(int(fetch.src[i]), int(fetch.dst[i]))
+    )
+    placements = result.applog.vertex_starts
+    local = sum(1 for p in placements if p.locality == "LOCAL")
+    local_fraction = local / len(placements) if placements else 0.0
+    if total <= 0:
+        return (0.0, 0.0, local_fraction)
+    return (in_rack / total, (total - in_rack) / total, local_fraction)
+
+
+def run_locality_ablation(seed: int = 11) -> LocalityAblation:
+    """Run A1 on the small campaign.
+
+    "Locality off" disables both halves of work-seeks-bandwidth: the
+    scheduler's preference ladder *and* the home-rack concentration of
+    input data.
+    """
+    base = small_config(seed=seed)
+    with_locality = _locality_profile(base)
+    no_locality = _locality_profile(
+        replace(
+            base,
+            workload=replace(
+                base.workload,
+                locality_bias=0.0,
+                locality_wait=0.0,
+                input_home_bias=0.0,
+            ),
+        )
+    )
+    return LocalityAblation(
+        in_rack_with_locality=with_locality[0],
+        cross_rack_with_locality=with_locality[1],
+        in_rack_without_locality=no_locality[0],
+        cross_rack_without_locality=no_locality[1],
+        local_placements_with=with_locality[2],
+        local_placements_without=no_locality[2],
+    )
+
+
+@dataclass(frozen=True)
+class ConnectionCapAblation:
+    """A2: inter-arrival modes and fan-in with/without the cap."""
+
+    modes_with_cap: int
+    modes_without_cap: int
+    peak_fan_in_with_cap: int
+    peak_fan_in_without_cap: int
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        return [
+            Row("periodic modes, cap on", "pronounced (Fig 11)",
+                f"{self.modes_with_cap}"),
+            Row("periodic modes, cap off", "vanish",
+                f"{self.modes_without_cap}"),
+            Row("peak inbound fan-in, cap on", "bounded (incast guard)",
+                f"{self.peak_fan_in_with_cap}"),
+            Row("peak inbound fan-in, cap off", "grows",
+                f"{self.peak_fan_in_without_cap}"),
+        ]
+
+
+def _arrival_structure(config) -> tuple[int, int]:
+    result = simulate(config)
+    flows = reconstruct_flows(result.socket_log)
+    stats = interarrival_stats(flows, result.topology)
+    audit = incast_audit(flows, result.topology,
+                         connection_cap=config.workload.max_connections)
+    return int(stats.server_modes.size), audit.peak_fan_in
+
+
+def run_connection_cap_ablation(seed: int = 12) -> ConnectionCapAblation:
+    """Run A2 on the small campaign (connection cap on vs off)."""
+    base = small_config(seed=seed)
+    capped = _arrival_structure(base)
+    uncapped = _arrival_structure(
+        replace(
+            base,
+            workload=replace(
+                base.workload,
+                max_connections=512,
+                connection_quantum=1e-4,
+                connection_jitter=1e-4,
+            ),
+        )
+    )
+    return ConnectionCapAblation(
+        modes_with_cap=capped[0],
+        modes_without_cap=uncapped[0],
+        peak_fan_in_with_cap=capped[1],
+        peak_fan_in_without_cap=uncapped[1],
+    )
+
+
+@dataclass(frozen=True)
+class GravityRegimeAblation:
+    """A3: tomogravity error on ISP-like vs DC-like TMs."""
+
+    isp_errors: np.ndarray
+    dc_errors: np.ndarray
+
+    @property
+    def median_isp_error(self) -> float:
+        """Median RMSRE in the dense gravity regime."""
+        return float(np.median(self.isp_errors)) if self.isp_errors.size else float("nan")
+
+    @property
+    def median_dc_error(self) -> float:
+        """Median RMSRE in the sparse job-clustered regime."""
+        return float(np.median(self.dc_errors)) if self.dc_errors.size else float("nan")
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        return [
+            Row("tomogravity RMSRE, ISP regime",
+                "small (gravity prior fits)",
+                f"{self.median_isp_error:.1%}"),
+            Row("tomogravity RMSRE, DC regime",
+                "large (paper median 60%)",
+                f"{self.median_dc_error:.1%}"),
+        ]
+
+
+def run_gravity_regime_ablation(
+    racks: int = 12, trials: int = 12, seed: int = 13
+) -> GravityRegimeAblation:
+    """Run A3 on synthetic TMs over a shared topology."""
+    topology = ClusterTopology(
+        ClusterSpec(racks=racks, servers_per_rack=6, racks_per_vlan=4,
+                    external_hosts=0)
+    )
+    routing, pairs, _ = tor_routing_matrix(topology)
+    rng = np.random.default_rng(seed)
+    model = SyntheticTrafficModel()
+    isp_errors = []
+    dc_errors = []
+    for _ in range(trials):
+        dense = gravity_synthetic_tm(racks, rng)
+        truth_isp = np.array([dense[i, j] for i, j in pairs])
+        sparse_tm = model.sample_tor_tm(topology, rng)
+        truth_dc = np.array([sparse_tm[i, j] for i, j in pairs])
+        for truth, bucket in ((truth_isp, isp_errors), (truth_dc, dc_errors)):
+            if truth.sum() <= 0:
+                continue
+            counts = routing @ truth
+            out_totals = np.zeros(racks)
+            in_totals = np.zeros(racks)
+            for k, (i, j) in enumerate(pairs):
+                out_totals[i] += truth[k]
+                in_totals[j] += truth[k]
+            prior = gravity_prior_for_pairs(out_totals, in_totals, pairs)
+            estimate = tomogravity_estimate(routing, counts, prior)
+            error = rmsre(truth, estimate)
+            if np.isfinite(error):
+                bucket.append(error)
+    return GravityRegimeAblation(
+        isp_errors=np.asarray(isp_errors),
+        dc_errors=np.asarray(dc_errors),
+    )

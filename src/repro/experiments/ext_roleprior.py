@@ -1,0 +1,126 @@
+"""Extension E1 — the §5.3 future work: a role-aware tomography prior.
+
+The paper attributes the job prior's marginal gains to "nodes in a job
+assuming different roles over time" and proposes incorporating role
+information as future work.  This experiment does so: it compares, per
+TM window, tomogravity under (i) the plain gravity prior, (ii) the
+symmetric job-co-location prior, and (iii) the directional
+producer→consumer role prior of :mod:`repro.tomography.roleprior`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.routing import tor_routing_matrix
+from ..core.traffic_matrix import server_tm_to_tor_tm
+from ..tomography.gravity import gravity_prior_for_pairs
+from ..tomography.jobprior import job_affinity_matrix, job_aware_prior
+from ..tomography.metrics import rmsre
+from ..tomography.roleprior import role_affinity_matrix, role_aware_prior
+from ..tomography.tomogravity import tomogravity_estimate
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+
+__all__ = ["RolePriorStudy", "run"]
+
+
+@dataclass(frozen=True)
+class RolePriorStudy:
+    """Per-window RMSRE of the three priors."""
+
+    gravity_errors: np.ndarray
+    job_errors: np.ndarray
+    role_errors: np.ndarray
+
+    def median(self, which: str) -> float:
+        """Median RMSRE for one prior ('gravity', 'job' or 'role')."""
+        errors = {
+            "gravity": self.gravity_errors,
+            "job": self.job_errors,
+            "role": self.role_errors,
+        }[which]
+        return float(np.median(errors)) if errors.size else float("nan")
+
+    @property
+    def role_beats_job_fraction(self) -> float:
+        """Fraction of windows where the role prior beats the job prior."""
+        if self.role_errors.size == 0:
+            return float("nan")
+        return float((self.role_errors < self.job_errors).mean())
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        return [
+            Row("median RMSRE, gravity prior", "60% (paper Fig 12)",
+                f"{self.median('gravity'):.0%}"),
+            Row("median RMSRE, job prior (§5.3)", "only marginally better",
+                f"{self.median('job'):.0%}"),
+            Row("median RMSRE, role prior (future work)",
+                "paper: expected to help further",
+                f"{self.median('role'):.0%}"),
+            Row("windows where role beats job prior", "(new result)",
+                f"{self.role_beats_job_fraction:.0%}"),
+        ]
+
+
+def run(
+    dataset: ExperimentDataset | None = None,
+    window: float = 100.0,
+    strength: float = 1.0,
+) -> RolePriorStudy:
+    """Run the role-prior comparison over a campaign's TM windows."""
+    if dataset is None:
+        dataset = build_dataset()
+    topology = dataset.result.topology
+    routing, pairs, _ = tor_routing_matrix(topology)
+    factor = max(1, int(round(window / dataset.tm10.window)))
+    series = dataset.tm10.aggregate(factor)
+    applog = dataset.result.applog
+
+    totals = series.totals_per_window()
+    busy = np.flatnonzero(totals > 0.05 * totals.mean()) if totals.size else []
+    gravity_errors, job_errors, role_errors = [], [], []
+    for index in busy:
+        tor_tm = server_tm_to_tor_tm(series.matrices[index], topology,
+                                     series.endpoint_ids)
+        truth = np.array([tor_tm[i, j] for i, j in pairs])
+        if truth.sum() <= 0:
+            continue
+        counts = routing @ truth
+        out_totals = tor_tm.sum(axis=1)
+        in_totals = tor_tm.sum(axis=0)
+        start = index * series.window
+        end = start + series.window
+
+        prior = gravity_prior_for_pairs(out_totals, in_totals, pairs)
+        gravity_error = rmsre(truth, tomogravity_estimate(routing, counts, prior))
+
+        symmetric = job_aware_prior(
+            out_totals, in_totals,
+            job_affinity_matrix(applog, topology, start, end),
+            strength=strength,
+        )
+        job_vec = np.array([symmetric[i, j] for i, j in pairs])
+        job_error = rmsre(truth, tomogravity_estimate(routing, counts, job_vec))
+
+        directional = role_aware_prior(
+            out_totals, in_totals,
+            role_affinity_matrix(applog, topology, start, end),
+            strength=strength,
+        )
+        role_vec = np.array([directional[i, j] for i, j in pairs])
+        role_error = rmsre(truth, tomogravity_estimate(routing, counts, role_vec))
+
+        if all(np.isfinite(e) for e in (gravity_error, job_error, role_error)):
+            gravity_errors.append(gravity_error)
+            job_errors.append(job_error)
+            role_errors.append(role_error)
+
+    return RolePriorStudy(
+        gravity_errors=np.asarray(gravity_errors),
+        job_errors=np.asarray(job_errors),
+        role_errors=np.asarray(role_errors),
+    )

@@ -1,0 +1,116 @@
+"""Experiment F4 — Fig 4: how many other servers a server talks to.
+
+Paper headline: per window, "a server either talks to almost all the
+other servers within the rack or it talks to fewer than 25% of servers
+within the rack.  Further, a server either doesn't talk to servers
+outside its rack or it talks to about 1-10% of outside servers.  The
+median numbers of correspondents for a server are two (other) servers
+within its rack and four servers outside the rack."
+
+Correspondent counts are computed per 10 s window over servers with any
+traffic and pooled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.patterns import correspondent_stats
+from ..util.stats import Ecdf, ecdf
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+
+__all__ = ["Fig04Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    """Pooled correspondent-count distributions."""
+
+    in_rack_fractions: np.ndarray
+    cross_rack_fractions: np.ndarray
+    in_rack_counts: np.ndarray
+    cross_rack_counts: np.ndarray
+    window: float
+
+    def in_rack_ecdf(self) -> Ecdf:
+        """ECDF of the in-rack correspondent fraction (Fig 4 left)."""
+        return ecdf(self.in_rack_fractions)
+
+    def cross_rack_ecdf(self) -> Ecdf:
+        """ECDF of the cross-rack correspondent fraction (Fig 4 right)."""
+        return ecdf(self.cross_rack_fractions)
+
+    @property
+    def median_in_rack(self) -> float:
+        """Median in-rack correspondents (active servers, pooled windows)."""
+        return float(np.median(self.in_rack_counts)) if self.in_rack_counts.size else 0.0
+
+    @property
+    def median_cross_rack(self) -> float:
+        """Median cross-rack correspondents."""
+        return float(np.median(self.cross_rack_counts)) if self.cross_rack_counts.size else 0.0
+
+    @property
+    def frac_talking_to_most_of_rack(self) -> float:
+        """Fraction of (server, window) samples talking to >=75% of the rack."""
+        if self.in_rack_fractions.size == 0:
+            return 0.0
+        return float((self.in_rack_fractions >= 0.75).mean())
+
+    @property
+    def frac_silent_outside_rack(self) -> float:
+        """Fraction of samples with zero cross-rack correspondents."""
+        if self.cross_rack_fractions.size == 0:
+            return 1.0
+        return float((self.cross_rack_fractions == 0).mean())
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        return [
+            Row("median in-rack correspondents", "2",
+                f"{self.median_in_rack:.0f}"),
+            Row("median cross-rack correspondents", "4",
+                f"{self.median_cross_rack:.0f}"),
+            Row("samples talking to most (>=75%) of rack",
+                "bump near 1 (bimodal)",
+                f"{self.frac_talking_to_most_of_rack:.1%}"),
+            Row("samples silent outside rack", "spike at zero",
+                f"{self.frac_silent_outside_rack:.1%}"),
+        ]
+
+
+def run(dataset: ExperimentDataset | None = None) -> Fig04Result:
+    """Reproduce Fig 4 from a (memoised) campaign dataset.
+
+    Only servers that exchanged *any* traffic in a window contribute that
+    window's sample (an idle server has no correspondents to count).
+    """
+    if dataset is None:
+        dataset = build_dataset()
+    series = dataset.tm10
+    topology = dataset.result.topology
+    in_fracs: list[np.ndarray] = []
+    cross_fracs: list[np.ndarray] = []
+    in_counts: list[np.ndarray] = []
+    cross_counts: list[np.ndarray] = []
+    for window in range(series.num_windows):
+        stats = correspondent_stats(series.matrices[window], topology,
+                                    series.endpoint_ids)
+        active = (stats.in_rack_counts + stats.cross_rack_counts) > 0
+        if not active.any():
+            continue
+        in_fracs.append(stats.in_rack_fraction[active])
+        cross_fracs.append(stats.cross_rack_fraction[active])
+        in_counts.append(stats.in_rack_counts[active])
+        cross_counts.append(stats.cross_rack_counts[active])
+    empty = np.empty(0)
+    return Fig04Result(
+        in_rack_fractions=np.concatenate(in_fracs) if in_fracs else empty,
+        cross_rack_fractions=np.concatenate(cross_fracs) if cross_fracs else empty.copy(),
+        in_rack_counts=np.concatenate(in_counts) if in_counts else empty.copy(),
+        cross_rack_counts=np.concatenate(cross_counts) if cross_counts else empty.copy(),
+        window=series.window,
+    )

@@ -1,0 +1,79 @@
+"""Experiment F6 — Fig 6: lengths of congestion episodes.
+
+Paper headline: "most periods of congestion tend to be short-lived.  Of
+all congestion events that are more than one second long, over 90% are
+no longer than ten seconds, but long epochs of congestion exist — in one
+day's worth of data, there were 665 unique episodes of congestion that
+each lasted more than 10s ... and the longest lasted for 382 seconds."
+
+Episode counts scale with campaign size, so the count is reported per
+simulated day alongside the raw number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.congestion import CongestionSummary, congestion_summary
+from ..util.stats import Ecdf
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+
+__all__ = ["Fig06Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    """Congestion episode duration distribution."""
+
+    summary: CongestionSummary
+    num_days: float
+
+    def episode_ecdf(self) -> Ecdf:
+        """ECDF of episode durations >= 1 s (Fig 6's x-axis)."""
+        return self.summary.episode_duration_ecdf(min_duration=1.0)
+
+    @property
+    def frac_short(self) -> float:
+        """Fraction of >=1 s episodes lasting <= 10 s."""
+        return self.summary.frac_episodes_at_most(10.0, min_duration=1.0)
+
+    @property
+    def episodes_over_10s_per_day(self) -> float:
+        """Count of >10 s episodes, normalised per simulated day."""
+        if self.num_days <= 0:
+            return 0.0
+        return self.summary.episodes_over_10s / self.num_days
+
+    @property
+    def longest(self) -> float:
+        """Longest episode in seconds."""
+        return self.summary.longest_episode
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        return [
+            Row("episodes (>1 s) lasting <= 10 s", "over 90%",
+                f"{self.frac_short:.1%}"),
+            Row("episodes > 10 s per day",
+                "665 (1500-server day)",
+                f"{self.episodes_over_10s_per_day:.1f} "
+                f"({self.summary.episodes_over_10s} total)"),
+            Row("longest episode", "382 s",
+                f"{self.longest:.0f} s"),
+            Row("episodes lasting hundreds of seconds exist", "a few",
+                f"{sum(1 for e in self.summary.episodes if e.duration >= 100)}"),
+        ]
+
+
+def run(dataset: ExperimentDataset | None = None) -> Fig06Result:
+    """Reproduce Fig 6 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    summary = congestion_summary(
+        dataset.observed_utilization,
+        threshold=dataset.config.congestion_threshold,
+        link_ids=dataset.observed_links,
+    )
+    num_days = dataset.config.duration / dataset.day_length
+    return Fig06Result(summary=summary, num_days=num_days)

@@ -1,0 +1,76 @@
+"""Experiment F7 — Fig 7: collateral damage to flows under congestion.
+
+Paper headline: "Figure 7 compares the rates of flows that overlap high
+utilization periods with the rates of all flows.  From an initial
+inspection, it appears as if the rates do not change appreciably" —
+i.e. the two CDFs nearly coincide, so rate statistics alone miss the
+damage (which Fig 8 finds in the application logs instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.congestion import VictimFlowComparison, victim_flow_comparison
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+
+__all__ = ["Fig07Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    """Rates of congestion-overlapping flows vs the population."""
+
+    comparison: VictimFlowComparison
+    frac_flows_overlapping: float
+
+    @property
+    def median_ratio(self) -> float:
+        """median(overlapping rates) / median(all rates)."""
+        return self.comparison.median_ratio
+
+    def max_cdf_gap(self, points: int = 50) -> float:
+        """Largest vertical gap between the two rate CDFs (a two-sample
+        KS-style statistic; small means the curves nearly coincide)."""
+        all_rates = self.comparison.all_rates
+        overlap = self.comparison.overlapping_rates
+        if all_rates.size == 0 or overlap.size == 0:
+            return float("nan")
+        lo = max(min(all_rates.min(), overlap.min()), 1e-3)
+        hi = max(all_rates.max(), overlap.max())
+        grid = np.logspace(np.log10(lo), np.log10(hi), points)
+        gap = np.abs(
+            self.comparison.all_ecdf().evaluate(grid)
+            - self.comparison.overlapping_ecdf().evaluate(grid)
+        )
+        return float(gap.max())
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        return [
+            Row("median rate ratio (overlap / all)",
+                "~1 (rates do not change appreciably)",
+                f"{self.median_ratio:.2f}"),
+            Row("max CDF gap between groups", "curves nearly coincide",
+                f"{self.max_cdf_gap():.2f}"),
+            Row("flows overlapping congestion", "(not reported)",
+                f"{self.frac_flows_overlapping:.1%}"),
+        ]
+
+
+def run(dataset: ExperimentDataset | None = None) -> Fig07Result:
+    """Reproduce Fig 7 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    comparison = victim_flow_comparison(
+        dataset.flows,
+        dataset.result.router,
+        dataset.utilization,
+        threshold=dataset.config.congestion_threshold,
+    )
+    total = len(dataset.flows)
+    frac = comparison.overlapping_rates.size / total if total else 0.0
+    return Fig07Result(comparison=comparison, frac_flows_overlapping=frac)

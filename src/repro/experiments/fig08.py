@@ -1,0 +1,87 @@
+"""Experiment F8 — Fig 8: congestion's impact on job read failures.
+
+Paper headline: "jobs experience a median increase of 1.1x in their
+probability of failing to read input(s) if they have flows traversing
+high utilization links", measured per day over 5-12 Jan; "the more
+prevalent the congestion, the larger the increase and in particular the
+days with little increase correspond to a lightly loaded weekend."
+
+The standard campaign replays eight scaled days with a light weekend
+(days 5-6), so the analysis can check both the median uplift and the
+weekday/weekend contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.impact import ImpactStudy, read_failure_impact
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+
+__all__ = ["Fig08Result", "run", "WEEKEND_DAYS"]
+
+#: Day indices of the campaign's light weekend (see common._DAY_LOAD).
+WEEKEND_DAYS = (5, 6)
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    """Per-day read-failure uplift."""
+
+    study: ImpactStudy
+    weekend_days: tuple[int, ...]
+
+    @property
+    def median_uplift_ratio(self) -> float:
+        """Median across days of P(fail | overlap)/P(fail | clear)."""
+        return self.study.median_uplift_ratio
+
+    def weekday_weekend_contrast(self) -> tuple[float, float]:
+        """(median weekday uplift %, median weekend uplift %)."""
+        weekday, weekend = [], []
+        for day in self.study.days:
+            uplift = day.uplift_percent
+            if not np.isfinite(uplift):
+                continue
+            (weekend if day.day in self.weekend_days else weekday).append(uplift)
+        med = lambda xs: float(np.median(xs)) if xs else float("nan")
+        return med(weekday), med(weekend)
+
+    @property
+    def pooled_uplift_ratio(self) -> float:
+        """All-days pooled P(fail | overlap)/P(fail | clear)."""
+        return self.study.pooled_uplift_ratio
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        weekday, weekend = self.weekday_weekend_contrast()
+        return [
+            Row("median daily uplift in P(read failure)", "1.1x",
+                f"{self.median_uplift_ratio:.2f}x"),
+            Row("pooled uplift (all days)", "well above 1x",
+                f"{self.pooled_uplift_ratio:.1f}x"),
+            Row("median weekday uplift", "large on congested days",
+                f"{weekday:+.0f}%"),
+            Row("median weekend uplift", "small on light days",
+                f"{weekend:+.0f}%"),
+            Row("days analysed", "8 (5-12 Jan)",
+                f"{len(self.study.days)}"),
+        ]
+
+
+def run(dataset: ExperimentDataset | None = None) -> Fig08Result:
+    """Reproduce Fig 8 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    study = read_failure_impact(
+        dataset.result.applog,
+        dataset.flows,
+        dataset.result.router,
+        dataset.utilization,
+        day_length=dataset.day_length,
+        threshold=dataset.config.congestion_threshold,
+    )
+    return Fig08Result(study=study, weekend_days=WEEKEND_DAYS)

@@ -1,0 +1,71 @@
+"""Experiment F10 — Fig 10: how traffic changes over time.
+
+Paper headline: the aggregate rate "changes quite quickly", spiking past
+half the full-duplex bisection bandwidth; and participants churn — the
+normalised L1 change between TMs 10 s or 100 s apart has a large median,
+"even when the total traffic in the matrix remains the same ... the
+server pairs that are involved in these traffic exchanges change
+appreciably".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.change import ChurnStats, churn_stats
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+
+__all__ = ["Fig10Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Aggregate-rate series and TM churn at two time-scales."""
+
+    stats: ChurnStats
+
+    @property
+    def median_change_10s(self) -> float:
+        """Median normalised TM change at tau = 10 s."""
+        return self.stats.median_change_short
+
+    @property
+    def median_change_100s(self) -> float:
+        """Median normalised TM change at tau = 100 s."""
+        return self.stats.median_change_long
+
+    def change_percentiles(self, tau: str = "short") -> tuple[float, float]:
+        """(10th, 90th) percentile of the normalised change series."""
+        series = (
+            self.stats.change_short if tau == "short" else self.stats.change_long
+        )
+        valid = series[~np.isnan(series)]
+        if valid.size == 0:
+            return (float("nan"), float("nan"))
+        return (float(np.percentile(valid, 10)), float(np.percentile(valid, 90)))
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        p10, p90 = self.change_percentiles("short")
+        return [
+            Row("median TM change over 10 s", "large (tens of %)",
+                f"{self.median_change_10s:.0%}"),
+            Row("median TM change over 100 s", "similar at both scales",
+                f"{self.median_change_100s:.0%}"),
+            Row("10th-90th pct change (10 s)", "wide spread",
+                f"{p10:.0%} .. {p90:.0%}"),
+            Row("peak rate / bisection bandwidth",
+                "spikes above half of full-duplex bisection",
+                f"{self.stats.peak_over_bisection:.2f}"),
+        ]
+
+
+def run(dataset: ExperimentDataset | None = None) -> Fig10Result:
+    """Reproduce Fig 10 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    stats = churn_stats(dataset.tm10, dataset.bisection, long_factor=10)
+    return Fig10Result(stats=stats)

@@ -1,0 +1,83 @@
+"""Experiment F12 — Fig 12: CDF of tomography estimation errors.
+
+Paper headline: "Tomogravity results in fairly inaccurate inferences,
+with estimation errors ranging from 35% to 184% and a median of 60%."
+The job-metadata prior improves things "only marginally", and sparsity
+maximisation "yields a worse estimate than tomogravity".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.stats import Ecdf, ecdf
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+from .tomography_study import TomographyStudy, run_study
+
+__all__ = ["Fig12Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Estimation-error distributions for the three methods."""
+
+    study: TomographyStudy
+
+    def error_cdfs(self) -> dict[str, Ecdf]:
+        """Named error CDFs, as plotted in Fig 12."""
+        return {
+            "tomogravity": ecdf(self.study.tomogravity_errors),
+            "tomogravity+job": ecdf(self.study.job_prior_errors),
+            "sparsity-max": ecdf(self.study.sparsity_errors),
+        }
+
+    @property
+    def median_tomogravity_error(self) -> float:
+        """Median tomogravity RMSRE."""
+        errors = self.study.tomogravity_errors
+        return float(np.median(errors)) if errors.size else float("nan")
+
+    @property
+    def median_job_prior_error(self) -> float:
+        """Median job-augmented RMSRE."""
+        errors = self.study.job_prior_errors
+        return float(np.median(errors)) if errors.size else float("nan")
+
+    @property
+    def median_sparsity_error(self) -> float:
+        """Median sparsity-max RMSRE (over MILP windows)."""
+        errors = self.study.sparsity_errors
+        return float(np.median(errors)) if errors.size else float("nan")
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        errors = self.study.tomogravity_errors
+        span = (
+            f"{errors.min():.0%} .. {errors.max():.0%}"
+            if errors.size
+            else "n/a"
+        )
+        return [
+            Row("tomogravity median RMSRE", "60%",
+                f"{self.median_tomogravity_error:.0%}"),
+            Row("tomogravity error range", "35% .. 184%", span),
+            Row("tomogravity + job info median RMSRE",
+                "only marginally better",
+                f"{self.median_job_prior_error:.0%}"),
+            Row("sparsity-max median RMSRE", "worse than tomogravity",
+                f"{self.median_sparsity_error:.0%}"),
+            Row("TM windows analysed", "~96 (day of 15-min TMs)",
+                f"{len(self.study.windows)}"),
+        ]
+
+
+def run(
+    dataset: ExperimentDataset | None = None, window: float = 100.0
+) -> Fig12Result:
+    """Reproduce Fig 12 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    return Fig12Result(study=run_study(dataset, window=window))

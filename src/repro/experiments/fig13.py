@@ -1,0 +1,82 @@
+"""Experiment F13 — Fig 13: tomogravity error vs TM sparsity.
+
+Paper headline: "the estimation error of tomogravity is correlated with
+the sparsity of the ground truth TM — the fewer the number of entries in
+ground truth TM the larger the estimation error", with a logarithmic
+best-fit curve through the scatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.stats import logarithmic_fit, pearson_correlation
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+from .tomography_study import TomographyStudy, run_study
+
+__all__ = ["Fig13Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Per-window (sparsity, error) scatter and its fit."""
+
+    study: TomographyStudy
+    sparsity_fractions: np.ndarray
+    errors: np.ndarray
+
+    @property
+    def correlation(self) -> float:
+        """Pearson correlation between sparsity fraction and error.
+
+        Negative: the fewer entries carry 75% of volume (sparser truth),
+        the larger the tomogravity error.
+        """
+        if self.sparsity_fractions.size < 2:
+            return float("nan")
+        return pearson_correlation(self.sparsity_fractions, self.errors)
+
+    def log_fit(self) -> tuple[float, float]:
+        """(a, b) of the Fig 13 best-fit ``error = a·ln(fraction) + b``."""
+        return logarithmic_fit(self.sparsity_fractions, self.errors)
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        a, b = (
+            self.log_fit()
+            if self.sparsity_fractions.size >= 2
+            else (float("nan"), float("nan"))
+        )
+        return [
+            Row("corr(sparsity fraction, error)", "negative (clear trend)",
+                f"{self.correlation:+.2f}"),
+            Row("log-fit slope a (error = a ln x + b)",
+                "negative (error falls as truth densifies)",
+                f"{a:+.2f}"),
+            Row("windows in scatter", "~96", f"{self.errors.size}"),
+        ]
+
+
+def run(
+    dataset: ExperimentDataset | None = None, window: float = 100.0
+) -> Fig13Result:
+    """Reproduce Fig 13 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    study = run_study(dataset, window=window)
+    fractions = []
+    errors = []
+    for estimate in study.windows:
+        fraction = estimate.truth_sparsity()
+        error = estimate.rmsre_tomogravity()
+        if np.isfinite(fraction) and np.isfinite(error):
+            fractions.append(fraction)
+            errors.append(error)
+    return Fig13Result(
+        study=study,
+        sparsity_fractions=np.asarray(fractions),
+        errors=np.asarray(errors),
+    )

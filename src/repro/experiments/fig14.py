@@ -1,0 +1,87 @@
+"""Experiment F14 — Fig 14: sparsity of estimated vs ground-truth TMs.
+
+Paper headline: "Ground truth TMs are sparser than tomogravity estimated
+TMs, and denser than sparsity maximized estimated TMs."  The MILP's TMs
+"contain typically 150 non-zero entries, which is about 3% of the total
+TM entries.  Further, these non-zero entries do not correspond to heavy
+hitters in the ground truth TMs — only a handful (5-20) of these entries
+correspond to entries in ground truth TM with value greater than the
+97-th percentile."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.stats import Ecdf, ecdf
+from .common import ExperimentDataset, build_dataset
+from .reporting import Row
+from .tomography_study import TomographyStudy, run_study
+
+__all__ = ["Fig14Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """Entries-for-75%-volume distributions per method."""
+
+    study: TomographyStudy
+
+    def sparsity_cdfs(self) -> dict[str, Ecdf]:
+        """Named CDFs of the fraction of entries carrying 75% of volume."""
+        return {
+            "ground truth": ecdf(self.study.sparsity_fractions("truth")),
+            "tomogravity": ecdf(self.study.sparsity_fractions("tomogravity")),
+            "tomogravity+job": ecdf(self.study.sparsity_fractions("job_prior")),
+            "sparsity-max": ecdf(self.study.sparsity_fractions("sparsity")),
+        }
+
+    def median_fraction(self, method: str) -> float:
+        """Median entries-for-75%-volume fraction for one method."""
+        values = self.study.sparsity_fractions(method)
+        return float(np.median(values)) if values.size else float("nan")
+
+    @property
+    def milp_nonzero_fraction(self) -> float:
+        """Median fraction of TM entries the MILP leaves non-zero."""
+        counts = self.study.sparsity_nonzeros()
+        if not counts:
+            return float("nan")
+        total_entries = self.study.num_racks * (self.study.num_racks - 1)
+        return float(np.median(counts)) / total_entries
+
+    @property
+    def milp_heavy_hitter_overlap(self) -> float:
+        """Median count of MILP non-zeros that are true heavy hitters."""
+        overlaps = self.study.sparsity_heavy_hitter_overlaps()
+        return float(np.median(overlaps)) if overlaps else float("nan")
+
+    def rows(self) -> list[Row]:
+        """Paper-vs-measured table."""
+        return [
+            Row("median 75%-volume fraction, truth",
+                "between the two estimators",
+                f"{self.median_fraction('truth'):.1%}"),
+            Row("median 75%-volume fraction, tomogravity",
+                "denser than truth",
+                f"{self.median_fraction('tomogravity'):.1%}"),
+            Row("median 75%-volume fraction, sparsity-max",
+                "sparser than truth",
+                f"{self.median_fraction('sparsity'):.1%}"),
+            Row("MILP non-zero entries", "~3% of TM entries",
+                f"{self.milp_nonzero_fraction:.1%}"),
+            Row("MILP non-zeros that are true heavy hitters",
+                "only a handful (5-20 of ~150)",
+                f"{self.milp_heavy_hitter_overlap:.0f}"),
+        ]
+
+
+def run(
+    dataset: ExperimentDataset | None = None, window: float = 100.0
+) -> Fig14Result:
+    """Reproduce Fig 14 from a (memoised) campaign dataset."""
+    if dataset is None:
+        dataset = build_dataset()
+    return Fig14Result(study=run_study(dataset, window=window))

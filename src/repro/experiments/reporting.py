@@ -1,0 +1,42 @@
+"""Paper-vs-measured reporting helpers shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Row", "format_table"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One line of an experiment's paper-vs-measured table."""
+
+    metric: str
+    paper: str
+    measured: str
+
+    def as_tuple(self) -> tuple[str, str, str]:
+        """(metric, paper, measured)."""
+        return (self.metric, self.paper, self.measured)
+
+
+def format_table(title: str, rows: list[Row]) -> str:
+    """Render rows as a fixed-width text table."""
+    headers = ("metric", "paper", "measured (this repro)")
+    widths = [
+        max(len(headers[0]), *(len(r.metric) for r in rows)) if rows else len(headers[0]),
+        max(len(headers[1]), *(len(r.paper) for r in rows)) if rows else len(headers[1]),
+        max(len(headers[2]), *(len(r.measured) for r in rows)) if rows else len(headers[2]),
+    ]
+    lines = [title]
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(
+                value.ljust(width)
+                for value, width in zip(row.as_tuple(), widths)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""The shared §5 tomography study behind experiments F12, F13 and F14.
+
+Follows the paper's methodology exactly: "We compute link counts from the
+ground truth TM and measure how well the TM estimated by tomography from
+these link counts approximates the true TM", at ToR granularity, over a
+sequence of fixed windows (the paper uses 96 ten-minute TMs over a day;
+the scaled campaign uses 100 s windows, wide enough that several
+concurrent jobs mix in each TM).
+
+Three estimators are compared: (i) tomogravity, (ii) tomogravity with the
+job-metadata prior, (iii) sparsity maximisation.  The MILP is expensive,
+so it runs on a configurable subset of windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.routing import tor_routing_matrix
+from ..core.traffic_matrix import server_tm_to_tor_tm
+from ..tomography.gravity import gravity_prior_for_pairs
+from ..tomography.jobprior import job_affinity_matrix, job_aware_prior
+from ..tomography.metrics import (
+    fraction_of_entries_for_volume,
+    heavy_hitter_overlap,
+    nonzero_count,
+    rmsre,
+)
+from ..tomography.sparsity import sparsity_max_estimate
+from ..tomography.tomogravity import tomogravity_estimate
+from .common import ExperimentDataset, build_dataset
+
+__all__ = ["WindowEstimate", "TomographyStudy", "run_study"]
+
+
+@dataclass(frozen=True)
+class WindowEstimate:
+    """Ground truth and estimates for one TM window."""
+
+    window_index: int
+    start_time: float
+    truth: np.ndarray
+    tomogravity: np.ndarray
+    job_prior: np.ndarray
+    sparsity: np.ndarray | None
+
+    def rmsre_tomogravity(self) -> float:
+        """RMSRE of plain tomogravity in this window."""
+        return rmsre(self.truth, self.tomogravity)
+
+    def rmsre_job_prior(self) -> float:
+        """RMSRE of job-augmented tomogravity."""
+        return rmsre(self.truth, self.job_prior)
+
+    def rmsre_sparsity(self) -> float:
+        """RMSRE of sparsity maximisation (NaN if not run here)."""
+        if self.sparsity is None:
+            return float("nan")
+        return rmsre(self.truth, self.sparsity)
+
+    def truth_sparsity(self) -> float:
+        """Fraction of entries carrying 75% of true volume."""
+        return fraction_of_entries_for_volume(self.truth)
+
+
+@dataclass
+class TomographyStudy:
+    """All window estimates plus the aggregate series Figs 12-14 plot."""
+
+    pairs: list[tuple[int, int]]
+    num_racks: int
+    windows: list[WindowEstimate] = field(default_factory=list)
+
+    def _collect(self, metric) -> np.ndarray:
+        values = np.array([metric(w) for w in self.windows])
+        return values[np.isfinite(values)]
+
+    @property
+    def tomogravity_errors(self) -> np.ndarray:
+        """Per-window tomogravity RMSRE (Fig 12's main CDF)."""
+        return self._collect(WindowEstimate.rmsre_tomogravity)
+
+    @property
+    def job_prior_errors(self) -> np.ndarray:
+        """Per-window job-augmented RMSRE."""
+        return self._collect(WindowEstimate.rmsre_job_prior)
+
+    @property
+    def sparsity_errors(self) -> np.ndarray:
+        """Per-window sparsity-max RMSRE (windows where the MILP ran)."""
+        return self._collect(WindowEstimate.rmsre_sparsity)
+
+    @property
+    def truth_sparsity_fractions(self) -> np.ndarray:
+        """Per-window fraction of entries carrying 75% of true volume."""
+        return self._collect(WindowEstimate.truth_sparsity)
+
+    def sparsity_fractions(self, method: str) -> np.ndarray:
+        """Entries-for-75%-volume fractions for an estimator's TMs."""
+        values = []
+        for window in self.windows:
+            estimate = {
+                "truth": window.truth,
+                "tomogravity": window.tomogravity,
+                "job_prior": window.job_prior,
+                "sparsity": window.sparsity,
+            }[method]
+            if estimate is None:
+                continue
+            fraction = fraction_of_entries_for_volume(estimate)
+            if np.isfinite(fraction):
+                values.append(fraction)
+        return np.asarray(values)
+
+    def sparsity_nonzeros(self) -> list[int]:
+        """Non-zero entry counts of the sparsity-maximised TMs."""
+        return [
+            nonzero_count(w.sparsity) for w in self.windows if w.sparsity is not None
+        ]
+
+    def sparsity_heavy_hitter_overlaps(self) -> list[int]:
+        """Per-window overlap between MILP non-zeros and true heavy hitters."""
+        return [
+            heavy_hitter_overlap(w.truth, w.sparsity)
+            for w in self.windows
+            if w.sparsity is not None
+        ]
+
+
+def run_study(
+    dataset: ExperimentDataset | None = None,
+    window: float = 100.0,
+    sparsity_windows: int = 6,
+    sparsity_time_limit: float = 8.0,
+    job_prior_strength: float = 1.0,
+) -> TomographyStudy:
+    """Run (or fetch the cached) tomography study for a campaign."""
+    if dataset is None:
+        dataset = build_dataset()
+    cache_key = ("tomography_study", window, sparsity_windows,
+                 sparsity_time_limit, job_prior_strength)
+    cached = dataset.extras.get(cache_key)
+    if cached is not None:
+        return cached
+
+    topology = dataset.result.topology
+    routing, pairs, _observed = tor_routing_matrix(topology)
+    factor = max(1, int(round(window / dataset.tm10.window)))
+    series = dataset.tm10.aggregate(factor)
+    study = TomographyStudy(pairs=pairs, num_racks=topology.num_racks)
+
+    totals = series.totals_per_window()
+    busy = totals > 0.05 * totals.mean() if totals.size else np.empty(0, dtype=bool)
+    busy_indices = np.flatnonzero(busy)
+    if sparsity_windows > 0 and busy_indices.size:
+        step = max(1, busy_indices.size // sparsity_windows)
+        milp_windows = set(busy_indices[::step][:sparsity_windows].tolist())
+    else:
+        milp_windows = set()
+
+    applog = dataset.result.applog
+    for index in busy_indices:
+        tor_tm = server_tm_to_tor_tm(
+            series.matrices[index], topology, series.endpoint_ids
+        )
+        truth = np.array([tor_tm[i, j] for i, j in pairs])
+        if truth.sum() <= 0:
+            continue
+        link_counts = routing @ truth
+        out_totals = tor_tm.sum(axis=1)
+        in_totals = tor_tm.sum(axis=0)
+        prior = gravity_prior_for_pairs(out_totals, in_totals, pairs)
+        tomogravity = tomogravity_estimate(routing, link_counts, prior)
+        start = index * series.window
+        affinity = job_affinity_matrix(applog, topology, start, start + series.window)
+        modulated = job_aware_prior(out_totals, in_totals, affinity,
+                                    strength=job_prior_strength)
+        job_prior_vec = np.array([modulated[i, j] for i, j in pairs])
+        job_estimate = tomogravity_estimate(routing, link_counts, job_prior_vec)
+        sparse_estimate = None
+        if index in milp_windows:
+            try:
+                sparse_estimate = sparsity_max_estimate(
+                    routing, link_counts, time_limit=sparsity_time_limit
+                )
+            except RuntimeError:
+                sparse_estimate = None
+        study.windows.append(
+            WindowEstimate(
+                window_index=int(index),
+                start_time=start,
+                truth=truth,
+                tomogravity=tomogravity,
+                job_prior=job_estimate,
+                sparsity=sparse_estimate,
+            )
+        )
+    dataset.extras[cache_key] = study
+    return study

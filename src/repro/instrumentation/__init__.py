@@ -1,0 +1,31 @@
+"""Instrumentation substrate: socket events, app logs, storage, SNMP."""
+
+from .applog import ApplicationLog
+from .collector import ClusterCollector, CollectorConfig
+from .events import DIRECTION_RECV, DIRECTION_SEND, SocketEvent, SocketEventLog
+from .overhead import OverheadModel, OverheadReport, estimate_overhead
+from .sampling import SampledFlowTable, sample_flows, sampling_bias_report
+from .snmp import SnmpDump, poll_link_counters
+from .storage import SerializedLog, compression_report, deserialize_log, serialize_log
+
+__all__ = [
+    "ApplicationLog",
+    "ClusterCollector",
+    "CollectorConfig",
+    "SocketEvent",
+    "SocketEventLog",
+    "DIRECTION_SEND",
+    "DIRECTION_RECV",
+    "SampledFlowTable",
+    "sample_flows",
+    "sampling_bias_report",
+    "OverheadModel",
+    "OverheadReport",
+    "estimate_overhead",
+    "SnmpDump",
+    "poll_link_counters",
+    "SerializedLog",
+    "serialize_log",
+    "deserialize_log",
+    "compression_report",
+]

@@ -1,0 +1,217 @@
+"""Application-level logs: job queues, phase records, error codes.
+
+"In addition to network level events, we collect and use application logs
+(job queues, process error codes, completion times etc.) to see which
+applications generate what network traffic as well as how network
+artifacts (congestion etc.) impact applications" (paper §2).  The
+analyses that need this log: traffic attribution to phases (§4.2), the
+read-failure impact study (Fig 8), and the job-metadata tomography prior
+(§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "JobStartRecord",
+    "JobEndRecord",
+    "PhaseStartRecord",
+    "PhaseEndRecord",
+    "VertexStartRecord",
+    "VertexEndRecord",
+    "ReadFailureRecord",
+    "EvacuationRecord",
+    "ApplicationLog",
+]
+
+
+@dataclass(frozen=True)
+class JobStartRecord:
+    """A job left the queue and began running."""
+
+    job_id: int
+    name: str
+    template: str
+    time: float
+
+
+@dataclass(frozen=True)
+class JobEndRecord:
+    """A job reached a terminal state."""
+
+    job_id: int
+    outcome: str  # "succeeded" | "killed_read_failure"
+    time: float
+    read_failures: int
+
+
+@dataclass(frozen=True)
+class PhaseStartRecord:
+    """A phase's first vertex became runnable."""
+
+    job_id: int
+    phase_index: int
+    phase_type: str
+    time: float
+
+
+@dataclass(frozen=True)
+class PhaseEndRecord:
+    """A phase's last vertex finished."""
+
+    job_id: int
+    phase_index: int
+    time: float
+
+
+@dataclass(frozen=True)
+class VertexStartRecord:
+    """A vertex was placed on a server and began fetching input."""
+
+    vertex_id: int
+    job_id: int
+    phase_index: int
+    server: int
+    locality: str
+    time: float
+
+
+@dataclass(frozen=True)
+class VertexEndRecord:
+    """A vertex finished computing."""
+
+    vertex_id: int
+    job_id: int
+    phase_index: int
+    time: float
+    read_failures: int
+    remote_bytes: float
+
+
+@dataclass(frozen=True)
+class ReadFailureRecord:
+    """A vertex was "unable to read input(s)" (§4.2): could not find its
+    data, could not connect, or made no steady progress."""
+
+    job_id: int
+    vertex_id: int
+    src: int
+    dst: int
+    time: float
+
+
+@dataclass(frozen=True)
+class EvacuationRecord:
+    """The automated management system drained a problem server."""
+
+    server: int
+    time: float
+    blocks_moved: int
+
+
+@dataclass
+class ApplicationLog:
+    """Append-only store of application events with query helpers."""
+
+    job_starts: list[JobStartRecord] = field(default_factory=list)
+    job_ends: list[JobEndRecord] = field(default_factory=list)
+    phase_starts: list[PhaseStartRecord] = field(default_factory=list)
+    phase_ends: list[PhaseEndRecord] = field(default_factory=list)
+    vertex_starts: list[VertexStartRecord] = field(default_factory=list)
+    vertex_ends: list[VertexEndRecord] = field(default_factory=list)
+    read_failures: list[ReadFailureRecord] = field(default_factory=list)
+    evacuations: list[EvacuationRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------ recording
+
+    def record_job_start(self, job_id: int, name: str, template: str,
+                         time: float) -> None:
+        """Log a job start."""
+        self.job_starts.append(JobStartRecord(job_id, name, template, time))
+
+    def record_job_end(self, job_id: int, outcome: str, time: float,
+                       read_failures: int) -> None:
+        """Log a job's terminal state."""
+        self.job_ends.append(JobEndRecord(job_id, outcome, time, read_failures))
+
+    def record_phase_start(self, job_id: int, phase_index: int, phase_type: str,
+                           time: float) -> None:
+        """Log a phase start."""
+        self.phase_starts.append(
+            PhaseStartRecord(job_id, phase_index, phase_type, time)
+        )
+
+    def record_phase_end(self, job_id: int, phase_index: int, time: float) -> None:
+        """Log a phase end."""
+        self.phase_ends.append(PhaseEndRecord(job_id, phase_index, time))
+
+    def record_vertex_start(self, vertex_id: int, job_id: int, phase_index: int,
+                            server: int, locality: str, time: float) -> None:
+        """Log a vertex placement."""
+        self.vertex_starts.append(
+            VertexStartRecord(vertex_id, job_id, phase_index, server, locality, time)
+        )
+
+    def record_vertex_end(self, vertex_id: int, job_id: int, phase_index: int,
+                          time: float, read_failures: int, remote_bytes: float) -> None:
+        """Log a vertex completion."""
+        self.vertex_ends.append(
+            VertexEndRecord(vertex_id, job_id, phase_index, time, read_failures,
+                            remote_bytes)
+        )
+
+    def record_read_failure(self, job_id: int, vertex_id: int, src: int, dst: int,
+                            time: float) -> None:
+        """Log one failed input read."""
+        self.read_failures.append(
+            ReadFailureRecord(job_id, vertex_id, src, dst, time)
+        )
+
+    def record_evacuation(self, server: int, time: float, blocks_moved: int) -> None:
+        """Log a server evacuation."""
+        self.evacuations.append(EvacuationRecord(server, time, blocks_moved))
+
+    # -------------------------------------------------------------- queries
+
+    def jobs_seen(self) -> list[int]:
+        """All job ids that started, in start order."""
+        return [record.job_id for record in self.job_starts]
+
+    def job_outcome(self, job_id: int) -> str | None:
+        """Terminal outcome of a job, or ``None`` if it never ended."""
+        for record in self.job_ends:
+            if record.job_id == job_id:
+                return record.outcome
+        return None
+
+    def job_interval(self, job_id: int) -> tuple[float, float] | None:
+        """(start, end) of a job; end falls back to the last record seen."""
+        start = next(
+            (r.time for r in self.job_starts if r.job_id == job_id), None
+        )
+        if start is None:
+            return None
+        end = next((r.time for r in self.job_ends if r.job_id == job_id), None)
+        if end is None:
+            end_candidates = [r.time for r in self.vertex_ends if r.job_id == job_id]
+            end = max(end_candidates) if end_candidates else start
+        return (start, end)
+
+    def jobs_with_read_failures(self) -> set[int]:
+        """Job ids that logged at least one read failure."""
+        return {record.job_id for record in self.read_failures}
+
+    def servers_by_job(self) -> dict[int, set[int]]:
+        """Which servers ran instances (vertices) of each job (§5.3 prior)."""
+        placements: dict[int, set[int]] = {}
+        for record in self.vertex_starts:
+            placements.setdefault(record.job_id, set()).add(record.server)
+        return placements
+
+    def phase_type_of(self, job_id: int, phase_index: int) -> str | None:
+        """The declared type of a phase, if its start was logged."""
+        for record in self.phase_starts:
+            if record.job_id == job_id and record.phase_index == phase_index:
+                return record.phase_type
+        return None

@@ -1,0 +1,186 @@
+"""The cluster-wide socket-event collector (the ETW stand-in).
+
+Each cluster server runs a lightweight tracing session that logs one
+event per application-level socket read or write.  This module replays
+completed transport :class:`~repro.simulation.transport.Transfer`\\ s into
+those events:
+
+* the *sender* logs write events, the *receiver* logs read events —
+  external hosts are outside the instrumented cluster and log nothing;
+* large transfers appear as several chunked events spread over the
+  transfer's lifetime (one per application write), small ones as a single
+  event — "which aggregates over several packets" (§2);
+* repeated transfers on the same logical connection (same
+  ``connection_key``) reuse their ephemeral port, so the analysis layer
+  sees one five-tuple with idle gaps — exactly the situation the paper's
+  60 s inactivity timeout exists to split;
+* every server stamps events with its own skewed clock: "clocks across
+  the various servers are not synchronized but also not too far skewed to
+  affect the subsequent analysis" (§3).
+
+The collector also counts what instrumentation itself costs (events,
+bytes), feeding the §2 overhead table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..simulation.transport import Transfer
+from ..util.units import MB
+from .events import DIRECTION_RECV, DIRECTION_SEND, NO_CONTEXT, SocketEventLog
+
+__all__ = ["CollectorConfig", "ClusterCollector", "SERVICE_PORTS"]
+
+#: Well-known destination ports per traffic kind (the storage daemon,
+#: shuffle service, job-manager RPC port, and so on).
+SERVICE_PORTS: dict[str, int] = {
+    "fetch": 8400,
+    "replication": 8500,
+    "control": 8600,
+    "ingest": 8700,
+    "egress": 8750,
+    "evacuation": 8800,
+    "unknown": 8999,
+}
+
+_EPHEMERAL_BASE = 49152
+_EPHEMERAL_SPAN = 16000
+_TCP = 6
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Tracing parameters.
+
+    ``chunk_bytes`` is the application's write size: a transfer of
+    ``n`` bytes yields roughly ``n / chunk_bytes`` events per side, capped
+    at ``max_events_per_transfer`` (ETW coalesces under load).
+    """
+
+    chunk_bytes: float = 16 * MB
+    max_events_per_transfer: int = 6
+    clock_skew_max: float = 0.05
+    protocol: int = _TCP
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if self.max_events_per_transfer < 1:
+            raise ValueError("max_events_per_transfer must be >= 1")
+        if self.clock_skew_max < 0:
+            raise ValueError("clock_skew_max must be non-negative")
+
+
+class ClusterCollector:
+    """Observes completed transfers and emits socket events."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        rng: np.random.Generator,
+        config: CollectorConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or CollectorConfig()
+        self.log = SocketEventLog()
+        self._rng = rng
+        self._clock_offsets = rng.uniform(
+            -self.config.clock_skew_max,
+            self.config.clock_skew_max,
+            size=topology.num_nodes,
+        )
+        self._connection_ports: dict[tuple, int] = {}
+        self._ephemeral_next = np.full(topology.num_nodes, _EPHEMERAL_BASE, dtype=int)
+        self.transfers_observed = 0
+        self.bytes_observed = 0.0
+
+    # ---------------------------------------------------------------- ports
+
+    def _allocate_ephemeral(self, node: int) -> int:
+        port = int(self._ephemeral_next[node])
+        self._ephemeral_next[node] = (
+            _EPHEMERAL_BASE + (port - _EPHEMERAL_BASE + 1) % _EPHEMERAL_SPAN
+        )
+        return port
+
+    def _ports_for(self, transfer: Transfer) -> tuple[int, int]:
+        """(src_port, dst_port) for a transfer's five-tuple.
+
+        Data flows from the serving daemon (well-known port on the source)
+        to the client's ephemeral port; the ephemeral port is sticky per
+        ``connection_key``, modelling connection reuse.
+        """
+        kind = transfer.meta.kind if transfer.meta.kind in SERVICE_PORTS else "unknown"
+        src_port = SERVICE_PORTS[kind]
+        key = transfer.meta.connection_key
+        if key is None:
+            return src_port, self._allocate_ephemeral(transfer.dst)
+        dst_port = self._connection_ports.get(key)
+        if dst_port is None:
+            dst_port = self._allocate_ephemeral(transfer.dst)
+            self._connection_ports[key] = dst_port
+        return src_port, dst_port
+
+    # --------------------------------------------------------------- events
+
+    def _event_schedule(self, transfer: Transfer) -> tuple[np.ndarray, float]:
+        """Event times (true clock) and bytes per event for one transfer."""
+        config = self.config
+        chunks = int(np.ceil(transfer.size / config.chunk_bytes))
+        count = max(1, min(chunks, config.max_events_per_transfer))
+        if count == 1 or transfer.duration <= 0:
+            times = np.array([transfer.start_time])
+            count = 1
+        else:
+            times = np.linspace(transfer.start_time, transfer.end_time, count)
+        return times, transfer.size / count
+
+    def observe_transfer(self, transfer: Transfer) -> None:
+        """Emit both sides' socket events for a completed transfer."""
+        src_port, dst_port = self._ports_for(transfer)
+        times, bytes_per_event = self._event_schedule(transfer)
+        meta = transfer.meta
+        job_id = meta.job_id if meta.job_id is not None else NO_CONTEXT
+        phase = meta.phase_index if meta.phase_index is not None else NO_CONTEXT
+        self.transfers_observed += 1
+        self.bytes_observed += transfer.size
+        for endpoint, direction in (
+            (transfer.src, DIRECTION_SEND),
+            (transfer.dst, DIRECTION_RECV),
+        ):
+            if self.topology.is_external(endpoint):
+                continue  # outside the instrumented cluster
+            offset = self._clock_offsets[endpoint]
+            for time in times:
+                self.log.append(
+                    timestamp=float(time + offset),
+                    server=endpoint,
+                    direction=direction,
+                    src=transfer.src,
+                    src_port=src_port,
+                    dst=transfer.dst,
+                    dst_port=dst_port,
+                    protocol=self.config.protocol,
+                    num_bytes=bytes_per_event,
+                    job_id=job_id,
+                    phase_index=phase,
+                )
+
+    def finalize(self) -> SocketEventLog:
+        """Freeze and return the cluster-wide event log."""
+        self.log.finalize()
+        return self.log
+
+    # ------------------------------------------------------------- overhead
+
+    def events_emitted(self) -> int:
+        """Number of socket events logged so far."""
+        return len(self.log)
+
+    def clock_offset_of(self, server: int) -> float:
+        """The (ground-truth) clock offset applied to one server's stamps."""
+        return float(self._clock_offsets[server])

@@ -1,0 +1,185 @@
+"""Socket-level event records — the reproduction's ETW substrate.
+
+The paper's measurement layer "uses ETW to obtain socket level events,
+one per application read or write, which aggregates over several packets
+and skips network chatter" (§2).  A :class:`SocketEventLog` holds those
+events column-wise in numpy arrays: a simulated run produces hundreds of
+thousands of events and the analysis pipeline consumes them with
+vectorised operations, so an object per event would be both slow and
+memory-hungry.
+
+Events carry the five-tuple, the reporting server, a direction flag, the
+byte count of the application read/write, and the process context
+(job/phase) that the paper gets by merging with application logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DIRECTION_SEND", "DIRECTION_RECV", "SocketEvent", "SocketEventLog"]
+
+DIRECTION_SEND = 0
+DIRECTION_RECV = 1
+
+#: Sentinel for "no job context" in the integer job/phase columns.
+NO_CONTEXT = -1
+
+
+@dataclass(frozen=True)
+class SocketEvent:
+    """One application-level socket read or write (a row view)."""
+
+    timestamp: float
+    server: int
+    direction: int
+    src: int
+    src_port: int
+    dst: int
+    dst_port: int
+    protocol: int
+    num_bytes: float
+    job_id: int
+    phase_index: int
+
+
+class SocketEventLog:
+    """Columnar, append-then-freeze store of socket events.
+
+    Events are appended during simulation and then :meth:`finalize`\\ d
+    into sorted numpy arrays.  All analysis entry points require a
+    finalized log.
+    """
+
+    _COLUMNS = (
+        ("timestamp", float),
+        ("server", np.int64),
+        ("direction", np.int8),
+        ("src", np.int64),
+        ("src_port", np.int64),
+        ("dst", np.int64),
+        ("dst_port", np.int64),
+        ("protocol", np.int16),
+        ("num_bytes", float),
+        ("job_id", np.int64),
+        ("phase_index", np.int64),
+    )
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, list] = {name: [] for name, _ in self._COLUMNS}
+        self._arrays: dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------ appending
+
+    def append(
+        self,
+        timestamp: float,
+        server: int,
+        direction: int,
+        src: int,
+        src_port: int,
+        dst: int,
+        dst_port: int,
+        protocol: int,
+        num_bytes: float,
+        job_id: int = NO_CONTEXT,
+        phase_index: int = NO_CONTEXT,
+    ) -> None:
+        """Append one event; only valid before :meth:`finalize`."""
+        if self._arrays is not None:
+            raise RuntimeError("cannot append to a finalized log")
+        buffers = self._buffers
+        buffers["timestamp"].append(timestamp)
+        buffers["server"].append(server)
+        buffers["direction"].append(direction)
+        buffers["src"].append(src)
+        buffers["src_port"].append(src_port)
+        buffers["dst"].append(dst)
+        buffers["dst_port"].append(dst_port)
+        buffers["protocol"].append(protocol)
+        buffers["num_bytes"].append(num_bytes)
+        buffers["job_id"].append(job_id)
+        buffers["phase_index"].append(phase_index)
+
+    def finalize(self) -> None:
+        """Freeze the log: convert to numpy columns sorted by timestamp."""
+        if self._arrays is not None:
+            return
+        arrays = {
+            name: np.asarray(self._buffers[name], dtype=dtype)
+            for name, dtype in self._COLUMNS
+        }
+        order = np.argsort(arrays["timestamp"], kind="stable")
+        self._arrays = {name: column[order] for name, column in arrays.items()}
+        self._buffers = {name: [] for name, _ in self._COLUMNS}
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def finalized(self) -> bool:
+        """True once the log has been frozen into numpy columns."""
+        return self._arrays is not None
+
+    def _require_finalized(self) -> dict[str, np.ndarray]:
+        if self._arrays is None:
+            raise RuntimeError("log must be finalized before reading")
+        return self._arrays
+
+    def __len__(self) -> int:
+        if self._arrays is not None:
+            return int(self._arrays["timestamp"].size)
+        return len(self._buffers["timestamp"])
+
+    def column(self, name: str) -> np.ndarray:
+        """One full column by name (finalized logs only)."""
+        arrays = self._require_finalized()
+        if name not in arrays:
+            raise KeyError(f"unknown column {name!r}")
+        return arrays[name]
+
+    def row(self, index: int) -> SocketEvent:
+        """Materialise one event as a :class:`SocketEvent`."""
+        arrays = self._require_finalized()
+        return SocketEvent(
+            timestamp=float(arrays["timestamp"][index]),
+            server=int(arrays["server"][index]),
+            direction=int(arrays["direction"][index]),
+            src=int(arrays["src"][index]),
+            src_port=int(arrays["src_port"][index]),
+            dst=int(arrays["dst"][index]),
+            dst_port=int(arrays["dst_port"][index]),
+            protocol=int(arrays["protocol"][index]),
+            num_bytes=float(arrays["num_bytes"][index]),
+            job_id=int(arrays["job_id"][index]),
+            phase_index=int(arrays["phase_index"][index]),
+        )
+
+    def select(self, mask: np.ndarray) -> "SocketEventLog":
+        """A new finalized log containing only rows where ``mask`` is true."""
+        arrays = self._require_finalized()
+        subset = SocketEventLog()
+        subset._arrays = {name: column[mask] for name, column in arrays.items()}
+        return subset
+
+    def events_on_server(self, server: int) -> "SocketEventLog":
+        """The per-server view a single host's ETW session would hold."""
+        return self.select(self.column("server") == server)
+
+    def total_bytes(self, direction: int | None = DIRECTION_SEND) -> float:
+        """Total bytes across events; by default send-side only, so the
+        send+receive double-reporting does not double-count traffic."""
+        arrays = self._require_finalized()
+        if direction is None:
+            return float(arrays["num_bytes"].sum())
+        mask = arrays["direction"] == direction
+        return float(arrays["num_bytes"][mask].sum())
+
+    def time_span(self) -> tuple[float, float]:
+        """(first, last) event timestamps; (0, 0) when empty."""
+        arrays = self._require_finalized()
+        times = arrays["timestamp"]
+        if times.size == 0:
+            return (0.0, 0.0)
+        return (float(times[0]), float(times[-1]))

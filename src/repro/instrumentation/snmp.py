@@ -1,0 +1,80 @@
+"""SNMP-style link counters.
+
+"SNMP counters, which support packet and byte counts across individual
+switch interfaces ... are ubiquitously available on network devices.
+However, logistic concerns on how often routers can be polled limit
+availability to coarse time-scales, typically once every five minutes"
+(paper §2).  This module exposes the transport's link-load ground truth
+the way a poller would see it: per-interface cumulative byte counters
+sampled at a coarse interval, for the inter-switch links only.
+
+Tomography (paper §5) consumes these counters; so does any analysis that
+wants to know what would have been visible *without* server
+instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..simulation.linkloads import LinkLoadTracker
+
+__all__ = ["SnmpDump", "poll_link_counters"]
+
+
+@dataclass(frozen=True)
+class SnmpDump:
+    """Counter table for the observable (inter-switch) links.
+
+    ``bytes_per_poll[l, p]`` holds bytes carried by observed link ``l``
+    during poll window ``p``; ``link_ids`` maps rows back to topology link
+    ids and ``poll_times`` gives each window's start time.
+    """
+
+    link_ids: np.ndarray
+    poll_interval: float
+    bytes_per_poll: np.ndarray
+
+    @property
+    def num_polls(self) -> int:
+        """Number of poll windows."""
+        return int(self.bytes_per_poll.shape[1])
+
+    @property
+    def poll_times(self) -> np.ndarray:
+        """Start time of every poll window."""
+        return np.arange(self.num_polls) * self.poll_interval
+
+    def utilization(self, capacities: np.ndarray) -> np.ndarray:
+        """Average utilisation per observed link per poll window."""
+        denom = capacities[self.link_ids][:, None] * self.poll_interval
+        return self.bytes_per_poll / denom
+
+    def counters_at(self, poll: int) -> np.ndarray:
+        """Byte counts of one poll window across observed links."""
+        return self.bytes_per_poll[:, poll].copy()
+
+
+def poll_link_counters(
+    topology: ClusterTopology,
+    tracker: LinkLoadTracker,
+    poll_interval: float = 300.0,
+) -> SnmpDump:
+    """Sample inter-switch link byte counters at a coarse poll interval.
+
+    Only switch-to-switch interfaces are exported: server NICs are not
+    managed network devices, and the paper's tomography problem is set up
+    from exactly these ~2n counters.
+    """
+    observed = np.array(
+        [link.link_id for link in topology.inter_switch_links()], dtype=int
+    )
+    counters = tracker.snmp_counters(poll_interval)
+    return SnmpDump(
+        link_ids=observed,
+        poll_interval=poll_interval,
+        bytes_per_poll=counters[observed],
+    )

@@ -1,0 +1,33 @@
+"""Simulation substrate: event engine, fluid transport, link loads.
+
+``Simulator``/``SimulationResult``/``simulate`` are exported lazily: the
+simulator imports the instrumentation layer, which imports the transport
+primitives from this package, so loading it eagerly here would create an
+import cycle whenever instrumentation is imported first.
+"""
+
+from .engine import EventEngine, EventHandle
+from .linkloads import LinkLoadTracker
+from .transport import FluidTransport, Transfer, TransferMeta
+
+__all__ = [
+    "EventEngine",
+    "EventHandle",
+    "LinkLoadTracker",
+    "FluidTransport",
+    "Transfer",
+    "TransferMeta",
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+]
+
+_LAZY = {"Simulator", "SimulationResult", "simulate"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

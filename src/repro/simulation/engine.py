@@ -1,0 +1,117 @@
+"""Discrete event engine.
+
+A minimal binary-heap scheduler with cancellable events and batch hooks.
+The simulator registers a hook that runs after every batch of same-time
+events, which is where transport rates get recomputed — recomputing once
+per *timestamp* instead of once per *event* matters because barrier
+phases release dozens of shuffle flows at the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventHandle", "EventEngine"]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+@dataclass
+class EventHandle:
+    """A scheduled callback; ``cancel()`` makes the engine skip it."""
+
+    time: float
+    callback: Callable[[], None] | None
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.callback = None
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event was cancelled."""
+        return self.callback is None
+
+
+class EventEngine:
+    """Priority-queue event loop.
+
+    Events scheduled for the same instant run in scheduling order.  The
+    optional ``batch_hook`` runs after all events at one timestamp have
+    fired and may itself schedule new events (including at the current
+    time, which extends the batch).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+        self.batch_hook: Callable[[], None] | None = None
+        self.time_advance_hook: Callable[[float], None] | None = None
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at ``time`` (>= now) and return its handle."""
+        if time < self.now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} before now {self.now}")
+        handle = EventHandle(time=max(time, self.now), callback=callback)
+        heapq.heappush(
+            self._heap, _HeapEntry(handle.time, next(self._sequence), handle)
+        )
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay, callback)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._heap and self._heap[0].handle.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: float) -> None:
+        """Process events up to and including time ``until``.
+
+        The clock is left at ``until`` when the queue drains early, so a
+        subsequent ``run`` continues from there.
+        """
+        if until < self.now:
+            raise ValueError("cannot run backwards")
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                break
+            self.now = next_time
+            if self.time_advance_hook is not None:
+                self.time_advance_hook(next_time)
+            # Drain the batch at this timestamp; callbacks may extend it.
+            while True:
+                while self._heap and self._heap[0].handle.cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap or self._heap[0].time > self.now + 1e-12:
+                    break
+                entry = heapq.heappop(self._heap)
+                callback = entry.handle.callback
+                entry.handle.cancel()
+                if callback is not None:
+                    self.events_processed += 1
+                    callback()
+            if self.batch_hook is not None:
+                self.batch_hook()
+        self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for entry in self._heap if not entry.handle.cancelled)

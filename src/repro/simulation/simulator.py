@@ -1,0 +1,215 @@
+"""The cluster simulator: workload + transport + instrumentation.
+
+:class:`Simulator` owns the event engine, the fluid transport, the link
+load tracker and the instrumentation collectors, and exposes the small
+:class:`~repro.workload.runtime.SimulationServices` surface the job
+executor drives traffic through.  ``run()`` returns a
+:class:`SimulationResult` containing exactly the artefacts the paper's
+measurement campaign produced: the socket event log, the application
+log, SNMP-grade link loads — plus the ground-truth transfer list that a
+real campaign would *not* have, kept for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..cluster.routing import Router
+from ..cluster.topology import ClusterTopology
+from ..instrumentation.applog import ApplicationLog
+
+if TYPE_CHECKING:  # imported lazily to avoid a config<->simulation cycle
+    from ..config import SimulationConfig
+from ..instrumentation.collector import ClusterCollector
+from ..instrumentation.events import SocketEventLog
+from ..util.randomness import RandomSource
+from ..workload.generator import WorkloadSchedule, generate_schedule
+from ..workload.job import JobRuntime
+from ..workload.runtime import JobExecutor
+from .engine import EventEngine, EventHandle
+from .linkloads import LinkLoadTracker
+from .transport import FluidTransport, Transfer, TransferMeta
+
+__all__ = ["SimulationResult", "Simulator", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """Artefacts of one simulated measurement campaign."""
+
+    config: SimulationConfig
+    topology: ClusterTopology
+    router: Router
+    socket_log: SocketEventLog
+    applog: ApplicationLog
+    link_loads: LinkLoadTracker
+    #: Ground-truth completed transfers (not available to real analyses;
+    #: used for validation and for building exact traffic matrices).
+    transfers: list[Transfer]
+    jobs: dict[int, JobRuntime]
+    duration: float
+    stats: dict[str, float] = field(default_factory=dict)
+
+
+class Simulator:
+    """Co-simulates the workload executor and the fluid network."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.topology = ClusterTopology(config.cluster)
+        self.router = Router(self.topology)
+        self.randomness = RandomSource(config.seed)
+        self.engine = EventEngine()
+        self.link_loads = LinkLoadTracker(
+            self.topology, bin_width=1.0, horizon=config.duration
+        )
+        self.transport = FluidTransport(
+            self.topology, sinks=[self.link_loads], fairness=config.fairness
+        )
+        self.collector = ClusterCollector(
+            self.topology,
+            rng=self.randomness.stream("collector"),
+            config=config.collector,
+        )
+        self.applog = ApplicationLog()
+        self.executor = JobExecutor(
+            topology=self.topology,
+            config=config.workload,
+            services=self,
+            applog=self.applog,
+            rng=self.randomness.stream("executor"),
+            congestion_threshold=config.congestion_threshold,
+        )
+        self.transfers: list[Transfer] = []
+        self._completion_event: EventHandle | None = None
+        self._last_recompute = -float("inf")
+        self._recompute_wakeup: EventHandle | None = None
+        self.engine.time_advance_hook = self._on_time_advance
+        self.engine.batch_hook = self._after_batch
+
+    # ------------------------------------------------- SimulationServices
+
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule a workload callback at an absolute time."""
+        self.engine.schedule(time, callback)
+
+    def start_transfer(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        meta: TransferMeta,
+        on_complete: Callable[[Transfer], None],
+    ) -> None:
+        """Launch a transfer over the network (or complete it instantly
+        when the endpoints coincide and no links are crossed)."""
+        path = self.router.path_links(src, dst)
+        if not path:
+            transfer = Transfer(
+                transfer_id=-1, src=src, dst=dst, size=size,
+                start_time=self.now(), end_time=self.now(), meta=meta,
+            )
+            on_complete(transfer)
+            return
+        self.transport.add_flow(src, dst, size, path, meta, on_complete=on_complete)
+
+    def max_path_utilization(
+        self, src: int, dst: int, start: float, end: float
+    ) -> float:
+        """Peak binned utilisation along the src→dst path in a window."""
+        path = self.router.path_links(src, dst)
+        return self.link_loads.max_utilization_on_path(path, start, end)
+
+    # --------------------------------------------------------- event hooks
+
+    def _on_time_advance(self, new_time: float) -> None:
+        self.transport.advance_to(new_time)
+
+    def _dispatch_completions(self) -> None:
+        while True:
+            completed = self.transport.pop_completed()
+            if not completed:
+                return
+            for transfer, callback in completed:
+                self.collector.observe_transfer(transfer)
+                self.transfers.append(transfer)
+                if callback is not None:
+                    callback(transfer)
+
+    def _after_batch(self) -> None:
+        self._dispatch_completions()
+        if not self.transport.rates_dirty:
+            return
+        now = self.engine.now
+        interval = self.config.rate_update_interval
+        # The epsilon tolerance matters: a wakeup scheduled at exactly
+        # last+interval can arrive with now-last a float ulp short of the
+        # interval, and re-scheduling at the same instant would livelock.
+        if now - self._last_recompute >= interval - 1e-9:
+            self.transport.recompute_rates()
+            self._last_recompute = now
+            self._reschedule_completion()
+        elif self._recompute_wakeup is None or self._recompute_wakeup.cancelled:
+            # Wake the batch hook once the rate-limit window has passed;
+            # the event body is empty — reaching the timestamp suffices.
+            self._recompute_wakeup = self.engine.schedule(
+                max(self._last_recompute + interval, now + 1e-9), lambda: None
+            )
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        next_time = self.transport.next_completion_time()
+        if next_time is not None:
+            self._completion_event = self.engine.schedule(next_time, lambda: None)
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, schedule: WorkloadSchedule | None = None) -> SimulationResult:
+        """Execute the full campaign and return its artefacts."""
+        config = self.config
+        if schedule is None:
+            schedule = generate_schedule(
+                config.workload,
+                duration=config.duration,
+                rng=self.randomness.stream("workload"),
+                external_hosts=list(self.topology.external_hosts()),
+            )
+        self.executor.install_schedule(schedule)
+        self.engine.run(until=config.duration)
+        # Settle the network to the end of the campaign window.
+        self.transport.advance_to(config.duration)
+        self._dispatch_completions()
+        socket_log = self.collector.finalize()
+        stats = {
+            "events_processed": float(self.engine.events_processed),
+            "transfers_completed": float(len(self.transfers)),
+            "transfers_started": float(self.transport.transfers_started),
+            "socket_events": float(len(socket_log)),
+            "jobs_submitted": float(len(schedule.jobs)),
+            "jobs_finished": float(len(self.applog.job_ends)),
+            "evacuations": float(len(self.applog.evacuations)),
+        }
+        return SimulationResult(
+            config=config,
+            topology=self.topology,
+            router=self.router,
+            socket_log=socket_log,
+            applog=self.applog,
+            link_loads=self.link_loads,
+            transfers=self.transfers,
+            jobs=self.executor.jobs,
+            duration=config.duration,
+            stats=stats,
+        )
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(config).run()

@@ -1,0 +1,355 @@
+"""Fluid (rate-based) transport with max-min fair bandwidth sharing.
+
+Flows are modelled as fluid: between simulation events every flow moves
+bytes at a constant rate, and rates are the max-min fair allocation over
+the directed links of each flow's path (progressive filling).  This is
+the standard abstraction for TCP-dominated datacenter traffic at second
+granularity — the paper's cluster runs "near ubiquitous ... TCP" (§8),
+whose long-run behaviour approximates fair sharing at the bottleneck.
+
+A cheaper ``bottleneck`` mode allocates each flow ``capacity / count`` on
+its most contended link without redistributing leftovers; it serves as an
+ablation and a cross-check on the exact allocator.
+
+All per-flow state lives in preallocated numpy arrays indexed by slot so
+that the per-event work — integrating rates into link-load bins and
+re-running the water-filling — is vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+
+__all__ = ["TransferMeta", "Transfer", "FluidTransport", "LoadSink"]
+
+#: A flow is considered drained when this many bytes remain (absorbs
+#: floating-point integration error; far below any real transfer size).
+_EPS_BYTES = 0.5
+#: Minimum allocated rate (bytes/s), guarding against zero-rate stalls
+#: from floating-point cancellation in the water-filling loop.
+_MIN_RATE = 1.0
+#: Relative width within which links saturate together during one
+#: water-filling round (see ``_maxmin_rates``).
+_LEVEL_GROUPING = 0.02
+
+
+class LoadSink(Protocol):
+    """Anything that accumulates per-link byte loads over intervals."""
+
+    def add_interval_bulk(
+        self, keys: np.ndarray, rates: np.ndarray, start: float, end: float
+    ) -> None:
+        """Integrate ``rates`` (bytes/s) for ``keys`` over ``[start, end)``."""
+
+
+@dataclass(frozen=True)
+class TransferMeta:
+    """Application context attached to a transfer.
+
+    The instrumentation layer uses this to tag socket events with the
+    process/job that produced them — the linkage that lets the paper
+    attribute congestion to application phases (§4.2).
+    """
+
+    kind: str
+    job_id: int | None = None
+    phase_index: int | None = None
+    vertex_id: int | None = None
+    connection_key: tuple | None = None
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A completed transfer (ground truth, before instrumentation)."""
+
+    transfer_id: int
+    src: int
+    dst: int
+    size: float
+    start_time: float
+    end_time: float
+    meta: TransferMeta = field(default=TransferMeta(kind="unknown"))
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock transfer duration in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def mean_rate(self) -> float:
+        """Average achieved rate in bytes/s."""
+        duration = self.duration
+        return self.size / duration if duration > 0 else float("inf")
+
+
+class FluidTransport:
+    """Shared-bandwidth fluid flow simulator over a cluster topology."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        sinks: list[LoadSink] | None = None,
+        fairness: str = "maxmin",
+        initial_capacity: int = 256,
+    ) -> None:
+        if fairness not in ("maxmin", "bottleneck"):
+            raise ValueError(f"unknown fairness mode {fairness!r}")
+        self.topology = topology
+        self.fairness = fairness
+        self.sinks: list[LoadSink] = list(sinks) if sinks else []
+        self.capacities = topology.capacities.copy()
+        self.num_links = topology.num_links
+        self.max_path = 8
+
+        size = max(16, initial_capacity)
+        self._paths = np.full((size, self.max_path), -1, dtype=np.int64)
+        self._remaining = np.zeros(size, dtype=float)
+        self._rates = np.zeros(size, dtype=float)
+        self._active = np.zeros(size, dtype=bool)
+        self._meta: list[TransferMeta | None] = [None] * size
+        self._on_complete: list[Callable[[Transfer], None] | None] = [None] * size
+        self._src = np.zeros(size, dtype=np.int64)
+        self._dst = np.zeros(size, dtype=np.int64)
+        self._sizes = np.zeros(size, dtype=float)
+        self._start_times = np.zeros(size, dtype=float)
+        self._free_slots: list[int] = list(range(size - 1, -1, -1))
+
+        self.now = 0.0
+        self.rates_dirty = False
+        self._completed_buffer: list[tuple[Transfer, Callable[[Transfer], None] | None]] = []
+        self._next_transfer_id = 0
+        self.transfers_started = 0
+
+    # ---------------------------------------------------------------- slots
+
+    def _grow(self) -> None:
+        old = self._paths.shape[0]
+        new = old * 2
+        self._paths = np.vstack(
+            [self._paths, np.full((old, self.max_path), -1, dtype=np.int64)]
+        )
+        for name in ("_remaining", "_rates", "_src", "_dst", "_sizes", "_start_times"):
+            array = getattr(self, name)
+            setattr(self, name, np.concatenate([array, np.zeros(old, dtype=array.dtype)]))
+        self._active = np.concatenate([self._active, np.zeros(old, dtype=bool)])
+        self._meta.extend([None] * old)
+        self._on_complete.extend([None] * old)
+        self._free_slots.extend(range(new - 1, old - 1, -1))
+
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight flows."""
+        return int(self._active.sum())
+
+    # ---------------------------------------------------------------- flows
+
+    def add_flow(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        path_links: tuple[int, ...],
+        meta: TransferMeta,
+        on_complete: Callable[[Transfer], None] | None = None,
+    ) -> int:
+        """Start a flow at the current time; returns its slot id.
+
+        Zero-length paths (local transfers) are not flows; callers handle
+        those without touching the transport.
+        """
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        if not path_links:
+            raise ValueError("flow path must cross at least one link")
+        if len(path_links) > self.max_path:
+            raise ValueError("path exceeds transport's max path length")
+        if not self._free_slots:
+            self._grow()
+        slot = self._free_slots.pop()
+        self._paths[slot, :] = -1
+        self._paths[slot, : len(path_links)] = path_links
+        self._remaining[slot] = size
+        self._rates[slot] = 0.0
+        self._active[slot] = True
+        self._meta[slot] = meta
+        self._on_complete[slot] = on_complete
+        self._src[slot] = src
+        self._dst[slot] = dst
+        self._sizes[slot] = size
+        self._start_times[slot] = self.now
+        self.rates_dirty = True
+        self.transfers_started += 1
+        return slot
+
+    def advance_to(self, time: float) -> None:
+        """Integrate current rates up to ``time`` and complete drained flows."""
+        if time < self.now - 1e-9:
+            raise ValueError("cannot advance backwards")
+        dt = time - self.now
+        active_idx = np.flatnonzero(self._active)
+        if dt > 0 and active_idx.size:
+            rates = self._rates[active_idx]
+            if self.sinks:
+                paths = self._paths[active_idx]
+                valid = paths >= 0
+                link_ids = paths[valid]
+                per_flow = np.repeat(rates, valid.sum(axis=1))
+                link_rates = np.bincount(
+                    link_ids, weights=per_flow, minlength=self.num_links
+                )
+                loaded = np.flatnonzero(link_rates)
+                if loaded.size:
+                    for sink in self.sinks:
+                        sink.add_interval_bulk(loaded, link_rates[loaded], self.now, time)
+            self._remaining[active_idx] = np.maximum(
+                self._remaining[active_idx] - rates * dt, 0.0
+            )
+        self.now = max(self.now, time)
+        if active_idx.size:
+            drained = active_idx[self._remaining[active_idx] <= _EPS_BYTES]
+            for slot in drained:
+                self._finish(int(slot))
+
+    def _finish(self, slot: int) -> None:
+        meta = self._meta[slot]
+        assert meta is not None
+        transfer = Transfer(
+            transfer_id=self._next_transfer_id,
+            src=int(self._src[slot]),
+            dst=int(self._dst[slot]),
+            size=float(self._sizes[slot]),
+            start_time=float(self._start_times[slot]),
+            end_time=self.now,
+            meta=meta,
+        )
+        self._completed_buffer.append((transfer, self._on_complete[slot]))
+        self._next_transfer_id += 1
+        self._active[slot] = False
+        self._rates[slot] = 0.0
+        self._meta[slot] = None
+        self._on_complete[slot] = None
+        self._free_slots.append(slot)
+        self.rates_dirty = True
+
+    def pop_completed(
+        self,
+    ) -> list[tuple[Transfer, Callable[[Transfer], None] | None]]:
+        """Return and clear (transfer, callback) pairs completed since the
+        last call.  The transport never invokes callbacks itself: the
+        simulator decides dispatch order."""
+        completed = self._completed_buffer
+        self._completed_buffer = []
+        return completed
+
+    # ---------------------------------------------------------------- rates
+
+    def recompute_rates(self) -> None:
+        """Re-run the fair-share allocation for the current active set."""
+        active_idx = np.flatnonzero(self._active)
+        if active_idx.size == 0:
+            self.rates_dirty = False
+            return
+        paths = self._paths[active_idx]
+        valid = paths >= 0
+        if self.fairness == "maxmin":
+            rates = self._maxmin_rates(paths, valid)
+        else:
+            rates = self._bottleneck_rates(paths, valid)
+        self._rates[active_idx] = np.maximum(rates, _MIN_RATE)
+        self.rates_dirty = False
+
+    def _maxmin_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Progressive-filling max-min fair allocation.
+
+        Links whose fair share lies within ``_LEVEL_GROUPING`` of the
+        current bottleneck saturate together in one iteration.  This
+        bounds the number of water-filling rounds by the number of
+        *distinct share magnitudes* instead of distinct links, at a worst
+        case rate error of the grouping width — far below the fidelity of
+        the fluid abstraction itself.
+        """
+        num_flows = paths.shape[0]
+        flat = paths[valid]
+        counts = np.bincount(flat, minlength=self.num_links).astype(float)
+        remaining_cap = self.capacities.astype(float).copy()
+        rates = np.zeros(num_flows)
+        unassigned = np.ones(num_flows, dtype=bool)
+        num_unassigned = num_flows
+        for _ in range(self.num_links + 1):
+            if num_unassigned == 0:
+                break
+            with np.errstate(divide="ignore", invalid="ignore"):
+                share = remaining_cap / counts
+            share[counts <= 0] = np.inf
+            level = share.min()
+            if not np.isfinite(level):
+                break
+            saturated = share <= level * (1.0 + _LEVEL_GROUPING)
+            crosses = (saturated[paths] & valid).any(axis=1) & unassigned
+            num_crossing = int(crosses.sum())
+            if num_crossing == 0:
+                break
+            # Each grouped flow gets the exact share of its own tightest
+            # saturated link (not the group level), so flows on slightly
+            # wider links are not clipped to the narrowest one.
+            padded = np.where(valid & saturated[paths], share[paths], np.inf)
+            rates[crosses] = padded[crosses].min(axis=1)
+            unassigned[crosses] = False
+            num_unassigned -= num_crossing
+            crossing_valid = valid[crosses]
+            used = paths[crosses][crossing_valid]
+            used_rates = np.repeat(rates[crosses], crossing_valid.sum(axis=1))
+            consumed = np.bincount(used, weights=used_rates,
+                                   minlength=self.num_links)
+            np.maximum(remaining_cap - consumed, 0.0, out=remaining_cap)
+            counts -= np.bincount(used, minlength=self.num_links)
+        # Flows left unassigned cross only links that lost all contenders
+        # (possible only through float jitter): give them their bottleneck
+        # share directly.
+        if num_unassigned > 0:
+            leftover = self._bottleneck_rates(paths[unassigned], valid[unassigned])
+            rates[unassigned] = leftover
+        return rates
+
+    def _bottleneck_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Equal split on each link; flow rate = min share along its path."""
+        flat = paths[valid]
+        counts = np.bincount(flat, minlength=self.num_links).astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(counts > 0, self.capacities / counts, np.inf)
+        padded_share = np.where(paths >= 0, share[np.maximum(paths, 0)], np.inf)
+        return padded_share.min(axis=1)
+
+    def next_completion_time(self) -> float | None:
+        """Earliest time an active flow drains at current rates, or ``None``."""
+        active_idx = np.flatnonzero(self._active)
+        if active_idx.size == 0:
+            return None
+        rates = self._rates[active_idx]
+        remaining = self._remaining[active_idx]
+        with np.errstate(divide="ignore"):
+            horizons = np.where(rates > 0, remaining / rates, np.inf)
+        soonest = horizons.min()
+        if not np.isfinite(soonest):
+            return None
+        return self.now + float(soonest)
+
+    # ------------------------------------------------------------- inspection
+
+    def utilization_snapshot(self) -> np.ndarray:
+        """Instantaneous per-link utilisation under current rates."""
+        active_idx = np.flatnonzero(self._active)
+        link_rates = np.zeros(self.num_links)
+        if active_idx.size:
+            paths = self._paths[active_idx]
+            valid = paths >= 0
+            per_flow = np.repeat(self._rates[active_idx], valid.sum(axis=1))
+            link_rates = np.bincount(
+                paths[valid], weights=per_flow, minlength=self.num_links
+            )
+        return link_rates / self.capacities

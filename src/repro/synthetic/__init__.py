@@ -1,0 +1,6 @@
+"""Parametric synthetic traffic from the paper's §4.1/§4.3 models."""
+
+from .arrivals import StopAndGoArrivals
+from .model import SyntheticTrafficModel, gravity_synthetic_tm
+
+__all__ = ["SyntheticTrafficModel", "gravity_synthetic_tm", "StopAndGoArrivals"]

@@ -1,0 +1,31 @@
+"""Network tomography in the datacenter (paper §5)."""
+
+from .gravity import gravity_matrix, gravity_prior_for_pairs, node_totals_from_tm
+from .jobprior import job_affinity_matrix, job_aware_prior
+from .metrics import (
+    fraction_of_entries_for_volume,
+    heavy_hitter_overlap,
+    nonzero_count,
+    rmsre,
+    volume_threshold,
+)
+from .roleprior import role_affinity_matrix, role_aware_prior
+from .sparsity import sparsity_max_estimate
+from .tomogravity import tomogravity_estimate
+
+__all__ = [
+    "gravity_matrix",
+    "gravity_prior_for_pairs",
+    "node_totals_from_tm",
+    "job_affinity_matrix",
+    "job_aware_prior",
+    "tomogravity_estimate",
+    "sparsity_max_estimate",
+    "role_affinity_matrix",
+    "role_aware_prior",
+    "rmsre",
+    "volume_threshold",
+    "fraction_of_entries_for_volume",
+    "nonzero_count",
+    "heavy_hitter_overlap",
+]

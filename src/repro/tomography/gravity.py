@@ -1,0 +1,68 @@
+"""The gravity traffic model (paper §5.1 prior).
+
+"The gravity model assumes that the amount of traffic a node (origin)
+would send to another node (destination) is proportional to the traffic
+volume received by the destination."  Concretely, for outflow totals
+``o_i`` and inflow totals ``t_j``:
+
+    x_ij = o_i * t_j / T,     T = Σ o = Σ t
+
+This prior is excellent in ISP backbones and — the paper's point — a
+poor fit for job-clustered, sparse datacenter TMs: it spreads traffic
+over all pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gravity_matrix", "gravity_prior_for_pairs", "node_totals_from_tm"]
+
+
+def gravity_matrix(
+    out_totals: np.ndarray, in_totals: np.ndarray, zero_diagonal: bool = True
+) -> np.ndarray:
+    """The rank-one gravity TM for given node in/out totals.
+
+    With ``zero_diagonal`` (the ToR-level convention) the diagonal is
+    removed and the matrix rescaled to preserve total volume.
+    """
+    out_arr = np.asarray(out_totals, dtype=float)
+    in_arr = np.asarray(in_totals, dtype=float)
+    if out_arr.ndim != 1 or in_arr.ndim != 1 or out_arr.size != in_arr.size:
+        raise ValueError("totals must be equal-length vectors")
+    if np.any(out_arr < 0) or np.any(in_arr < 0):
+        raise ValueError("totals must be non-negative")
+    total = out_arr.sum()
+    in_sum = in_arr.sum()
+    if total <= 0 or in_sum <= 0:
+        return np.zeros((out_arr.size, out_arr.size))
+    matrix = np.outer(out_arr, in_arr) / in_sum
+    if zero_diagonal:
+        np.fill_diagonal(matrix, 0.0)
+        current = matrix.sum()
+        if current > 0:
+            matrix *= total / current
+    return matrix
+
+
+def node_totals_from_tm(tm: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(out_totals, in_totals) row/column sums of a TM."""
+    matrix = np.asarray(tm, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("TM must be square")
+    return matrix.sum(axis=1), matrix.sum(axis=0)
+
+
+def gravity_prior_for_pairs(
+    out_totals: np.ndarray,
+    in_totals: np.ndarray,
+    pairs: list[tuple[int, int]],
+) -> np.ndarray:
+    """Gravity prior flattened over an ordered pair list.
+
+    ``pairs`` is the unknown ordering used by the routing matrix (ToR
+    pairs with ``i != j``); the returned vector aligns with it.
+    """
+    matrix = gravity_matrix(out_totals, in_totals, zero_diagonal=True)
+    return np.array([matrix[i, j] for i, j in pairs])

@@ -1,0 +1,111 @@
+"""Estimation-error and sparsity metrics (paper §5 methodology).
+
+"Our error function avoids penalizing mis-estimates of matrix entries
+that have small values.  Specifically, we choose a threshold T such that
+entries larger than T make up about 75% of traffic volume and then
+obtain Root Mean Square Relative Error (RMSRE) as
+
+    RMSRE = sqrt( mean over {ij : x_true_ij >= T} of
+                  ((x_est_ij - x_true_ij) / x_true_ij)^2 )."
+
+Also implements the sparsity measures of Figs 13-14: the fraction of
+entries that carry 75% of the volume, and the overlap between estimated
+non-zeros and true heavy hitters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "volume_threshold",
+    "rmsre",
+    "fraction_of_entries_for_volume",
+    "nonzero_count",
+    "heavy_hitter_overlap",
+]
+
+
+def volume_threshold(x_true: np.ndarray, volume_fraction: float = 0.75) -> float:
+    """The paper's threshold T: entries >= T carry ``volume_fraction`` of
+    total volume.
+
+    Computed by descending cumulative sum; returns 0 for an all-zero
+    vector (every entry then qualifies).
+    """
+    if not 0 < volume_fraction <= 1:
+        raise ValueError("volume_fraction must lie in (0, 1]")
+    values = np.asarray(x_true, dtype=float).ravel()
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    ordered = np.sort(values)[::-1]
+    cumulative = np.cumsum(ordered)
+    index = int(np.searchsorted(cumulative, volume_fraction * total, side="left"))
+    index = min(index, ordered.size - 1)
+    return float(ordered[index])
+
+
+def rmsre(
+    x_true: np.ndarray, x_est: np.ndarray, volume_fraction: float = 0.75
+) -> float:
+    """Root mean square relative error over the top-volume entries."""
+    true_vals = np.asarray(x_true, dtype=float).ravel()
+    est_vals = np.asarray(x_est, dtype=float).ravel()
+    if true_vals.shape != est_vals.shape:
+        raise ValueError("true and estimated vectors must have equal shape")
+    threshold = volume_threshold(true_vals, volume_fraction)
+    mask = true_vals >= threshold if threshold > 0 else true_vals > 0
+    if not mask.any():
+        return float("nan")
+    relative = (est_vals[mask] - true_vals[mask]) / true_vals[mask]
+    return float(np.sqrt(np.mean(relative**2)))
+
+
+def fraction_of_entries_for_volume(
+    x: np.ndarray, volume_fraction: float = 0.75
+) -> float:
+    """Fraction of entries needed to cover ``volume_fraction`` of volume.
+
+    The Fig 13/14 sparsity measure: small values mean a few heavy pairs
+    carry most traffic.  Returns NaN for an all-zero vector.
+    """
+    if not 0 < volume_fraction <= 1:
+        raise ValueError("volume_fraction must lie in (0, 1]")
+    values = np.asarray(x, dtype=float).ravel()
+    total = values.sum()
+    if total <= 0:
+        return float("nan")
+    ordered = np.sort(values)[::-1]
+    cumulative = np.cumsum(ordered)
+    needed = int(np.searchsorted(cumulative, volume_fraction * total, side="left")) + 1
+    return needed / values.size
+
+
+def nonzero_count(x: np.ndarray, relative_floor: float = 1e-9) -> int:
+    """Entries carrying non-negligible volume (> floor × total)."""
+    values = np.asarray(x, dtype=float).ravel()
+    total = values.sum()
+    if total <= 0:
+        return 0
+    return int(np.count_nonzero(values > relative_floor * total))
+
+
+def heavy_hitter_overlap(
+    x_true: np.ndarray, x_est: np.ndarray, percentile: float = 97.0
+) -> int:
+    """How many estimated non-zeros are true heavy hitters.
+
+    The paper checks whether the sparsity-maximised TM's ~150 non-zero
+    entries line up with ground truth heavy hitters (value above the
+    97th percentile of the true TM) and finds only a handful do.
+    """
+    true_vals = np.asarray(x_true, dtype=float).ravel()
+    est_vals = np.asarray(x_est, dtype=float).ravel()
+    if true_vals.shape != est_vals.shape:
+        raise ValueError("true and estimated vectors must have equal shape")
+    if true_vals.size == 0:
+        return 0
+    cutoff = np.percentile(true_vals, percentile)
+    est_nonzero = est_vals > 1e-9 * max(est_vals.sum(), 1.0)
+    return int(np.count_nonzero(est_nonzero & (true_vals >= cutoff) & (true_vals > 0)))

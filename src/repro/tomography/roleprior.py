@@ -1,0 +1,118 @@
+"""Role-aware tomography prior — the paper's §5.3 future work.
+
+The job-metadata prior disappoints because "nodes in a job assum[e]
+different roles over time and traffic patterns var[y] with respective
+roles.  As future work, we plan to incorporate further information on
+roles of nodes assigned to a job."  This module implements that plan.
+
+Shuffle traffic flows from *producer* vertices (Extract/Partition, whose
+outputs feed a barrier phase) to *consumer* vertices (Aggregate/Combine,
+which pull a partition from every producer).  Knowing which racks hosted
+a job's producers and which its consumers during a window gives a
+*directional* affinity:
+
+    A_ij = Σ_k  producers_k(i) * consumers_k(j)
+
+which modulates the gravity prior exactly as the symmetric §5.3
+multiplier did, but no longer predicts traffic between two racks that
+merely ran producers of the same job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..instrumentation.applog import ApplicationLog
+from .gravity import gravity_matrix
+
+__all__ = ["PRODUCER_PHASES", "CONSUMER_PHASES", "role_affinity_matrix",
+           "role_aware_prior"]
+
+#: Phase types whose outputs are pulled over the network by a barrier.
+PRODUCER_PHASES = frozenset({"extract", "partition"})
+#: Barrier phase types that pull from every producer (shuffle consumers).
+CONSUMER_PHASES = frozenset({"aggregate", "combine"})
+
+
+def role_affinity_matrix(
+    applog: ApplicationLog,
+    topology: ClusterTopology,
+    start: float | None = None,
+    end: float | None = None,
+) -> np.ndarray:
+    """Directional rack affinity from per-job producer/consumer roles.
+
+    ``A[i, j]`` counts, summed over jobs, producer placements under ToR
+    ``i`` times consumer placements under ToR ``j`` within the window.
+    Unlike :func:`~repro.tomography.jobprior.job_affinity_matrix`, the
+    result is *not* symmetric — shuffles have a direction.
+    """
+    num_racks = topology.num_racks
+    phase_types: dict[tuple[int, int], str] = {}
+    for record in applog.phase_starts:
+        phase_types[(record.job_id, record.phase_index)] = record.phase_type
+
+    producers: dict[int, np.ndarray] = {}
+    consumers: dict[int, np.ndarray] = {}
+    for record in applog.vertex_starts:
+        if start is not None and record.time < start:
+            continue
+        if end is not None and record.time >= end:
+            continue
+        phase_type = phase_types.get((record.job_id, record.phase_index))
+        if phase_type in PRODUCER_PHASES:
+            table = producers
+        elif phase_type in CONSUMER_PHASES:
+            table = consumers
+        else:
+            continue
+        per_rack = table.get(record.job_id)
+        if per_rack is None:
+            per_rack = np.zeros(num_racks)
+            table[record.job_id] = per_rack
+        per_rack[topology.rack_of(record.server)] += 1
+
+    affinity = np.zeros((num_racks, num_racks))
+    for job_id, produced in producers.items():
+        consumed = consumers.get(job_id)
+        if consumed is None:
+            continue
+        affinity += np.outer(produced, consumed)
+    np.fill_diagonal(affinity, 0.0)
+    return affinity
+
+
+def role_aware_prior(
+    out_totals: np.ndarray,
+    in_totals: np.ndarray,
+    affinity: np.ndarray,
+    strength: float = 1.0,
+) -> np.ndarray:
+    """Gravity prior modulated by the directional role affinity.
+
+    Identical modulation algebra to the symmetric job prior — scale each
+    gravity entry by ``1 + strength * a_ij / mean(a)`` and renormalise —
+    so any improvement over it is attributable to the role information,
+    not to a different estimator.
+    """
+    if strength < 0:
+        raise ValueError("strength must be non-negative")
+    base = gravity_matrix(out_totals, in_totals, zero_diagonal=True)
+    total = base.sum()
+    if total <= 0:
+        return base
+    affinity_arr = np.asarray(affinity, dtype=float)
+    if affinity_arr.shape != base.shape:
+        raise ValueError("affinity shape must match the gravity matrix")
+    off_diagonal = affinity_arr[~np.eye(affinity_arr.shape[0], dtype=bool)]
+    mean_affinity = off_diagonal.mean() if off_diagonal.size else 0.0
+    if mean_affinity <= 0:
+        return base
+    multiplier = 1.0 + strength * affinity_arr / mean_affinity
+    modulated = base * multiplier
+    np.fill_diagonal(modulated, 0.0)
+    current = modulated.sum()
+    if current > 0:
+        modulated *= total / current
+    return modulated

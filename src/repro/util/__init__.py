@@ -1,0 +1,31 @@
+"""Shared utilities: units, deterministic RNG streams, statistics, binning."""
+
+from .randomness import RandomSource, derive_seed
+from .stats import (
+    Ecdf,
+    LogHistogram,
+    ecdf,
+    fraction_at_or_below,
+    log_histogram,
+    logarithmic_fit,
+    pearson_correlation,
+    percentile,
+    weighted_ecdf,
+)
+from .timeseries import BinAccumulator, split_interval_over_bins
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "Ecdf",
+    "LogHistogram",
+    "ecdf",
+    "weighted_ecdf",
+    "percentile",
+    "fraction_at_or_below",
+    "log_histogram",
+    "pearson_correlation",
+    "logarithmic_fit",
+    "BinAccumulator",
+    "split_interval_over_bins",
+]

@@ -1,0 +1,179 @@
+"""ASCII rendering of the paper's figures.
+
+The reproduction environment has no plotting stack, so examples and the
+benchmark harness render heatmaps, CDFs and bar charts as text.  These
+renderers are intentionally simple: fixed-size character grids with density
+ramps, adequate for eyeballing the work-seeks-bandwidth diagonal or a CDF
+knee in a terminal.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from .stats import Ecdf
+
+__all__ = ["render_heatmap", "render_cdf", "render_bars", "render_series"]
+
+#: Character ramp from empty to dense.
+_RAMP = " .:-=+*#%@"
+
+
+def _normalise(matrix: np.ndarray) -> np.ndarray:
+    finite = matrix[np.isfinite(matrix)]
+    if finite.size == 0:
+        return np.zeros_like(matrix)
+    low = float(finite.min())
+    high = float(finite.max())
+    if high <= low:
+        return np.where(np.isfinite(matrix), 0.5, 0.0)
+    scaled = (matrix - low) / (high - low)
+    return np.where(np.isfinite(matrix), np.clip(scaled, 0.0, 1.0), 0.0)
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    max_width: int = 72,
+    max_height: int = 36,
+    title: str = "",
+) -> str:
+    """Render a 2-D array as an ASCII density plot (Fig 2 style).
+
+    Large matrices are down-sampled by block averaging.  NaN / -inf cells
+    (e.g. log of zero traffic) render as blank space.
+    """
+    data = np.asarray(matrix, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("heatmap input must be 2-D")
+    rows, cols = data.shape
+    row_step = max(1, int(np.ceil(rows / max_height)))
+    col_step = max(1, int(np.ceil(cols / max_width)))
+    if row_step > 1 or col_step > 1:
+        trimmed_rows = (rows // row_step) * row_step
+        trimmed_cols = (cols // col_step) * col_step
+        blocks = data[:trimmed_rows, :trimmed_cols].reshape(
+            trimmed_rows // row_step, row_step, trimmed_cols // col_step, col_step
+        )
+        with warnings.catch_warnings():
+            # All-NaN blocks (no traffic anywhere in the block) are fine;
+            # they render as blank cells.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            data = np.nanmean(np.nanmean(blocks, axis=3), axis=1)
+    levels = _normalise(data)
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * levels.shape[1] + "+"
+    lines.append(border)
+    for row in levels:
+        chars = "".join(_RAMP[int(v * (len(_RAMP) - 1))] for v in row)
+        lines.append("|" + chars + "|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def render_cdf(
+    curves: dict[str, Ecdf],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more ECDFs on a shared axis.
+
+    Each curve gets a distinct marker character; a legend line maps markers
+    to curve names.
+    """
+    markers = "ox+*#@%&"
+    populated = {name: c for name, c in curves.items() if c.n > 0}
+    if not populated:
+        return (title + "\n" if title else "") + "(no data)"
+    all_values = np.concatenate([c.values for c in populated.values()])
+    if log_x:
+        all_values = all_values[all_values > 0]
+        if all_values.size == 0:
+            return (title + "\n" if title else "") + "(no positive data for log axis)"
+        x_low, x_high = np.log10(all_values.min()), np.log10(all_values.max())
+    else:
+        x_low, x_high = float(all_values.min()), float(all_values.max())
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(populated.items()):
+        marker = markers[index % len(markers)]
+        xs = np.linspace(x_low, x_high, width)
+        query = 10**xs if log_x else xs
+        ys = curve.evaluate(query)
+        for col, y in enumerate(ys):
+            row = height - 1 - int(round(y * (height - 1)))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_label = 1.0 - row_index / (height - 1)
+        lines.append(f"{y_label:4.2f} |" + "".join(row))
+    axis_kind = "log10(x)" if log_x else "x"
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {axis_kind}: {x_low:.3g} .. {x_high:.3g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(populated)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart (Fig 8 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    data = np.asarray(values, dtype=float)
+    biggest = max(abs(float(data.max())), abs(float(data.min())), 1e-12)
+    label_width = max(len(label) for label in labels)
+    for label, value in zip(labels, data):
+        bar_len = int(round(abs(value) / biggest * width))
+        bar = ("#" if value >= 0 else "-") * bar_len
+        lines.append(f"{label:>{label_width}} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def render_series(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render a 1-D series as a sparkline-style plot (Fig 10 top style)."""
+    data = np.asarray(values, dtype=float)
+    lines = [title] if title else []
+    if data.size == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    if data.size > width:
+        step = int(np.ceil(data.size / width))
+        trimmed = data[: (data.size // step) * step]
+        data = trimmed.reshape(-1, step).mean(axis=1)
+    low, high = float(data.min()), float(data.max())
+    span = (high - low) or 1.0
+    grid = [[" "] * data.size for _ in range(height)]
+    for col, value in enumerate(data):
+        row = height - 1 - int(round((value - low) / span * (height - 1)))
+        grid[row][col] = "*"
+    for row_index, row in enumerate(grid):
+        level = high - span * row_index / (height - 1)
+        lines.append(f"{level:10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * data.size)
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Small statistics toolkit used by the analysis pipeline.
+
+The paper reports empirical CDFs, percentile ranks, byte-weighted
+distributions and log-scale histograms.  This module implements those
+primitives once so every figure reproduction shares the same definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Ecdf",
+    "ecdf",
+    "weighted_ecdf",
+    "percentile",
+    "fraction_at_or_below",
+    "log_histogram",
+    "LogHistogram",
+    "pearson_correlation",
+    "logarithmic_fit",
+]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical cumulative distribution function.
+
+    ``values`` are sorted sample points and ``probabilities`` the cumulative
+    probability at each point (right-continuous step function).  For a
+    weighted ECDF the probabilities reflect cumulative weight fractions.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.probabilities.shape:
+            raise ValueError("values and probabilities must have equal shape")
+
+    @property
+    def n(self) -> int:
+        """Number of distinct sample points."""
+        return int(self.values.size)
+
+    def evaluate(self, points: Iterable[float] | float) -> np.ndarray:
+        """Return ``P(X <= x)`` for each query point ``x``."""
+        points_arr = np.atleast_1d(np.asarray(points, dtype=float))
+        if self.n == 0:
+            return np.zeros_like(points_arr)
+        indices = np.searchsorted(self.values, points_arr, side="right")
+        cdf = np.concatenate(([0.0], self.probabilities))
+        return cdf[indices]
+
+    def quantile(self, q: float | Iterable[float]) -> np.ndarray:
+        """Return the smallest value whose CDF is >= ``q`` (0 <= q <= 1)."""
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        if self.n == 0:
+            raise ValueError("cannot take quantile of an empty ECDF")
+        indices = np.searchsorted(self.probabilities, q_arr, side="left")
+        indices = np.minimum(indices, self.n - 1)
+        return self.values[indices]
+
+    def median(self) -> float:
+        """Return the distribution median."""
+        return float(self.quantile(0.5)[0])
+
+
+def ecdf(samples: Iterable[float]) -> Ecdf:
+    """Build an unweighted empirical CDF from samples.
+
+    Duplicate sample values are merged into a single step.
+    """
+    data = np.sort(np.asarray(list(samples), dtype=float))
+    if data.size == 0:
+        empty = np.empty(0, dtype=float)
+        return Ecdf(values=empty, probabilities=empty.copy())
+    values, counts = np.unique(data, return_counts=True)
+    probabilities = np.cumsum(counts) / data.size
+    return Ecdf(values=values, probabilities=probabilities)
+
+
+def weighted_ecdf(samples: Iterable[float], weights: Iterable[float]) -> Ecdf:
+    """Build a weight-fraction CDF (e.g. bytes carried by flows <= x).
+
+    Weights must be non-negative and sum to a positive total.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    weight = np.asarray(list(weights), dtype=float)
+    if values.shape != weight.shape:
+        raise ValueError("samples and weights must have equal length")
+    if np.any(weight < 0):
+        raise ValueError("weights must be non-negative")
+    total = weight.sum()
+    if values.size == 0 or total <= 0:
+        empty = np.empty(0, dtype=float)
+        return Ecdf(values=empty, probabilities=empty.copy())
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    weight = weight[order]
+    unique_values, start_indices = np.unique(values, return_index=True)
+    cumulative = np.cumsum(weight)
+    # Cumulative weight at the *last* occurrence of each unique value.
+    end_indices = np.append(start_indices[1:], values.size) - 1
+    probabilities = cumulative[end_indices] / total
+    return Ecdf(values=unique_values, probabilities=probabilities)
+
+
+def percentile(samples: Sequence[float] | np.ndarray, q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take percentile of empty data")
+    return float(np.percentile(data, q))
+
+
+def fraction_at_or_below(samples: Sequence[float] | np.ndarray, threshold: float) -> float:
+    """Return the fraction of samples that are <= ``threshold``."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        return 0.0
+    return float(np.count_nonzero(data <= threshold) / data.size)
+
+
+@dataclass(frozen=True)
+class LogHistogram:
+    """Histogram over the natural log of positive samples (Fig 3 style)."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    densities: np.ndarray = field(repr=False)
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        """Mid-points of the log-space bins."""
+        return 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+
+    @property
+    def total(self) -> int:
+        """Total number of samples across bins."""
+        return int(self.counts.sum())
+
+
+def log_histogram(
+    samples: Iterable[float],
+    bins: int = 30,
+    log_range: tuple[float, float] | None = None,
+) -> LogHistogram:
+    """Histogram ``ln(samples)`` over positive samples.
+
+    Non-positive samples are rejected because the paper's Fig 3 plots
+    ``log_e(bytes)`` of *non-zero* TM entries only; callers filter zeros
+    first and a zero slipping through indicates a bug.
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size and np.any(data <= 0):
+        raise ValueError("log_histogram requires strictly positive samples")
+    logs = np.log(data) if data.size else data
+    if log_range is None:
+        if logs.size:
+            log_range = (float(logs.min()), float(max(logs.max(), logs.min() + 1e-9)))
+        else:
+            log_range = (0.0, 1.0)
+    counts, edges = np.histogram(logs, bins=bins, range=log_range)
+    widths = np.diff(edges)
+    total = counts.sum()
+    densities = counts / (total * widths) if total else counts.astype(float)
+    return LogHistogram(bin_edges=edges, counts=counts, densities=densities)
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size:
+        raise ValueError("sequences must have equal length")
+    if x_arr.size < 2:
+        raise ValueError("correlation requires at least two points")
+    x_std = x_arr.std()
+    y_std = y_arr.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+def logarithmic_fit(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y = a * ln(x) + b`` by least squares (Fig 13's best-fit curve).
+
+    Returns the ``(a, b)`` coefficients.  All ``x`` must be positive.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size:
+        raise ValueError("sequences must have equal length")
+    if x_arr.size < 2:
+        raise ValueError("fit requires at least two points")
+    if np.any(x_arr <= 0):
+        raise ValueError("logarithmic fit requires positive x values")
+    design = np.column_stack([np.log(x_arr), np.ones_like(x_arr)])
+    (a, b), *_ = np.linalg.lstsq(design, y_arr, rcond=None)
+    return float(a), float(b)

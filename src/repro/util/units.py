@@ -1,0 +1,86 @@
+"""Units and formatting helpers shared across the library.
+
+The simulator expresses time in seconds (floats), data in bytes (floats,
+because fluid-model transfers integrate rates over time), and bandwidth in
+bytes per second.  The constants here exist so that configuration code can
+say ``1 * GBPS`` instead of sprinkling magic numbers around.
+"""
+
+from __future__ import annotations
+
+#: Decimal data-size multipliers (bytes).  Networking gear is decimal.
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+TB = 1_000_000_000_000.0
+
+#: Bandwidth multipliers, in *bytes per second*.  A "1 Gbps" NIC moves
+#: 125 MB of payload per second at line rate.
+KBPS = 1_000.0 / 8.0
+MBPS = 1_000_000.0 / 8.0
+GBPS = 1_000_000_000.0 / 8.0
+
+#: Time multipliers (seconds).
+MS = 1e-3
+US = 1e-6
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8.0
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return num_bits / 8.0
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human-friendly decimal suffix.
+
+    >>> format_bytes(1500)
+    '1.50 KB'
+    >>> format_bytes(3.2e9)
+    '3.20 GB'
+    """
+    magnitude = abs(num_bytes)
+    for limit, suffix in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if magnitude >= limit:
+            return f"{num_bytes / limit:.2f} {suffix}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth (bytes/s) in bit-rate units.
+
+    >>> format_rate(125e6)
+    '1.00 Gbps'
+    """
+    bits = bytes_to_bits(bytes_per_second)
+    for limit, suffix in ((1e9, "Gbps"), (1e6, "Mbps"), (1e3, "Kbps")):
+        if abs(bits) >= limit:
+            return f"{bits / limit:.2f} {suffix}"
+    return f"{bits:.0f} bps"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly.
+
+    >>> format_duration(0.002)
+    '2.0 ms'
+    >>> format_duration(3700)
+    '1.03 h'
+    """
+    magnitude = abs(seconds)
+    if magnitude >= HOUR:
+        return f"{seconds / HOUR:.2f} h"
+    if magnitude >= MINUTE:
+        return f"{seconds / MINUTE:.2f} min"
+    if magnitude >= 1.0:
+        return f"{seconds:.2f} s"
+    if magnitude >= MS:
+        return f"{seconds / MS:.1f} ms"
+    return f"{seconds / US:.1f} us"

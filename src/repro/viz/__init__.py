@@ -1,0 +1,21 @@
+"""ASCII figure rendering."""
+
+from .figures import (
+    figure2_heatmap,
+    figure6_episode_cdf,
+    figure7_victim_cdf,
+    figure8_bars,
+    figure9_duration_cdfs,
+    figure10_series,
+    figure11_interarrival_cdfs,
+)
+
+__all__ = [
+    "figure2_heatmap",
+    "figure6_episode_cdf",
+    "figure7_victim_cdf",
+    "figure8_bars",
+    "figure9_duration_cdfs",
+    "figure10_series",
+    "figure11_interarrival_cdfs",
+]

@@ -1,0 +1,97 @@
+"""ASCII renderings of the paper's figures.
+
+Thin adapters from analysis results to :mod:`repro.util.ascii` renderers,
+so examples and the benchmark harness can show a figure's shape in a
+terminal (there is no plotting stack in the offline environment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.change import ChurnStats
+from ..core.congestion import CongestionSummary, VictimFlowComparison
+from ..core.flow_stats import DurationStats, InterarrivalStats
+from ..core.impact import ImpactStudy
+from ..core.traffic_matrix import log_matrix
+from ..util.ascii import render_bars, render_cdf, render_heatmap, render_series
+
+__all__ = [
+    "figure2_heatmap",
+    "figure6_episode_cdf",
+    "figure7_victim_cdf",
+    "figure8_bars",
+    "figure9_duration_cdfs",
+    "figure10_series",
+    "figure11_interarrival_cdfs",
+]
+
+
+def figure2_heatmap(tm: np.ndarray, title: str = "Fig 2: ln(bytes) between server pairs") -> str:
+    """The Fig 2 work-seeks-bandwidth / scatter-gather heatmap."""
+    return render_heatmap(log_matrix(tm), title=title)
+
+
+def figure6_episode_cdf(summary: CongestionSummary) -> str:
+    """Fig 6: congestion episode length distribution."""
+    return render_cdf(
+        {"episodes": summary.episode_duration_ecdf()},
+        log_x=True,
+        title="Fig 6: congestion episode duration CDF (log x, seconds)",
+    )
+
+
+def figure7_victim_cdf(comparison: VictimFlowComparison) -> str:
+    """Fig 7: rates of congestion-overlapping flows vs all flows."""
+    return render_cdf(
+        {
+            "all flows": comparison.all_ecdf(),
+            "overlap congestion": comparison.overlapping_ecdf(),
+        },
+        log_x=True,
+        title="Fig 7: flow rate CDF, bytes/s (log x)",
+    )
+
+
+def figure8_bars(study: ImpactStudy) -> str:
+    """Fig 8: per-day read-failure uplift bars."""
+    bars = study.uplift_bars()
+    labels = [f"day {day}" for day, _ in bars]
+    values = [0.0 if not np.isfinite(v) else v for _, v in bars]
+    return render_bars(
+        labels, values,
+        title="Fig 8: % increase in P(read failure) when overlapping congestion",
+    )
+
+
+def figure9_duration_cdfs(stats: DurationStats) -> str:
+    """Fig 9: flow duration CDF and bytes-weighted CDF."""
+    return render_cdf(
+        {"flows": stats.flow_cdf, "bytes": stats.byte_cdf},
+        log_x=True,
+        title="Fig 9: flow duration CDF (log x, seconds)",
+    )
+
+
+def figure10_series(stats: ChurnStats) -> str:
+    """Fig 10 (top): aggregate traffic rate over time."""
+    return render_series(
+        stats.aggregate_rate / 1e9,
+        title=(
+            "Fig 10: aggregate TM rate (GB/s); "
+            f"peak/bisection = {stats.peak_over_bisection:.2f}"
+        ),
+    )
+
+
+def figure11_interarrival_cdfs(stats: InterarrivalStats) -> str:
+    """Fig 11: inter-arrival CDFs at three vantage points."""
+    return render_cdf(
+        {
+            "cluster": stats.cluster,
+            "per ToR": stats.per_tor,
+            "per server": stats.per_server,
+        },
+        log_x=True,
+        title="Fig 11: flow inter-arrival CDF (log x, seconds)",
+    )

@@ -1,0 +1,59 @@
+"""Workload substrate: block store, Scope compiler, scheduler, executor."""
+
+from .blockstore import Block, BlockStore, Dataset
+from .generator import (
+    EvacuationEvent,
+    IngestionEvent,
+    WorkloadConfig,
+    WorkloadSchedule,
+    generate_schedule,
+)
+from .job import (
+    InputSource,
+    JobRuntime,
+    JobState,
+    PhaseRuntime,
+    VertexRuntime,
+    VertexState,
+)
+from .runtime import JobExecutor
+from .scheduler import Placement, PlacementLevel, SlotScheduler
+from .scope import (
+    STANDARD_TEMPLATES,
+    CompiledJob,
+    CompiledPhase,
+    JobSpec,
+    JobTemplate,
+    PhaseTemplate,
+    PhaseType,
+    compile_job,
+)
+
+__all__ = [
+    "Block",
+    "BlockStore",
+    "Dataset",
+    "WorkloadConfig",
+    "WorkloadSchedule",
+    "EvacuationEvent",
+    "IngestionEvent",
+    "generate_schedule",
+    "InputSource",
+    "JobRuntime",
+    "JobState",
+    "PhaseRuntime",
+    "VertexRuntime",
+    "VertexState",
+    "JobExecutor",
+    "Placement",
+    "PlacementLevel",
+    "SlotScheduler",
+    "PhaseType",
+    "PhaseTemplate",
+    "JobTemplate",
+    "JobSpec",
+    "CompiledPhase",
+    "CompiledJob",
+    "compile_job",
+    "STANDARD_TEMPLATES",
+]

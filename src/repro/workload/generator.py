@@ -1,0 +1,238 @@
+"""Workload generation: job arrivals, external transfers, evacuations.
+
+The instrumented cluster runs "diverse workloads created in the course of
+solving business and engineering problems" (paper §1): a stream of jobs
+from quick interactive experiments to long production index builds, plus
+data ingestion from outside the cluster, result egress, and occasional
+automated server evacuations.  This module turns a
+:class:`WorkloadConfig` into a deterministic schedule of those events.
+
+Load varies over "days" through ``day_load_factors`` — the Fig 8
+experiment replays eight days where weekdays are busy and the weekend is
+light, matching the paper's observation that the low-uplift days
+"correspond to a lightly loaded weekend".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.units import GB, MB
+from .scope import STANDARD_TEMPLATES, JobSpec, JobTemplate
+
+__all__ = ["WorkloadConfig", "EvacuationEvent", "IngestionEvent", "WorkloadSchedule",
+           "generate_schedule"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs controlling workload generation and execution.
+
+    Rates are *per simulated second*; the defaults target a few hundred
+    servers for tens of minutes.  ``template_weights`` skews the mix
+    towards short interactive jobs, as in the paper's cluster.
+    """
+
+    job_arrival_rate: float = 0.08
+    template_weights: dict[str, float] = field(
+        default_factory=lambda: {"interactive": 0.62, "report": 0.30, "production": 0.08}
+    )
+    templates: dict[str, JobTemplate] = field(
+        default_factory=lambda: dict(STANDARD_TEMPLATES)
+    )
+    #: Block size for datasets and outputs (the "chunking" that bounds
+    #: flow sizes, paper §8).
+    block_size: float = 256 * MB
+    target_bucket_bytes: float = 512 * MB
+    max_vertices_per_phase: int = 48
+    max_extract_vertices: int = 384
+    #: Probability that an input block is anchored inside the job's home
+    #: scope (rack/VLAN per template) rather than spread cluster-wide.
+    input_home_bias: float = 0.8
+    #: Compute-slot pool per server.
+    slots_per_server: int = 4
+    locality_bias: float = 1.0
+    #: Delay-scheduling patience: how long a data-anchored vertex waits
+    #: for a slot on a server holding its data before running anywhere.
+    locality_wait: float = 8.0
+    #: Vertex compute throughput (bytes/s per slot) and its lognormal noise.
+    compute_throughput: float = 250 * MB
+    compute_noise_sigma: float = 0.35
+    #: Local disk streaming rate for co-located reads.
+    disk_read_rate: float = 800 * MB
+    #: Simultaneously open connections per vertex (paper §4.4: applications
+    #: "limit their simultaneously open connections to a small number").
+    max_connections: int = 4
+    #: Stop-and-go scheduling quantum for starting queued fetches (§4.3's
+    #: ~15 ms inter-arrival modes).
+    connection_quantum: float = 0.015
+    connection_jitter: float = 0.001
+    #: Control-plane chatter (job manager RPCs) per vertex, bytes.
+    control_message_bytes: float = 24e3
+    #: Partition skew: per-(producer, bucket) shuffle volumes are scaled
+    #: by normalised lognormal(0, sigma) weights.  Real map-reduce
+    #: partitions are notoriously uneven (hot keys), which is also what
+    #: keeps shuffle TMs from collapsing to gravity's rank-one form.
+    partition_skew_sigma: float = 0.7
+    #: Read failure model: base hazard per remote fetch, multiplier when
+    #: the fetch overlapped a high-utilisation link, and the rate of
+    #: non-network failures (bad disks, unresponsive machines, §4.2).
+    read_failure_base: float = 4e-4
+    read_failure_congested_multiplier: float = 10.0
+    non_network_failure_prob: float = 6e-3
+    #: Replication factor for block-store writes.
+    replication_factor: int = 3
+    #: External data ingestion events per second, their size range, and
+    #: the probability that a finished job's output is pulled out.
+    ingestion_rate: float = 0.004
+    ingestion_bytes_range: tuple[float, float] = (1 * GB, 8 * GB)
+    egress_probability: float = 0.25
+    #: Server evacuations per second (rare, long-lived congestion, §4.2),
+    #: and how many co-located (same-rack) servers one event drains —
+    #: failures correlate within a rack (shared ToR and power).
+    evacuation_rate: float = 0.002
+    evacuation_servers: int = 3
+    #: Pre-existing block-store bytes per server at campaign start (the
+    #: cluster's standing datasets).  This is what an evacuation drains,
+    #: so it controls how long evacuation congestion episodes last.
+    initial_data_per_server: float = 8 * GB
+    #: Relative load per simulated day (cycled); used by multi-day runs.
+    day_load_factors: tuple[float, ...] = (1.0,)
+    #: Length of one simulated "day" in seconds (scaled; see DESIGN.md).
+    day_length: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.job_arrival_rate < 0:
+            raise ValueError("job_arrival_rate must be non-negative")
+        if not self.template_weights:
+            raise ValueError("template_weights must not be empty")
+        unknown = set(self.template_weights) - set(self.templates)
+        if unknown:
+            raise ValueError(f"weights reference unknown templates: {sorted(unknown)}")
+        if any(w < 0 for w in self.template_weights.values()):
+            raise ValueError("template weights must be non-negative")
+        if sum(self.template_weights.values()) <= 0:
+            raise ValueError("template weights must sum to a positive value")
+        if self.max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if self.connection_quantum <= 0:
+            raise ValueError("connection_quantum must be positive")
+        if not self.day_load_factors:
+            raise ValueError("day_load_factors must not be empty")
+        if self.day_length <= 0:
+            raise ValueError("day_length must be positive")
+
+
+@dataclass(frozen=True)
+class EvacuationEvent:
+    """A scheduled server evacuation (server chosen at execution time)."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class IngestionEvent:
+    """An external host uploading a new dataset into the cluster."""
+
+    time: float
+    total_bytes: float
+    external_host: int
+
+
+@dataclass
+class WorkloadSchedule:
+    """Everything the executor will replay, in time order."""
+
+    jobs: list[JobSpec]
+    ingestions: list[IngestionEvent]
+    evacuations: list[EvacuationEvent]
+    duration: float
+
+    @property
+    def num_events(self) -> int:
+        """Total scheduled top-level events."""
+        return len(self.jobs) + len(self.ingestions) + len(self.evacuations)
+
+
+def _load_factor_at(config: WorkloadConfig, time: float) -> float:
+    day = int(time // config.day_length) % len(config.day_load_factors)
+    return config.day_load_factors[day]
+
+
+def _poisson_arrivals(
+    rng: np.random.Generator,
+    base_rate: float,
+    duration: float,
+    config: WorkloadConfig,
+) -> list[float]:
+    """Inhomogeneous Poisson arrivals via thinning against the day profile."""
+    if base_rate <= 0:
+        return []
+    peak = base_rate * max(config.day_load_factors)
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak))
+        if t >= duration:
+            return times
+        accept = base_rate * _load_factor_at(config, t) / peak
+        if rng.random() < accept:
+            times.append(t)
+
+
+def generate_schedule(
+    config: WorkloadConfig,
+    duration: float,
+    rng: np.random.Generator,
+    external_hosts: list[int] | None = None,
+) -> WorkloadSchedule:
+    """Produce the deterministic event schedule for one simulation run.
+
+    Job input sizes are log-uniform within each template's range, which
+    yields the heavy-tailed mix of tiny and huge jobs the paper
+    describes.  External ingestions are skipped when the topology has no
+    external hosts.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    names = sorted(config.template_weights)
+    weights = np.array([config.template_weights[name] for name in names], dtype=float)
+    weights = weights / weights.sum()
+
+    jobs: list[JobSpec] = []
+    for index, time in enumerate(_poisson_arrivals(rng, config.job_arrival_rate,
+                                                   duration, config)):
+        template = config.templates[str(rng.choice(names, p=weights))]
+        log_low = np.log(template.min_input_bytes)
+        log_high = np.log(template.max_input_bytes)
+        input_bytes = float(np.exp(rng.uniform(log_low, log_high)))
+        jobs.append(
+            JobSpec(
+                name=f"{template.name}-{index}",
+                template=template,
+                input_bytes=input_bytes,
+                submit_time=time,
+            )
+        )
+
+    ingestions: list[IngestionEvent] = []
+    if external_hosts:
+        for time in _poisson_arrivals(rng, config.ingestion_rate, duration, config):
+            low, high = config.ingestion_bytes_range
+            total = float(np.exp(rng.uniform(np.log(low), np.log(high))))
+            host = int(rng.choice(external_hosts))
+            ingestions.append(IngestionEvent(time=time, total_bytes=total,
+                                             external_host=host))
+
+    evacuations = [
+        EvacuationEvent(time=time)
+        for time in _poisson_arrivals(rng, config.evacuation_rate, duration, config)
+    ]
+    return WorkloadSchedule(
+        jobs=jobs,
+        ingestions=ingestions,
+        evacuations=evacuations,
+        duration=duration,
+    )

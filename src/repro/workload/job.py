@@ -1,0 +1,142 @@
+"""Runtime job entities: jobs, phases, vertices and their data inputs.
+
+These are the mutable execution-state counterparts of the declarative
+:mod:`repro.workload.scope` structures.  The executor in
+:mod:`repro.workload.runtime` drives their state machines; everything
+here is bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .scope import CompiledJob, CompiledPhase
+
+__all__ = [
+    "VertexState",
+    "JobState",
+    "InputSource",
+    "VertexRuntime",
+    "PhaseRuntime",
+    "JobRuntime",
+]
+
+
+class VertexState(enum.Enum):
+    """Lifecycle of a vertex."""
+
+    WAITING = "waiting"        # upstream data not yet available
+    QUEUED = "queued"          # runnable but no free slot
+    FETCHING = "fetching"      # reading inputs (possibly over the network)
+    COMPUTING = "computing"    # crunching
+    DONE = "done"
+    FAILED = "failed"          # unrecoverable read failure
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    KILLED = "killed"          # killed after repeated read failures (§4.2)
+
+
+@dataclass
+class InputSource:
+    """One input a vertex must read before computing.
+
+    ``servers`` are the locations holding a copy (block replicas, or the
+    single server where an upstream vertex wrote its output).  The
+    executor reads locally when the vertex is co-located with a copy and
+    over the network otherwise.
+    """
+
+    servers: tuple[int, ...]
+    size: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ValueError("input source needs at least one holder")
+        if self.size < 0:
+            raise ValueError("input size must be non-negative")
+
+
+@dataclass
+class VertexRuntime:
+    """Execution state of one vertex."""
+
+    vertex_id: int
+    job_id: int
+    phase_index: int
+    inputs: list[InputSource] = field(default_factory=list)
+    output_bytes: float = 0.0
+    state: VertexState = VertexState.WAITING
+    server: int | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+    read_failures: int = 0
+    remote_bytes_read: float = 0.0
+    local_bytes_read: float = 0.0
+
+    @property
+    def total_input_bytes(self) -> float:
+        """Bytes across all inputs."""
+        return sum(source.size for source in self.inputs)
+
+
+@dataclass
+class PhaseRuntime:
+    """Execution state of one phase."""
+
+    compiled: CompiledPhase
+    vertices: list[VertexRuntime] = field(default_factory=list)
+    started: bool = False
+    start_time: float | None = None
+    end_time: float | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the phase's full complement of vertices is terminal.
+
+        Pipelined phases spawn vertices incrementally (one per upstream
+        completion), so "every spawned vertex is terminal" is not enough:
+        the phase is done only when all ``compiled.num_vertices`` have
+        been spawned *and* finished.
+        """
+        return len(self.vertices) >= self.compiled.num_vertices and all(
+            v.state in (VertexState.DONE, VertexState.FAILED) for v in self.vertices
+        )
+
+    @property
+    def completed_vertices(self) -> int:
+        """Number of vertices that finished successfully."""
+        return sum(1 for v in self.vertices if v.state == VertexState.DONE)
+
+
+@dataclass
+class JobRuntime:
+    """Execution state of one job."""
+
+    job_id: int
+    compiled: CompiledJob
+    phases: list[PhaseRuntime] = field(default_factory=list)
+    state: JobState = JobState.PENDING
+    start_time: float | None = None
+    end_time: float | None = None
+    read_failure_count: int = 0
+    #: servers that ran at least one vertex of this job, for the
+    #: job-metadata tomography prior (paper §5.3).
+    servers_used: set[int] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        """The job's display name."""
+        return self.compiled.spec.name
+
+    @property
+    def template_name(self) -> str:
+        """The template archetype this job instantiates."""
+        return self.compiled.spec.template.name

@@ -1,0 +1,239 @@
+"""Scope-like job compilation: job specs become phase DAGs.
+
+Programmers in the measured cluster "write jobs in a high-level SQL like
+language called Scope.  The scope compiler transforms the job into a
+workflow (similar to that of Dryad) consisting of phases of different
+types" (paper §3).  The common phase types the paper names:
+
+* **Extract** — looks at the raw data and generates a stream of relevant
+  records.  One vertex per input block, placed near the data.
+* **Partition** — divides a stream into a set number of buckets.  May
+  *pipeline* with Extract (starts on each extract vertex's output as soon
+  as that vertex finishes).
+* **Aggregate** — the Dryad equivalent of reduce.  Not pipelineable: a
+  bucket's aggregate needs every upstream vertex's contribution first, so
+  the phase is a barrier — the synchronisation that makes shuffle onsets
+  bursty.
+* **Combine** — implements joins.
+
+This module is purely declarative: it sizes phases and vertex counts.
+Execution (placement, timing, flows) happens in
+:mod:`repro.workload.runtime`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..util.units import GB, MB
+
+__all__ = [
+    "PhaseType",
+    "PhaseTemplate",
+    "JobTemplate",
+    "JobSpec",
+    "CompiledPhase",
+    "CompiledJob",
+    "compile_job",
+    "STANDARD_TEMPLATES",
+]
+
+
+class PhaseType(enum.Enum):
+    """The Scope/Dryad phase types named in paper §3."""
+
+    EXTRACT = "extract"
+    PARTITION = "partition"
+    AGGREGATE = "aggregate"
+    COMBINE = "combine"
+
+
+@dataclass(frozen=True)
+class PhaseTemplate:
+    """One phase of a job template.
+
+    ``selectivity`` is output bytes per input byte.  ``pipelined`` phases
+    start work per upstream vertex as its output lands; barrier phases
+    wait for the entire upstream phase.
+    """
+
+    phase_type: PhaseType
+    selectivity: float
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.selectivity <= 0:
+            raise ValueError("selectivity must be positive")
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """A job archetype: phase chain plus an input-size regime.
+
+    Jobs in the cluster "range over a broad spectrum from short
+    interactive programs ... to long running, highly optimized,
+    production jobs that build indexes" (paper §3); the standard template
+    set below spans that spectrum.
+    """
+
+    name: str
+    phases: tuple[PhaseTemplate, ...]
+    min_input_bytes: float
+    max_input_bytes: float
+    writes_output: bool = True
+    #: Where this job's input data concentrates: "rack" (short interactive
+    #: jobs whose working set was written by similarly local jobs), "vlan",
+    #: or "cluster" (big production inputs spread everywhere).  This is the
+    #: data-side half of work-seeks-bandwidth.
+    home_scope: str = "rack"
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("job template needs at least one phase")
+        if self.phases[0].phase_type != PhaseType.EXTRACT:
+            raise ValueError("job templates must start with an Extract phase")
+        if self.min_input_bytes <= 0 or self.max_input_bytes < self.min_input_bytes:
+            raise ValueError("invalid input size range")
+        if self.home_scope not in ("rack", "vlan", "cluster"):
+            raise ValueError(f"unknown home_scope {self.home_scope!r}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A concrete job instance awaiting compilation."""
+
+    name: str
+    template: JobTemplate
+    input_bytes: float
+    submit_time: float
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0:
+            raise ValueError("input_bytes must be positive")
+        if self.submit_time < 0:
+            raise ValueError("submit_time must be non-negative")
+
+
+@dataclass(frozen=True)
+class CompiledPhase:
+    """A sized phase: how many parallel vertices, how much data in/out."""
+
+    index: int
+    phase_type: PhaseType
+    pipelined: bool
+    num_vertices: int
+    input_bytes: float
+    output_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 1:
+            raise ValueError("phase needs at least one vertex")
+        if self.input_bytes < 0 or self.output_bytes < 0:
+            raise ValueError("phase byte counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class CompiledJob:
+    """A compiled job: spec plus the sized phase chain."""
+
+    spec: JobSpec
+    phases: tuple[CompiledPhase, ...]
+
+    @property
+    def output_bytes(self) -> float:
+        """Bytes the final phase writes back to the block store."""
+        return self.phases[-1].output_bytes if self.spec.template.writes_output else 0.0
+
+
+#: The job mix used throughout the reproduction.  Sizes are deliberately
+#: one to two orders of magnitude below the production cluster's so that a
+#: simulated "day" stays laptop-sized; EXPERIMENTS.md records the scaling.
+STANDARD_TEMPLATES: dict[str, JobTemplate] = {
+    "interactive": JobTemplate(
+        name="interactive",
+        phases=(
+            PhaseTemplate(PhaseType.EXTRACT, selectivity=0.10),
+            PhaseTemplate(PhaseType.AGGREGATE, selectivity=0.05),
+        ),
+        min_input_bytes=64 * MB,
+        max_input_bytes=2 * GB,
+        home_scope="rack",
+    ),
+    "report": JobTemplate(
+        name="report",
+        phases=(
+            PhaseTemplate(PhaseType.EXTRACT, selectivity=0.60),
+            PhaseTemplate(PhaseType.PARTITION, selectivity=1.0, pipelined=True),
+            PhaseTemplate(PhaseType.AGGREGATE, selectivity=0.25),
+        ),
+        min_input_bytes=2 * GB,
+        max_input_bytes=30 * GB,
+        home_scope="rack",
+    ),
+    "production": JobTemplate(
+        name="production",
+        phases=(
+            PhaseTemplate(PhaseType.EXTRACT, selectivity=0.90),
+            PhaseTemplate(PhaseType.PARTITION, selectivity=1.0, pipelined=True),
+            PhaseTemplate(PhaseType.AGGREGATE, selectivity=0.50),
+            PhaseTemplate(PhaseType.PARTITION, selectivity=1.0, pipelined=True),
+            PhaseTemplate(PhaseType.AGGREGATE, selectivity=0.40),
+            PhaseTemplate(PhaseType.COMBINE, selectivity=0.50),
+        ),
+        min_input_bytes=10 * GB,
+        max_input_bytes=50 * GB,
+        home_scope="vlan",
+    ),
+}
+
+
+def compile_job(
+    spec: JobSpec,
+    block_size: float = 256 * MB,
+    target_bucket_bytes: float = 512 * MB,
+    max_vertices_per_phase: int = 64,
+    max_extract_vertices: int = 512,
+) -> CompiledJob:
+    """Size a job's phases the way the Scope compiler would.
+
+    * Extract gets one vertex per input block — vertices queue on compute
+      slots rather than batching blocks, so each read stays eligible for
+      data-local placement (the cap exists only as a runaway guard);
+    * a pipelined Partition inherits its upstream phase's vertex count
+      (each upstream vertex's output is partitioned where it landed);
+    * Aggregate/Combine get one vertex per ``target_bucket_bytes`` of
+      phase input (capped), the "set number of buckets" of §3.
+    """
+    if block_size <= 0 or target_bucket_bytes <= 0:
+        raise ValueError("block and bucket sizes must be positive")
+    if max_vertices_per_phase < 1 or max_extract_vertices < 1:
+        raise ValueError("vertex caps must be >= 1")
+    phases: list[CompiledPhase] = []
+    incoming = spec.input_bytes
+    previous_vertices = 1
+    for index, template in enumerate(spec.template.phases):
+        outgoing = incoming * template.selectivity
+        if template.phase_type == PhaseType.EXTRACT:
+            vertices = min(math.ceil(spec.input_bytes / block_size),
+                           max_extract_vertices)
+        elif template.pipelined:
+            vertices = previous_vertices
+        else:
+            vertices = min(math.ceil(incoming / target_bucket_bytes),
+                           max_vertices_per_phase)
+        vertices = max(1, vertices)
+        phases.append(
+            CompiledPhase(
+                index=index,
+                phase_type=template.phase_type,
+                pipelined=template.pipelined,
+                num_vertices=vertices,
+                input_bytes=incoming,
+                output_bytes=outgoing,
+            )
+        )
+        incoming = outgoing
+        previous_vertices = vertices
+    return CompiledJob(spec=spec, phases=tuple(phases))

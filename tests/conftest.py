@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The expensive artefact — a simulated measurement campaign — is built once
+per session on the small configuration and shared by every analysis and
+experiment test.  Unit tests for the substrates build their own tiny
+structures instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.routing import Router
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.experiments.common import ExperimentDataset, build_dataset, small_config
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> ClusterSpec:
+    """A 4-rack, 20-server cluster spec for structural tests."""
+    return ClusterSpec(racks=4, servers_per_rack=5, racks_per_vlan=2,
+                       external_hosts=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_topology(tiny_spec: ClusterSpec) -> ClusterTopology:
+    """A built tiny cluster."""
+    return ClusterTopology(tiny_spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_router(tiny_topology: ClusterTopology) -> Router:
+    """Router over the tiny cluster."""
+    return Router(tiny_topology)
+
+
+@pytest.fixture(scope="session")
+def dataset() -> ExperimentDataset:
+    """The session-wide small campaign (simulation + derived artefacts)."""
+    return build_dataset(small_config())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,45 @@
+"""Ablation experiments (A1-A3).
+
+A1/A2 run two full (small) campaigns each, so they are the slowest tests
+in the suite; A3 is synthetic and fast.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_connection_cap_ablation,
+    run_gravity_regime_ablation,
+    run_locality_ablation,
+)
+
+
+@pytest.mark.slow
+class TestLocalityAblation:
+    def test_locality_preference_creates_the_pattern(self):
+        result = run_locality_ablation(seed=21)
+        assert result.in_rack_with_locality > result.in_rack_without_locality
+        assert result.locality_gain > 1.1
+        assert result.local_placements_with > 0.7
+        assert result.local_placements_without < 0.5
+        rows = result.rows()
+        assert len(rows) == 5
+
+
+@pytest.mark.slow
+class TestConnectionCapAblation:
+    def test_cap_creates_modes_and_bounds_fan_in(self):
+        result = run_connection_cap_ablation(seed=22)
+        assert result.modes_with_cap > result.modes_without_cap
+        assert result.peak_fan_in_without_cap > result.peak_fan_in_with_cap
+
+
+class TestGravityRegimeAblation:
+    def test_gravity_prior_fits_isp_not_dc(self):
+        result = run_gravity_regime_ablation(trials=8, seed=23)
+        assert result.median_isp_error < 0.1
+        assert result.median_dc_error > 0.2
+        assert result.median_dc_error > 5 * result.median_isp_error
+
+    def test_rows_render(self):
+        result = run_gravity_regime_ablation(trials=4, seed=24)
+        assert len(result.rows()) == 2

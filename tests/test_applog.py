@@ -1,0 +1,59 @@
+"""Application log records and queries."""
+
+from repro.instrumentation.applog import ApplicationLog
+
+
+def populated_log() -> ApplicationLog:
+    log = ApplicationLog()
+    log.record_job_start(0, "job-a", "interactive", 1.0)
+    log.record_phase_start(0, 0, "extract", 1.0)
+    log.record_vertex_start(10, 0, 0, server=3, locality="LOCAL", time=1.1)
+    log.record_vertex_end(10, 0, 0, time=2.0, read_failures=0, remote_bytes=0.0)
+    log.record_phase_end(0, 0, 2.0)
+    log.record_job_end(0, "succeeded", 2.5, read_failures=0)
+
+    log.record_job_start(1, "job-b", "report", 3.0)
+    log.record_vertex_start(11, 1, 0, server=4, locality="RACK", time=3.1)
+    log.record_read_failure(1, 11, src=5, dst=4, time=3.5)
+    log.record_job_end(1, "killed_read_failure", 4.0, read_failures=1)
+    log.record_evacuation(server=7, time=5.0, blocks_moved=12)
+    return log
+
+
+class TestQueries:
+    def test_jobs_seen_in_order(self):
+        assert populated_log().jobs_seen() == [0, 1]
+
+    def test_job_outcomes(self):
+        log = populated_log()
+        assert log.job_outcome(0) == "succeeded"
+        assert log.job_outcome(1) == "killed_read_failure"
+        assert log.job_outcome(99) is None
+
+    def test_job_interval(self):
+        log = populated_log()
+        assert log.job_interval(0) == (1.0, 2.5)
+        assert log.job_interval(99) is None
+
+    def test_job_interval_falls_back_to_vertex_end(self):
+        log = ApplicationLog()
+        log.record_job_start(5, "j", "report", 1.0)
+        log.record_vertex_end(20, 5, 0, time=9.0, read_failures=0, remote_bytes=0.0)
+        assert log.job_interval(5) == (1.0, 9.0)
+
+    def test_jobs_with_read_failures(self):
+        assert populated_log().jobs_with_read_failures() == {1}
+
+    def test_servers_by_job(self):
+        placements = populated_log().servers_by_job()
+        assert placements == {0: {3}, 1: {4}}
+
+    def test_phase_type_lookup(self):
+        log = populated_log()
+        assert log.phase_type_of(0, 0) == "extract"
+        assert log.phase_type_of(0, 5) is None
+
+    def test_evacuations_recorded(self):
+        log = populated_log()
+        assert log.evacuations[0].server == 7
+        assert log.evacuations[0].blocks_moved == 12

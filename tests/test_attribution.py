@@ -1,0 +1,94 @@
+"""Traffic attribution to applications (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import attribute_traffic, kind_of_flows
+from repro.core.flows import FlowTable
+from repro.instrumentation.applog import ApplicationLog
+from repro.instrumentation.collector import SERVICE_PORTS
+
+
+def make_flows(rows):
+    """rows: (src, dst, start, end, bytes, job, phase, src_port)."""
+    n = len(rows)
+    cols = list(zip(*rows)) if rows else [[]] * 8
+    return FlowTable(
+        src=np.array(cols[0], dtype=np.int64),
+        src_port=np.array(cols[7], dtype=np.int64),
+        dst=np.array(cols[1], dtype=np.int64),
+        dst_port=np.arange(n, dtype=np.int64) + 50000,
+        protocol=np.full(n, 6, dtype=np.int64),
+        start_time=np.array(cols[2], dtype=float),
+        end_time=np.array(cols[3], dtype=float),
+        num_bytes=np.array(cols[4], dtype=float),
+        num_events=np.ones(n, dtype=np.int64),
+        job_id=np.array(cols[5], dtype=np.int64),
+        phase_index=np.array(cols[6], dtype=np.int64),
+    )
+
+
+class TestKinds:
+    def test_kind_recovery(self):
+        flows = make_flows([
+            (0, 1, 0, 1, 10.0, 0, 0, SERVICE_PORTS["fetch"]),
+            (0, 1, 0, 1, 10.0, 0, 0, SERVICE_PORTS["evacuation"]),
+            (0, 1, 0, 1, 10.0, 0, 0, 1234),
+        ])
+        assert kind_of_flows(flows) == ["fetch", "evacuation", "unknown"]
+
+
+class TestAttribution:
+    def test_phase_merge_uses_applog(self, tiny_topology, tiny_router):
+        applog = ApplicationLog()
+        applog.record_phase_start(0, 0, "extract", 0.0)
+        applog.record_phase_start(0, 2, "aggregate", 5.0)
+        flows = make_flows([
+            (0, 1, 0, 1, 100.0, 0, 0, SERVICE_PORTS["fetch"]),
+            (0, 1, 2, 3, 300.0, 0, 2, SERVICE_PORTS["fetch"]),
+            (0, 1, 2, 3, 50.0, 0, 9, SERVICE_PORTS["fetch"]),  # unlogged phase
+        ])
+        util = np.zeros((tiny_topology.num_links, 10))
+        report = attribute_traffic(flows, applog, tiny_router, util)
+        assert report.bytes_by_phase_type["extract"] == 100.0
+        assert report.bytes_by_phase_type["aggregate"] == 300.0
+        assert report.bytes_by_phase_type["unknown-phase"] == 50.0
+
+    def test_kind_totals(self, tiny_topology, tiny_router):
+        applog = ApplicationLog()
+        flows = make_flows([
+            (0, 1, 0, 1, 100.0, -1, -1, SERVICE_PORTS["evacuation"]),
+            (0, 1, 0, 1, 40.0, -1, -1, SERVICE_PORTS["replication"]),
+        ])
+        util = np.zeros((tiny_topology.num_links, 10))
+        report = attribute_traffic(flows, applog, tiny_router, util)
+        assert report.bytes_by_kind == {"evacuation": 100.0, "replication": 40.0}
+        assert report.share(report.bytes_by_kind, "evacuation") == pytest.approx(100 / 140)
+
+    def test_hot_attribution_restricted_to_overlap(self, tiny_topology, tiny_router):
+        applog = ApplicationLog()
+        applog.record_phase_start(0, 0, "extract", 0.0)
+        util = np.zeros((tiny_topology.num_links, 10))
+        hot_link = tiny_router.path_links(0, 1)[0]
+        util[hot_link, 0] = 0.99
+        flows = make_flows([
+            (0, 1, 0, 1, 100.0, 0, 0, SERVICE_PORTS["fetch"]),   # hot
+            (2, 3, 0, 1, 900.0, 0, 0, SERVICE_PORTS["fetch"]),   # cold path
+        ])
+        report = attribute_traffic(flows, applog, tiny_router, util)
+        assert report.hot_bytes_by_phase_type == {"extract": 100.0}
+
+    def test_top_hot_contributors(self, tiny_topology, tiny_router):
+        applog = ApplicationLog()
+        applog.record_phase_start(0, 1, "aggregate", 0.0)
+        util = np.zeros((tiny_topology.num_links, 10))
+        hot_link = tiny_router.path_links(0, 1)[0]
+        util[hot_link, 0] = 0.99
+        flows = make_flows([
+            (0, 1, 0, 1, 500.0, 0, 1, SERVICE_PORTS["fetch"]),
+            (0, 1, 0, 1, 300.0, -1, -1, SERVICE_PORTS["evacuation"]),
+        ])
+        report = attribute_traffic(flows, applog, tiny_router, util)
+        top = report.top_hot_contributors(2)
+        assert top[0] == ("aggregate", 500.0)
+        assert top[1] == ("evacuation", 300.0)

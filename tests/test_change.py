@@ -1,0 +1,77 @@
+"""Traffic matrix churn (Fig 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.change import churn_stats, normalized_change_series
+from repro.core.traffic_matrix import TrafficMatrixSeries
+
+
+def series_from(matrices, window=10.0):
+    arr = np.asarray(matrices, dtype=float)
+    return TrafficMatrixSeries(
+        matrices=arr, window=window, endpoint_ids=np.arange(arr.shape[1])
+    )
+
+
+class TestNormalizedChange:
+    def test_identical_windows_zero_change(self):
+        m = np.ones((2, 2))
+        change = normalized_change_series(series_from([m, m]))
+        assert change.tolist() == [0.0]
+
+    def test_full_turnover(self):
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [1.0, 0.0]])
+        change = normalized_change_series(series_from([a, b]))
+        # numerator |b - a| sums to 2, denominator 1
+        assert change[0] == pytest.approx(2.0)
+
+    def test_magnitude_change(self):
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        b = 2 * a
+        change = normalized_change_series(series_from([a, b]))
+        assert change[0] == pytest.approx(1.0)
+
+    def test_zero_base_is_nan(self):
+        zero = np.zeros((2, 2))
+        busy = np.ones((2, 2))
+        change = normalized_change_series(series_from([zero, busy]))
+        assert np.isnan(change[0])
+
+    def test_single_window_empty(self):
+        assert normalized_change_series(series_from([np.ones((2, 2))])).size == 0
+
+    def test_participant_churn_without_volume_change(self):
+        """The paper's point: totals equal, participants different."""
+        a = np.array([[0.0, 5.0], [0.0, 0.0]])
+        b = np.array([[0.0, 0.0], [5.0, 0.0]])
+        change = normalized_change_series(series_from([a, b]))
+        assert change[0] == pytest.approx(2.0)  # maximal churn, same total
+
+
+class TestChurnStats:
+    def test_rate_series(self):
+        mats = [np.full((2, 2), 10.0), np.full((2, 2), 20.0)] * 5
+        stats = churn_stats(series_from(mats, window=10.0),
+                            bisection_bandwidth=100.0, long_factor=2)
+        assert stats.aggregate_rate[0] == pytest.approx(4.0)  # 40 bytes / 10 s
+        assert stats.peak_rate == pytest.approx(8.0)
+        assert stats.peak_over_bisection == pytest.approx(0.08)
+
+    def test_two_timescales(self):
+        rng = np.random.default_rng(0)
+        mats = rng.random((20, 3, 3))
+        stats = churn_stats(series_from(mats), bisection_bandwidth=1.0,
+                            long_factor=2)
+        assert stats.tau_short == 10.0
+        assert stats.tau_long == 20.0
+        assert stats.change_short.size == 19
+        assert stats.change_long.size == 9
+        assert np.isfinite(stats.median_change_short)
+        assert np.isfinite(stats.median_change_long)
+
+    def test_zero_bisection_nan(self):
+        mats = [np.ones((2, 2))] * 12
+        stats = churn_stats(series_from(mats), bisection_bandwidth=0.0)
+        assert np.isnan(stats.peak_over_bisection)

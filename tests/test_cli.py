@@ -1,0 +1,50 @@
+"""Command-line interface."""
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys, tmp_path):
+        dump = tmp_path / "log.z"
+        code = main([
+            "simulate", "--racks", "3", "--servers-per-rack", "4",
+            "--duration", "20", "--seed", "3", "--dump-log", str(dump),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transfers_completed" in out
+        assert dump.exists()
+        assert dump.stat().st_size > 0
+
+    def test_deterministic_across_invocations(self, capsys):
+        main(["simulate", "--racks", "3", "--servers-per-rack", "4",
+              "--duration", "20", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["simulate", "--racks", "3", "--servers-per-rack", "4",
+              "--duration", "20", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestFigures:
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_single_figure_runs(self, capsys):
+        code = main(["figures", "fig09"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "paper" in out
+
+
+class TestAblations:
+    def test_unknown_ablation_rejected(self, capsys):
+        assert main(["ablations", "nope"]) == 2
+        assert "unknown ablations" in capsys.readouterr().err
+
+    def test_gravity_ablation_runs(self, capsys):
+        code = main(["ablations", "gravity", "--seed", "5"])
+        assert code == 0
+        assert "ISP regime" in capsys.readouterr().out

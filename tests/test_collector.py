@@ -1,0 +1,159 @@
+"""The ETW-like socket event collector."""
+
+import pytest
+
+from repro.instrumentation.collector import SERVICE_PORTS, ClusterCollector, CollectorConfig
+from repro.instrumentation.events import DIRECTION_RECV, DIRECTION_SEND
+from repro.simulation.transport import Transfer, TransferMeta
+from repro.util.units import MB
+
+
+def make_transfer(topo, src=0, dst=1, size=1 * MB, start=0.0, end=1.0,
+                  kind="fetch", connection_key=None, job_id=5, phase=0):
+    return Transfer(
+        transfer_id=0, src=src, dst=dst, size=size, start_time=start, end_time=end,
+        meta=TransferMeta(kind=kind, job_id=job_id, phase_index=phase,
+                          connection_key=connection_key),
+    )
+
+
+@pytest.fixture()
+def collector(tiny_topology, rng):
+    return ClusterCollector(tiny_topology, rng=rng)
+
+
+class TestEvents:
+    def test_both_sides_log(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology))
+        log = collector.finalize()
+        directions = set(log.column("direction").tolist())
+        assert directions == {DIRECTION_SEND, DIRECTION_RECV}
+        servers = set(log.column("server").tolist())
+        assert servers == {0, 1}
+
+    def test_external_endpoint_not_instrumented(self, tiny_topology, rng):
+        collector = ClusterCollector(tiny_topology, rng=rng)
+        external = tiny_topology.num_nodes - 1
+        collector.observe_transfer(make_transfer(tiny_topology, src=external, dst=3))
+        log = collector.finalize()
+        assert set(log.column("server").tolist()) == {3}
+        assert set(log.column("direction").tolist()) == {DIRECTION_RECV}
+
+    def test_large_transfer_chunked(self, tiny_topology, rng):
+        config = CollectorConfig(chunk_bytes=1 * MB, max_events_per_transfer=4)
+        collector = ClusterCollector(tiny_topology, rng=rng, config=config)
+        collector.observe_transfer(make_transfer(tiny_topology, size=10 * MB))
+        log = collector.finalize()
+        send_events = log.select(log.column("direction") == DIRECTION_SEND)
+        assert len(send_events) == 4  # capped
+        assert send_events.column("num_bytes").sum() == pytest.approx(10 * MB)
+
+    def test_small_transfer_single_event(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology, size=1000.0))
+        log = collector.finalize()
+        send_events = log.select(log.column("direction") == DIRECTION_SEND)
+        assert len(send_events) == 1
+
+    def test_event_times_span_transfer(self, tiny_topology, rng):
+        config = CollectorConfig(chunk_bytes=1 * MB, clock_skew_max=0.0)
+        collector = ClusterCollector(tiny_topology, rng=rng, config=config)
+        collector.observe_transfer(
+            make_transfer(tiny_topology, size=6 * MB, start=2.0, end=5.0)
+        )
+        log = collector.finalize()
+        send = log.select(log.column("direction") == DIRECTION_SEND)
+        times = send.column("timestamp")
+        assert times.min() == pytest.approx(2.0)
+        assert times.max() == pytest.approx(5.0)
+
+    def test_job_context_tagged(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology, job_id=42, phase=3))
+        log = collector.finalize()
+        assert set(log.column("job_id").tolist()) == {42}
+        assert set(log.column("phase_index").tolist()) == {3}
+
+    def test_byte_conservation_per_side(self, tiny_topology, collector):
+        size = 7.3 * MB
+        collector.observe_transfer(make_transfer(tiny_topology, size=size))
+        log = collector.finalize()
+        assert log.total_bytes(DIRECTION_SEND) == pytest.approx(size)
+        assert log.total_bytes(DIRECTION_RECV) == pytest.approx(size)
+
+
+class TestPorts:
+    def test_service_port_by_kind(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology, kind="replication"))
+        log = collector.finalize()
+        assert set(log.column("src_port").tolist()) == {SERVICE_PORTS["replication"]}
+
+    def test_unknown_kind_falls_back(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology, kind="mystery"))
+        log = collector.finalize()
+        assert set(log.column("src_port").tolist()) == {SERVICE_PORTS["unknown"]}
+
+    def test_connection_key_reuses_port(self, tiny_topology, collector):
+        key = ("job", 1, 0)
+        collector.observe_transfer(
+            make_transfer(tiny_topology, connection_key=key, start=0.0, end=1.0)
+        )
+        collector.observe_transfer(
+            make_transfer(tiny_topology, connection_key=key, start=2.0, end=3.0)
+        )
+        log = collector.finalize()
+        assert len(set(log.column("dst_port").tolist())) == 1
+
+    def test_no_key_gets_fresh_ports(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology))
+        collector.observe_transfer(make_transfer(tiny_topology))
+        log = collector.finalize()
+        assert len(set(log.column("dst_port").tolist())) == 2
+
+    def test_ephemeral_range(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology))
+        log = collector.finalize()
+        port = int(log.column("dst_port")[0])
+        assert 49152 <= port < 49152 + 16000
+
+
+class TestClockSkew:
+    def test_offsets_bounded(self, tiny_topology, rng):
+        config = CollectorConfig(clock_skew_max=0.05)
+        collector = ClusterCollector(tiny_topology, rng=rng, config=config)
+        for server in range(tiny_topology.num_servers):
+            assert abs(collector.clock_offset_of(server)) <= 0.05
+
+    def test_skew_applied_to_timestamps(self, tiny_topology, rng):
+        config = CollectorConfig(clock_skew_max=0.05, chunk_bytes=1e12)
+        collector = ClusterCollector(tiny_topology, rng=rng, config=config)
+        collector.observe_transfer(make_transfer(tiny_topology, src=0, dst=1,
+                                                 start=10.0, end=11.0))
+        log = collector.finalize()
+        for i in range(len(log)):
+            event = log.row(i)
+            expected = 10.0 + collector.clock_offset_of(event.server)
+            assert event.timestamp == pytest.approx(expected)
+
+    def test_zero_skew(self, tiny_topology, rng):
+        config = CollectorConfig(clock_skew_max=0.0)
+        collector = ClusterCollector(tiny_topology, rng=rng, config=config)
+        assert collector.clock_offset_of(0) == 0.0
+
+
+class TestConfigValidation:
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(chunk_bytes=0)
+
+    def test_bad_max_events(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(max_events_per_transfer=0)
+
+    def test_bad_skew(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(clock_skew_max=-0.1)
+
+    def test_overhead_counters(self, tiny_topology, collector):
+        collector.observe_transfer(make_transfer(tiny_topology, size=3 * MB))
+        assert collector.transfers_observed == 1
+        assert collector.bytes_observed == pytest.approx(3 * MB)
+        assert collector.events_emitted() >= 2

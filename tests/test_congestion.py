@@ -1,0 +1,136 @@
+"""Congestion detection, episodes and victim flows (Figs 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.congestion import (
+    congestion_summary,
+    find_episodes,
+    flows_overlapping_congestion,
+    hot_matrix,
+    simultaneous_hot_links,
+    victim_flow_comparison,
+)
+from repro.core.flows import FlowTable
+
+
+def make_flows(rows):
+    """rows: list of (src, dst, start, end, bytes)."""
+    arrays = list(zip(*rows)) if rows else [[], [], [], [], []]
+    n = len(rows)
+    return FlowTable(
+        src=np.array(arrays[0], dtype=np.int64),
+        src_port=np.full(n, 8400, dtype=np.int64),
+        dst=np.array(arrays[1], dtype=np.int64),
+        dst_port=np.arange(n, dtype=np.int64) + 50000,
+        protocol=np.full(n, 6, dtype=np.int64),
+        start_time=np.array(arrays[2], dtype=float),
+        end_time=np.array(arrays[3], dtype=float),
+        num_bytes=np.array(arrays[4], dtype=float),
+        num_events=np.ones(n, dtype=np.int64),
+        job_id=np.zeros(n, dtype=np.int64),
+        phase_index=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestHotMatrix:
+    def test_threshold(self):
+        util = np.array([[0.5, 0.8], [0.69, 0.71]])
+        hot = hot_matrix(util, threshold=0.7)
+        assert hot.tolist() == [[False, True], [False, True]]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            hot_matrix(np.zeros((1, 1)), threshold=0.0)
+
+
+class TestEpisodes:
+    def test_single_run(self):
+        hot = np.array([[False, True, True, True, False]])
+        episodes = find_episodes(hot)
+        assert len(episodes) == 1
+        assert episodes[0].start == 1.0
+        assert episodes[0].duration == 3.0
+        assert episodes[0].end == 4.0
+
+    def test_multiple_runs_same_link(self):
+        hot = np.array([[True, False, True, True]])
+        episodes = find_episodes(hot)
+        assert [e.duration for e in episodes] == [1.0, 2.0]
+
+    def test_link_ids_respected(self):
+        hot = np.array([[False], [True]])
+        episodes = find_episodes(hot, link_ids=np.array([10, 20]))
+        assert episodes[0].link_id == 20
+
+    def test_bin_width_scales(self):
+        hot = np.array([[True, True]])
+        episodes = find_episodes(hot, bin_width=5.0)
+        assert episodes[0].duration == 10.0
+
+    def test_no_congestion(self):
+        assert find_episodes(np.zeros((3, 10), dtype=bool)) == []
+
+
+class TestSummary:
+    def test_fractions(self):
+        util = np.zeros((4, 200))
+        util[0, :15] = 0.9      # 15 s episode
+        util[1, :120] = 0.9     # 120 s episode
+        util[2, 0:5] = 0.9      # 5 s episode
+        summary = congestion_summary(util)
+        assert summary.num_links == 4
+        assert summary.links_with_any_congestion == 3
+        assert summary.frac_links_hot_at_least_10s == pytest.approx(0.5)
+        assert summary.frac_links_hot_at_least_100s == pytest.approx(0.25)
+        assert summary.longest_episode == 120.0
+        assert summary.episodes_over_10s == 2
+
+    def test_episode_cdf_and_short_fraction(self):
+        util = np.zeros((1, 100))
+        util[0, 0:2] = 0.9    # 2 s
+        util[0, 10:13] = 0.9  # 3 s
+        util[0, 20:40] = 0.9  # 20 s
+        summary = congestion_summary(util)
+        assert summary.frac_episodes_at_most(10.0) == pytest.approx(2 / 3)
+        cdf = summary.episode_duration_ecdf(min_duration=1.0)
+        assert cdf.n == 3
+
+    def test_simultaneous_counts(self):
+        util = np.zeros((3, 4))
+        util[:, 1] = 0.9
+        util[0, 2] = 0.9
+        counts = simultaneous_hot_links(util)
+        assert counts.tolist() == [0, 3, 1, 0]
+
+
+class TestVictimFlows:
+    def test_overlap_detection(self, tiny_topology, tiny_router):
+        util = np.zeros((tiny_topology.num_links, 10))
+        hot_link = tiny_router.path_links(0, 1)[0]
+        util[hot_link, 5] = 0.9
+        flows = make_flows([
+            (0, 1, 4.0, 6.0, 100.0),   # overlaps second 5
+            (0, 1, 0.0, 2.0, 100.0),   # before congestion
+            (2, 3, 4.0, 6.0, 100.0),   # different path
+        ])
+        overlap = flows_overlapping_congestion(flows, tiny_router, util)
+        assert overlap.tolist() == [True, False, False]
+
+    def test_comparison_statistics(self, tiny_topology, tiny_router):
+        util = np.zeros((tiny_topology.num_links, 10))
+        hot_link = tiny_router.path_links(0, 1)[0]
+        util[hot_link, 0] = 0.9
+        flows = make_flows([
+            (0, 1, 0.0, 1.0, 100.0),
+            (2, 3, 0.0, 1.0, 100.0),
+        ])
+        comparison = victim_flow_comparison(flows, tiny_router, util)
+        assert comparison.overlapping_rates.size == 1
+        assert comparison.all_rates.size == 2
+        assert comparison.median_ratio == pytest.approx(1.0)
+
+    def test_empty_flows(self, tiny_topology, tiny_router):
+        util = np.zeros((tiny_topology.num_links, 10))
+        comparison = victim_flow_comparison(make_flows([]), tiny_router, util)
+        assert np.isnan(comparison.median_ratio)

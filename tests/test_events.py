@@ -1,0 +1,101 @@
+"""Socket event log container."""
+
+import pytest
+
+from repro.instrumentation.events import (
+    DIRECTION_RECV,
+    DIRECTION_SEND,
+    SocketEventLog,
+)
+
+
+def append_sample(log: SocketEventLog, timestamp: float = 1.0, server: int = 0,
+                  direction: int = DIRECTION_SEND, num_bytes: float = 100.0) -> None:
+    log.append(
+        timestamp=timestamp, server=server, direction=direction,
+        src=0, src_port=8400, dst=1, dst_port=50000, protocol=6,
+        num_bytes=num_bytes, job_id=3, phase_index=1,
+    )
+
+
+class TestAppendFinalize:
+    def test_append_then_len(self):
+        log = SocketEventLog()
+        append_sample(log)
+        append_sample(log)
+        assert len(log) == 2
+
+    def test_finalize_sorts_by_time(self):
+        log = SocketEventLog()
+        append_sample(log, timestamp=5.0)
+        append_sample(log, timestamp=1.0)
+        log.finalize()
+        times = log.column("timestamp")
+        assert list(times) == [1.0, 5.0]
+
+    def test_append_after_finalize_rejected(self):
+        log = SocketEventLog()
+        log.finalize()
+        with pytest.raises(RuntimeError):
+            append_sample(log)
+
+    def test_finalize_idempotent(self):
+        log = SocketEventLog()
+        append_sample(log)
+        log.finalize()
+        log.finalize()
+        assert len(log) == 1
+
+    def test_read_before_finalize_rejected(self):
+        log = SocketEventLog()
+        append_sample(log)
+        with pytest.raises(RuntimeError):
+            log.column("timestamp")
+
+    def test_unknown_column_rejected(self):
+        log = SocketEventLog()
+        log.finalize()
+        with pytest.raises(KeyError):
+            log.column("nope")
+
+
+class TestViews:
+    def test_row_materialisation(self):
+        log = SocketEventLog()
+        append_sample(log, timestamp=2.0, num_bytes=64.0)
+        log.finalize()
+        event = log.row(0)
+        assert event.timestamp == 2.0
+        assert event.num_bytes == 64.0
+        assert event.src_port == 8400
+        assert event.job_id == 3
+
+    def test_select(self):
+        log = SocketEventLog()
+        append_sample(log, server=0)
+        append_sample(log, server=1)
+        log.finalize()
+        subset = log.events_on_server(1)
+        assert len(subset) == 1
+        assert subset.column("server")[0] == 1
+
+    def test_total_bytes_send_only_by_default(self):
+        log = SocketEventLog()
+        append_sample(log, direction=DIRECTION_SEND, num_bytes=10.0)
+        append_sample(log, direction=DIRECTION_RECV, num_bytes=10.0)
+        log.finalize()
+        assert log.total_bytes() == 10.0
+        assert log.total_bytes(direction=None) == 20.0
+        assert log.total_bytes(direction=DIRECTION_RECV) == 10.0
+
+    def test_time_span(self):
+        log = SocketEventLog()
+        append_sample(log, timestamp=3.0)
+        append_sample(log, timestamp=8.0)
+        log.finalize()
+        assert log.time_span() == (3.0, 8.0)
+
+    def test_time_span_empty(self):
+        log = SocketEventLog()
+        log.finalize()
+        assert log.time_span() == (0.0, 0.0)

@@ -1,0 +1,218 @@
+"""Experiment harness: every figure runs and shows the paper's shape.
+
+These tests encode the qualitative claims of each figure as assertions
+on the small campaign — the same claims the benchmark suite asserts on
+the standard campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    format_table,
+    table_s2,
+)
+
+
+class TestFig02:
+    def test_locality_amplified(self, dataset):
+        result = fig02.run(dataset)
+        assert result.locality_amplification > 1.5
+
+    def test_shares_sum_to_one(self, dataset):
+        summary = fig02.run(dataset).summary
+        total = (
+            summary.in_rack_byte_fraction
+            + summary.cross_rack_byte_fraction
+            + summary.external_byte_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_scatter_gather_present(self, dataset):
+        assert fig02.run(dataset).summary.scatter_gather_server_count > 0
+
+    def test_table_renders(self, dataset):
+        result = fig02.run(dataset)
+        text = format_table("F2", result.rows())
+        assert "in-rack" in text
+
+
+class TestFig03:
+    def test_silence_dominates_and_cross_rack_is_quieter(self, dataset):
+        result = fig03.run(dataset)
+        assert result.prob_zero_cross_rack > result.prob_zero_in_rack
+        assert result.prob_zero_in_rack > 0.5
+        assert result.prob_zero_cross_rack > 0.8
+
+    def test_heavy_tailed_range(self, dataset):
+        low, high = fig03.run(dataset).log_range
+        assert high - low > 6.0  # many orders of magnitude
+
+    def test_in_rack_pairs_exchange_more(self, dataset):
+        result = fig03.run(dataset)
+        assert result.in_rack_median_log >= result.cross_rack_median_log - 0.5
+
+
+class TestFig04:
+    def test_medians_small(self, dataset):
+        result = fig04.run(dataset)
+        assert 0 <= result.median_in_rack <= 6
+        assert 0 <= result.median_cross_rack <= 20
+
+    def test_bimodality_signals(self, dataset):
+        result = fig04.run(dataset)
+        assert result.frac_talking_to_most_of_rack > 0.02
+        assert 0.0 <= result.frac_silent_outside_rack <= 1.0
+
+
+class TestFig05:
+    def test_congestion_widespread(self, dataset):
+        result = fig05.run(dataset)
+        assert result.frac_links_hot_10s > 0.3
+        assert result.frac_links_hot_100s <= result.frac_links_hot_10s
+
+    def test_short_congestion_correlated(self, dataset):
+        assert fig05.run(dataset).peak_simultaneous >= 3
+
+    def test_threshold_sweep_qualitatively_similar(self, dataset):
+        """Paper: choosing 90% or 95% yields qualitatively similar
+        results — coverage shrinks monotonically but stays positive."""
+        at_70 = fig05.run(dataset, threshold=0.7).frac_links_hot_10s
+        at_90 = fig05.run(dataset, threshold=0.9).frac_links_hot_10s
+        assert at_90 <= at_70
+        assert at_90 > 0.0
+
+
+class TestFig06:
+    def test_most_episodes_short(self, dataset):
+        result = fig06.run(dataset)
+        assert result.frac_short > 0.5
+
+    def test_long_tail_exists(self, dataset):
+        result = fig06.run(dataset)
+        assert result.summary.episodes_over_10s > 0
+        assert result.longest > 10.0
+
+
+class TestFig07:
+    def test_rates_not_appreciably_different(self, dataset):
+        result = fig07.run(dataset)
+        assert 0.3 < result.median_ratio < 3.0
+        assert result.max_cdf_gap() < 0.35
+
+
+class TestFig08:
+    def test_uplift_positive(self, dataset):
+        result = fig08.run(dataset)
+        pooled = result.pooled_uplift_ratio
+        assert pooled > 1.0 or pooled == float("inf")
+
+    def test_day_structure(self, dataset):
+        result = fig08.run(dataset)
+        assert len(result.study.days) >= 2
+
+
+class TestFig09:
+    def test_flows_short(self, dataset):
+        result = fig09.run(dataset)
+        assert result.stats.frac_flows_under_10s > 0.6
+        assert result.stats.frac_flows_over_200s < 0.05
+
+    def test_bytes_in_short_flows(self, dataset):
+        assert fig09.run(dataset).stats.frac_bytes_under_25s > 0.4
+
+
+class TestFig10:
+    def test_churn_large_at_both_scales(self, dataset):
+        result = fig10.run(dataset)
+        assert result.median_change_10s > 0.2
+        assert result.median_change_100s > 0.2
+
+    def test_peaks_approach_bisection(self, dataset):
+        assert fig10.run(dataset).stats.peak_over_bisection > 0.2
+
+
+class TestFig11:
+    def test_mode_spacing_matches_quantum(self, dataset):
+        result = fig11.run(dataset)
+        assert result.mode_spacing == pytest.approx(
+            result.expected_quantum, rel=0.5
+        )
+
+    def test_modes_detected(self, dataset):
+        assert fig11.run(dataset).stats.server_modes.size >= 2
+
+    def test_long_tail(self, dataset):
+        assert fig11.run(dataset).server_tail > 1.0
+
+
+class TestFig12:
+    def test_tomogravity_errors_substantial(self, dataset):
+        result = fig12.run(dataset)
+        assert result.median_tomogravity_error > 0.1
+
+    def test_sparsity_worse_than_tomogravity(self, dataset):
+        result = fig12.run(dataset)
+        assert result.median_sparsity_error > result.median_tomogravity_error
+
+    def test_job_prior_no_dramatic_win(self, dataset):
+        result = fig12.run(dataset)
+        assert result.median_job_prior_error > 0.3 * result.median_tomogravity_error
+
+    def test_error_cdfs_available(self, dataset):
+        cdfs = fig12.run(dataset).error_cdfs()
+        assert cdfs["tomogravity"].n > 0
+
+
+class TestFig13:
+    def test_windows_populated(self, dataset):
+        # The small campaign is short, so use a finer TM window to get a
+        # usable number of scatter points.
+        result = fig13.run(dataset, window=30.0)
+        assert result.errors.size >= 5
+        assert result.sparsity_fractions.size == result.errors.size
+
+    def test_trend_not_positive(self, dataset):
+        """Sparser truth should not make tomogravity *better*."""
+        correlation = fig13.run(dataset, window=30.0).correlation
+        assert not np.isfinite(correlation) or correlation < 0.5
+
+
+class TestFig14:
+    def test_method_ordering(self, dataset):
+        """Truth sits between dense tomogravity and over-sparse MILP."""
+        result = fig14.run(dataset)
+        truth = result.median_fraction("truth")
+        tomogravity = result.median_fraction("tomogravity")
+        sparse = result.median_fraction("sparsity")
+        assert sparse < truth
+        assert tomogravity > 0.7 * truth
+
+    def test_milp_misses_heavy_hitters(self, dataset):
+        result = fig14.run(dataset)
+        nonzeros = result.study.sparsity_nonzeros()
+        if nonzeros:
+            assert result.milp_heavy_hitter_overlap <= np.median(nonzeros)
+
+
+class TestTableS2:
+    def test_overhead_small(self, dataset):
+        result = table_s2.run(dataset)
+        assert result.report.cpu_utilization_increase_pct < 5.0
+        assert result.report.throughput_drop_mbps < 1.0
+
+    def test_compression_at_least_10x(self, dataset):
+        assert table_s2.run(dataset).report.compression_ratio >= 10.0

@@ -1,0 +1,92 @@
+"""Experiment infrastructure: configs, dataset memoisation, reporting."""
+
+import numpy as np
+
+from repro.experiments.common import (
+    DAY_LENGTH,
+    NUM_DAYS,
+    build_dataset,
+    clear_dataset_cache,
+    small_config,
+    standard_config,
+)
+from repro.experiments.reporting import Row, format_table
+
+
+class TestConfigs:
+    def test_standard_covers_eight_days(self):
+        config = standard_config()
+        assert config.duration == NUM_DAYS * DAY_LENGTH
+        assert len(config.workload.day_load_factors) == NUM_DAYS
+
+    def test_weekend_is_light(self):
+        factors = standard_config().workload.day_load_factors
+        weekday_mean = np.mean([factors[i] for i in range(5)])
+        weekend_mean = np.mean([factors[5], factors[6]])
+        assert weekend_mean < 0.5 * weekday_mean
+
+    def test_uplinks_oversubscribed(self):
+        cluster = standard_config().cluster
+        rack_capacity = cluster.servers_per_rack * cluster.server_nic_capacity
+        assert cluster.tor_uplink_capacity < rack_capacity
+
+    def test_seeds_differ(self):
+        assert standard_config(1).seed != standard_config(2).seed
+
+    def test_small_config_is_smaller(self):
+        small = small_config()
+        standard = standard_config()
+        assert small.cluster.num_servers < standard.cluster.num_servers
+        assert small.duration < standard.duration
+
+
+class TestDatasetCache:
+    def test_memoised(self, dataset):
+        again = build_dataset(small_config())
+        assert again is dataset
+
+    def test_cache_key_distinguishes_seeds(self):
+        from repro.experiments.common import _cache_key
+
+        assert _cache_key(small_config(seed=1)) != _cache_key(small_config(seed=2))
+
+    def test_cache_key_stable(self):
+        from repro.experiments.common import _cache_key
+
+        assert _cache_key(small_config()) == _cache_key(small_config())
+
+    def test_clear_cache_forgets(self):
+        from repro.experiments.common import _CACHE
+
+        # Only inspect bookkeeping; never rebuild a campaign here.
+        before = dict(_CACHE)
+        try:
+            clear_dataset_cache()
+            assert not _CACHE
+        finally:
+            _CACHE.update(before)
+
+    def test_observed_utilization_shape(self, dataset):
+        observed = dataset.observed_utilization
+        assert observed.shape[0] == dataset.observed_links.size
+        assert observed.shape[1] == dataset.utilization.shape[1]
+
+    def test_day_length_exposed(self, dataset):
+        assert dataset.day_length == dataset.config.workload.day_length
+
+
+class TestReporting:
+    def test_row_tuple(self):
+        row = Row("m", "p", "v")
+        assert row.as_tuple() == ("m", "p", "v")
+
+    def test_table_alignment(self):
+        rows = [Row("a", "1", "2"), Row("longer metric", "x", "y")]
+        table = format_table("T", rows)
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) <= 2  # header+rule+rows align
+
+    def test_empty_table(self):
+        table = format_table("T", [])
+        assert "metric" in table

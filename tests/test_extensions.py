@@ -1,0 +1,56 @@
+"""Extension experiments E1 (role prior) and E2 (sampled NetFlow)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_roleprior, ext_sampling
+
+
+class TestRolePriorStudy:
+    @pytest.fixture(scope="class")
+    def study(self, dataset):
+        # Finer windows on the short test campaign.
+        return ext_roleprior.run(dataset, window=30.0)
+
+    def test_windows_compared(self, study):
+        assert study.gravity_errors.size >= 3
+        assert study.gravity_errors.size == study.job_errors.size
+        assert study.gravity_errors.size == study.role_errors.size
+
+    def test_role_prior_not_worse_than_job(self, study):
+        assert study.median("role") <= study.median("job") * 1.15
+
+    def test_errors_positive(self, study):
+        assert (study.gravity_errors >= 0).all()
+        assert (study.role_errors >= 0).all()
+
+    def test_rows_render(self, study):
+        rows = study.rows()
+        assert len(rows) == 4
+        assert "role prior" in rows[2].metric
+
+
+class TestSamplingStudy:
+    @pytest.fixture(scope="class")
+    def study(self, dataset):
+        return ext_sampling.run(dataset)
+
+    def test_detection_monotone_in_rate(self, study):
+        fractions = [r["detected_fraction"] for r in study.reports]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_coarse_sampling_misses_flows(self, study):
+        assert study.detected_fraction(1e-4) < study.detected_fraction(1e-2)
+        assert study.detected_fraction(1e-4) < 0.95
+
+    def test_volume_estimable_at_all_rates(self, study):
+        for report in study.reports:
+            ratio = report["estimated_total_bytes"] / report["true_total_bytes"]
+            assert ratio == pytest.approx(1.0, rel=0.2)
+
+    def test_unknown_rate_raises(self, study):
+        with pytest.raises(KeyError):
+            study.detected_fraction(0.5)
+
+    def test_rows_render(self, study):
+        assert len(study.rows()) == 2 * len(study.reports)

@@ -1,0 +1,121 @@
+"""Flow duration and inter-arrival statistics (Figs 9, 11)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flow_stats import (
+    detect_periodic_modes,
+    duration_stats,
+    estimate_mode_spacing,
+    interarrival_stats,
+)
+from repro.core.flows import FlowTable
+
+
+def flows_with(durations, sizes=None, starts=None, srcs=None, dsts=None):
+    n = len(durations)
+    starts = np.asarray(starts if starts is not None else np.zeros(n), dtype=float)
+    durations = np.asarray(durations, dtype=float)
+    return FlowTable(
+        src=np.asarray(srcs if srcs is not None else np.zeros(n), dtype=np.int64),
+        src_port=np.full(n, 8400, dtype=np.int64),
+        dst=np.asarray(dsts if dsts is not None else np.ones(n), dtype=np.int64),
+        dst_port=np.arange(n, dtype=np.int64) + 50000,
+        protocol=np.full(n, 6, dtype=np.int64),
+        start_time=starts,
+        end_time=starts + durations,
+        num_bytes=np.asarray(sizes if sizes is not None else np.ones(n), dtype=float),
+        num_events=np.ones(n, dtype=np.int64),
+        job_id=np.zeros(n, dtype=np.int64),
+        phase_index=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestDurationStats:
+    def test_fractions(self):
+        stats = duration_stats(flows_with([1.0, 5.0, 50.0, 300.0]))
+        assert stats.frac_flows_under_10s == pytest.approx(0.5)
+        assert stats.frac_flows_over_200s == pytest.approx(0.25)
+
+    def test_byte_weighting(self):
+        stats = duration_stats(
+            flows_with([1.0, 100.0], sizes=[900.0, 100.0])
+        )
+        assert stats.frac_bytes_under_25s == pytest.approx(0.9)
+
+    def test_empty(self):
+        stats = duration_stats(flows_with([]))
+        assert stats.total_flows == 0
+        assert stats.frac_flows_under_10s == 0.0
+
+    def test_totals(self):
+        stats = duration_stats(flows_with([1.0, 2.0], sizes=[10.0, 20.0]))
+        assert stats.total_flows == 2
+        assert stats.total_bytes == 30.0
+
+
+class TestInterarrival:
+    def test_cluster_gaps(self, tiny_topology):
+        flows = flows_with([1.0] * 3, starts=[0.0, 1.0, 3.0])
+        stats = interarrival_stats(flows, tiny_topology)
+        assert stats.cluster.n == 2  # gaps 1.0 and 2.0
+        assert stats.cluster.median() == pytest.approx(1.0)
+
+    def test_per_server_pools_both_endpoints(self, tiny_topology):
+        flows = flows_with(
+            [1.0] * 3,
+            starts=[0.0, 1.0, 2.0],
+            srcs=[0, 5, 0],
+            dsts=[5, 0, 5],
+        )
+        stats = interarrival_stats(flows, tiny_topology)
+        # servers 0 and 5 each see all three flows -> four gaps pooled
+        assert stats.per_server.n >= 1
+
+    def test_cluster_rate(self, tiny_topology):
+        flows = flows_with([0.1] * 11, starts=np.linspace(0, 10, 11))
+        stats = interarrival_stats(flows, tiny_topology)
+        assert stats.median_cluster_rate == pytest.approx(1.0)
+
+    def test_empty(self, tiny_topology):
+        stats = interarrival_stats(flows_with([]), tiny_topology)
+        assert stats.cluster.n == 0
+        assert stats.median_cluster_rate == 0.0
+
+
+class TestModeDetection:
+    def _periodic_gaps(self, rng, period=0.015, count=4000):
+        quanta = rng.geometric(0.5, size=count)
+        jitter = rng.uniform(0, 0.0008, size=count)
+        return quanta * period + jitter
+
+    def test_detects_periodic_modes(self, rng):
+        gaps = self._periodic_gaps(rng)
+        modes = detect_periodic_modes(gaps)
+        assert modes.size >= 2
+        # first mode near the period
+        assert abs(modes[0] - 0.015) < 0.002
+
+    def test_spacing_estimate(self, rng):
+        gaps = self._periodic_gaps(rng)
+        spacing = estimate_mode_spacing(gaps)
+        assert spacing == pytest.approx(0.015, abs=0.002)
+
+    def test_no_structure_in_exponential(self, rng):
+        gaps = rng.exponential(0.02, size=4000)
+        modes = detect_periodic_modes(gaps)
+        assert modes.size <= 3  # essentially nothing periodic
+
+    def test_too_few_samples(self):
+        assert detect_periodic_modes(np.array([0.01, 0.02])).size == 0
+        assert np.isnan(estimate_mode_spacing(np.array([0.01, 0.02])))
+
+    def test_spacing_robust_to_uneven_heights(self, rng):
+        """Decaying mode heights (like real stop-and-go traffic) must not
+        corrupt the spacing estimate."""
+        parts = []
+        for k, weight in enumerate((3000, 900, 300, 100), start=1):
+            parts.append(0.015 * k + rng.uniform(0, 0.0008, size=weight))
+        gaps = np.concatenate(parts)
+        spacing = estimate_mode_spacing(gaps)
+        assert spacing == pytest.approx(0.015, abs=0.002)

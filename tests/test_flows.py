@@ -1,0 +1,156 @@
+"""Flow reconstruction from socket events (paper §3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flows import reconstruct_flows
+from repro.instrumentation.events import DIRECTION_RECV, DIRECTION_SEND, SocketEventLog
+
+
+def build_log(events):
+    log = SocketEventLog()
+    for event in events:
+        defaults = dict(
+            server=0, direction=DIRECTION_SEND, src=0, src_port=8400,
+            dst=1, dst_port=50000, protocol=6, num_bytes=100.0,
+            job_id=1, phase_index=0,
+        )
+        defaults.update(event)
+        log.append(**defaults)
+    log.finalize()
+    return log
+
+
+class TestGrouping:
+    def test_single_flow(self):
+        log = build_log([{"timestamp": 0.0}, {"timestamp": 1.0}, {"timestamp": 2.0}])
+        flows = reconstruct_flows(log)
+        assert len(flows) == 1
+        assert flows.num_bytes[0] == 300.0
+        assert flows.start_time[0] == 0.0
+        assert flows.end_time[0] == 2.0
+        assert flows.num_events[0] == 3
+
+    def test_distinct_tuples_are_distinct_flows(self):
+        log = build_log([
+            {"timestamp": 0.0, "dst_port": 50000},
+            {"timestamp": 0.1, "dst_port": 50001},
+        ])
+        assert len(reconstruct_flows(log)) == 2
+
+    def test_inactivity_timeout_splits(self):
+        log = build_log([
+            {"timestamp": 0.0},
+            {"timestamp": 10.0},
+            {"timestamp": 100.0},  # 90 s gap > 60 s timeout
+        ])
+        flows = reconstruct_flows(log, inactivity_timeout=60.0)
+        assert len(flows) == 2
+        assert flows.num_events.tolist() == [2, 1]
+
+    def test_timeout_boundary_inclusive(self):
+        log = build_log([{"timestamp": 0.0}, {"timestamp": 60.0}])
+        assert len(reconstruct_flows(log, inactivity_timeout=60.0)) == 1
+        assert len(reconstruct_flows(log, inactivity_timeout=59.9)) == 2
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            reconstruct_flows(build_log([]), inactivity_timeout=0.0)
+
+    def test_empty_log(self):
+        flows = reconstruct_flows(build_log([]))
+        assert len(flows) == 0
+        assert flows.total_bytes() == 0.0
+
+
+class TestSendSidePreference:
+    def test_recv_duplicates_dropped(self):
+        log = build_log([
+            {"timestamp": 0.0, "direction": DIRECTION_SEND, "server": 0},
+            {"timestamp": 0.0, "direction": DIRECTION_RECV, "server": 1},
+        ])
+        flows = reconstruct_flows(log)
+        assert len(flows) == 1
+        assert flows.num_bytes[0] == 100.0  # not double counted
+
+    def test_recv_only_tuples_kept(self):
+        """External senders are invisible; their receive events count."""
+        log = build_log([
+            {"timestamp": 0.0, "direction": DIRECTION_RECV, "src": 99, "server": 1},
+        ])
+        flows = reconstruct_flows(log)
+        assert len(flows) == 1
+        assert flows.src[0] == 99
+
+    def test_mixed_tuples(self):
+        log = build_log([
+            {"timestamp": 0.0, "direction": DIRECTION_SEND},
+            {"timestamp": 0.0, "direction": DIRECTION_RECV, "server": 1},
+            {"timestamp": 1.0, "direction": DIRECTION_RECV, "src": 99,
+             "dst_port": 50009, "server": 1},
+        ])
+        flows = reconstruct_flows(log)
+        assert len(flows) == 2
+        assert flows.total_bytes() == 200.0
+
+
+class TestDerivedColumns:
+    def test_duration_floor(self):
+        log = build_log([{"timestamp": 5.0}])
+        flows = reconstruct_flows(log)
+        assert flows.durations[0] == pytest.approx(1e-3)
+        assert np.isfinite(flows.rates[0])
+
+    def test_rates(self):
+        log = build_log([{"timestamp": 0.0}, {"timestamp": 2.0}])
+        flows = reconstruct_flows(log)
+        assert flows.rates[0] == pytest.approx(200.0 / 2.0)
+
+    def test_job_tags_survive(self):
+        log = build_log([{"timestamp": 0.0, "job_id": 9, "phase_index": 4}])
+        flows = reconstruct_flows(log)
+        assert flows.job_id[0] == 9
+        assert flows.phase_index[0] == 4
+
+    def test_select_and_involving(self):
+        log = build_log([
+            {"timestamp": 0.0, "src": 0, "dst": 1},
+            {"timestamp": 0.0, "src": 2, "dst": 3, "dst_port": 50002},
+        ])
+        flows = reconstruct_flows(log)
+        only = flows.involving_server(2)
+        assert len(only) == 1
+        assert only.src[0] == 2
+
+
+class TestConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=500),   # timestamp
+                st.integers(min_value=0, max_value=3),   # tuple choice
+                st.floats(min_value=1, max_value=1e6),   # bytes
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_conserved_and_flows_partition_events(self, rows):
+        events = [
+            {
+                "timestamp": t,
+                "dst_port": 50000 + tup,
+                "num_bytes": b,
+            }
+            for t, tup, b in rows
+        ]
+        log = build_log(events)
+        flows = reconstruct_flows(log, inactivity_timeout=60.0)
+        assert flows.total_bytes() == pytest.approx(sum(b for _, _, b in rows))
+        assert int(flows.num_events.sum()) == len(rows)
+        # Flow boundaries respect the timeout: within each flow no gap
+        # exceeds it; flows of one tuple are separated by more.
+        assert (flows.end_time >= flows.start_time).all()

@@ -1,0 +1,105 @@
+"""Workload schedule generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import WorkloadConfig, generate_schedule
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(job_arrival_rate=-1)
+
+    def test_unknown_template_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(template_weights={"nope": 1.0})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(template_weights={"interactive": 0.0})
+
+    def test_connection_settings_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(max_connections=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(connection_quantum=0.0)
+
+    def test_day_profile_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(day_load_factors=())
+        with pytest.raises(ValueError):
+            WorkloadConfig(day_length=0.0)
+
+
+class TestSchedule:
+    def test_deterministic(self, rng):
+        config = WorkloadConfig(job_arrival_rate=0.5)
+        first = generate_schedule(config, 100.0, np.random.default_rng(1))
+        second = generate_schedule(config, 100.0, np.random.default_rng(1))
+        assert [j.submit_time for j in first.jobs] == [
+            j.submit_time for j in second.jobs
+        ]
+
+    def test_arrival_rate_approximate(self):
+        config = WorkloadConfig(job_arrival_rate=0.5)
+        schedule = generate_schedule(config, 4000.0, np.random.default_rng(2))
+        assert len(schedule.jobs) == pytest.approx(2000, rel=0.15)
+
+    def test_times_within_duration(self, rng):
+        config = WorkloadConfig(job_arrival_rate=1.0, evacuation_rate=0.05,
+                                ingestion_rate=0.05)
+        schedule = generate_schedule(config, 50.0, rng, external_hosts=[99])
+        for job in schedule.jobs:
+            assert 0 <= job.submit_time < 50.0
+        for event in schedule.ingestions:
+            assert 0 <= event.time < 50.0
+        for event in schedule.evacuations:
+            assert 0 <= event.time < 50.0
+
+    def test_input_sizes_within_template_range(self, rng):
+        config = WorkloadConfig(job_arrival_rate=1.0)
+        schedule = generate_schedule(config, 200.0, rng)
+        for job in schedule.jobs:
+            template = job.template
+            assert template.min_input_bytes <= job.input_bytes <= template.max_input_bytes
+
+    def test_mix_follows_weights(self):
+        config = WorkloadConfig(
+            job_arrival_rate=2.0,
+            template_weights={"interactive": 0.9, "production": 0.1},
+        )
+        schedule = generate_schedule(config, 500.0, np.random.default_rng(3))
+        names = [j.template.name for j in schedule.jobs]
+        frac_interactive = names.count("interactive") / len(names)
+        assert frac_interactive == pytest.approx(0.9, abs=0.05)
+
+    def test_no_ingestion_without_external_hosts(self, rng):
+        config = WorkloadConfig(ingestion_rate=0.5)
+        schedule = generate_schedule(config, 100.0, rng, external_hosts=None)
+        assert schedule.ingestions == []
+
+    def test_day_profile_modulates_load(self):
+        config = WorkloadConfig(
+            job_arrival_rate=1.0,
+            day_load_factors=(1.0, 0.1),
+            day_length=500.0,
+        )
+        schedule = generate_schedule(config, 1000.0, np.random.default_rng(4))
+        day0 = sum(1 for j in schedule.jobs if j.submit_time < 500.0)
+        day1 = len(schedule.jobs) - day0
+        assert day0 > 3 * day1
+
+    def test_zero_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_schedule(WorkloadConfig(), 0.0, rng)
+
+    def test_num_events(self, rng):
+        config = WorkloadConfig(job_arrival_rate=0.5, evacuation_rate=0.05)
+        schedule = generate_schedule(config, 100.0, rng, external_hosts=[99])
+        assert schedule.num_events == (
+            len(schedule.jobs) + len(schedule.ingestions) + len(schedule.evacuations)
+        )

@@ -1,0 +1,132 @@
+"""Read-failure impact analysis (Fig 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flows import FlowTable
+from repro.core.impact import DailyImpact, ImpactStudy, read_failure_impact
+from repro.instrumentation.applog import ApplicationLog
+from repro.instrumentation.collector import SERVICE_PORTS
+
+
+def make_flows(rows):
+    """rows: (src, dst, start, end, job_id, src_port)."""
+    n = len(rows)
+    cols = list(zip(*rows)) if rows else [[]] * 6
+    return FlowTable(
+        src=np.array(cols[0], dtype=np.int64),
+        src_port=np.array(cols[5], dtype=np.int64),
+        dst=np.array(cols[1], dtype=np.int64),
+        dst_port=np.arange(n, dtype=np.int64) + 50000,
+        protocol=np.full(n, 6, dtype=np.int64),
+        start_time=np.array(cols[2], dtype=float),
+        end_time=np.array(cols[3], dtype=float),
+        num_bytes=np.ones(n),
+        num_events=np.ones(n, dtype=np.int64),
+        job_id=np.array(cols[4], dtype=np.int64),
+        phase_index=np.zeros(n, dtype=np.int64),
+    )
+
+
+FETCH = SERVICE_PORTS["fetch"]
+CONTROL = SERVICE_PORTS["control"]
+
+
+class TestDailyImpact:
+    def test_uplift_percent(self):
+        day = DailyImpact(day=0, jobs_overlapping=10, jobs_clear=10,
+                          failure_rate_overlapping=0.2, failure_rate_clear=0.1)
+        assert day.uplift_percent == pytest.approx(100.0)
+
+    def test_zero_clear_rate_inf(self):
+        day = DailyImpact(day=0, jobs_overlapping=10, jobs_clear=10,
+                          failure_rate_overlapping=0.2, failure_rate_clear=0.0)
+        assert day.uplift_percent == float("inf")
+
+    def test_empty_group_nan(self):
+        day = DailyImpact(day=0, jobs_overlapping=0, jobs_clear=10,
+                          failure_rate_overlapping=0.0, failure_rate_clear=0.1)
+        assert np.isnan(day.uplift_percent)
+
+    def test_negative_uplift(self):
+        day = DailyImpact(day=0, jobs_overlapping=5, jobs_clear=5,
+                          failure_rate_overlapping=0.01, failure_rate_clear=0.1)
+        assert day.uplift_percent == pytest.approx(-90.0)
+
+
+class TestStudyAggregates:
+    def test_median_skips_nonfinite(self):
+        study = ImpactStudy(days=[
+            DailyImpact(0, 1, 1, 0.2, 0.1),   # +100%
+            DailyImpact(1, 1, 1, 0.3, 0.1),   # +200%
+            DailyImpact(2, 1, 1, 0.2, 0.0),   # inf, skipped
+        ])
+        assert study.median_uplift_ratio == pytest.approx(2.5)
+
+    def test_pooled_ratio(self):
+        study = ImpactStudy(days=[
+            DailyImpact(0, 10, 10, 0.2, 0.0),
+            DailyImpact(1, 10, 10, 0.4, 0.2),
+        ])
+        # pooled: overlap 6/20 = 0.3, clear 2/20 = 0.1
+        assert study.pooled_uplift_ratio == pytest.approx(3.0)
+
+    def test_pooled_nan_when_empty(self):
+        assert np.isnan(ImpactStudy(days=[]).pooled_uplift_ratio)
+
+
+class TestEndToEnd:
+    def test_correlation_recovered(self, tiny_topology, tiny_router):
+        """Jobs whose fetch flows crossed a hot link have higher failure
+        rate; the analysis must recover that from logs alone."""
+        util = np.zeros((tiny_topology.num_links, 100))
+        hot_link = tiny_router.path_links(0, 1)[0]
+        util[hot_link, 10:20] = 0.95
+
+        applog = ApplicationLog()
+        flows = []
+        # Jobs 0-4 overlap congestion and fail; jobs 5-9 are clear.
+        for job in range(5):
+            applog.record_job_start(job, f"j{job}", "report", 12.0)
+            flows.append((0, 1, 12.0, 15.0, job, FETCH))
+            applog.record_read_failure(job, job * 10, src=0, dst=1, time=14.0)
+        for job in range(5, 10):
+            applog.record_job_start(job, f"j{job}", "report", 30.0)
+            flows.append((2, 3, 30.0, 33.0, job, FETCH))
+
+        study = read_failure_impact(
+            applog, make_flows(flows), tiny_router, util, day_length=100.0
+        )
+        day = study.days[0]
+        assert day.jobs_overlapping == 5
+        assert day.jobs_clear == 5
+        assert day.failure_rate_overlapping == 1.0
+        assert day.failure_rate_clear == 0.0
+
+    def test_control_flows_do_not_qualify(self, tiny_topology, tiny_router):
+        """Long-lived control connections crossing a hot link must not
+        mark a job as congestion-exposed."""
+        util = np.zeros((tiny_topology.num_links, 100))
+        hot_link = tiny_router.path_links(0, 1)[0]
+        util[hot_link, 10:20] = 0.95
+        applog = ApplicationLog()
+        applog.record_job_start(0, "j0", "report", 5.0)
+        flows = make_flows([(0, 1, 0.0, 90.0, 0, CONTROL)])
+        study = read_failure_impact(applog, flows, tiny_router, util,
+                                    day_length=100.0)
+        assert study.days[0].jobs_overlapping == 0
+        assert study.days[0].jobs_clear == 1
+
+    def test_days_split_by_start_time(self, tiny_topology, tiny_router):
+        util = np.zeros((tiny_topology.num_links, 10))
+        applog = ApplicationLog()
+        applog.record_job_start(0, "a", "report", 10.0)
+        applog.record_job_start(1, "b", "report", 160.0)
+        study = read_failure_impact(applog, make_flows([]), tiny_router, util,
+                                    day_length=150.0)
+        assert [d.day for d in study.days] == [0, 1]
+
+    def test_invalid_day_length(self, tiny_topology, tiny_router):
+        with pytest.raises(ValueError):
+            read_failure_impact(ApplicationLog(), make_flows([]), tiny_router,
+                                np.zeros((1, 1)), day_length=0.0)

@@ -1,0 +1,93 @@
+"""Incast precondition audit (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flows import FlowTable
+from repro.core.incast import incast_audit, max_concurrent_inbound
+
+
+def make_flows(rows):
+    """rows: (src, dst, start, end, job)."""
+    n = len(rows)
+    cols = list(zip(*rows)) if rows else [[]] * 5
+    return FlowTable(
+        src=np.array(cols[0], dtype=np.int64),
+        src_port=np.full(n, 8400, dtype=np.int64),
+        dst=np.array(cols[1], dtype=np.int64),
+        dst_port=np.arange(n, dtype=np.int64) + 50000,
+        protocol=np.full(n, 6, dtype=np.int64),
+        start_time=np.array(cols[2], dtype=float),
+        end_time=np.array(cols[3], dtype=float),
+        num_bytes=np.ones(n),
+        num_events=np.ones(n, dtype=np.int64),
+        job_id=np.array(cols[4], dtype=np.int64),
+        phase_index=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestFanIn:
+    def test_concurrent_counted(self):
+        flows = make_flows([
+            (1, 0, 0.0, 2.0, 0),
+            (2, 0, 1.0, 3.0, 0),
+            (3, 0, 1.5, 1.8, 0),
+        ])
+        assert max_concurrent_inbound(flows, server=0) == 3
+
+    def test_sequential_not_concurrent(self):
+        flows = make_flows([
+            (1, 0, 0.0, 1.0, 0),
+            (2, 0, 2.0, 3.0, 0),
+        ])
+        assert max_concurrent_inbound(flows, server=0) == 1
+
+    def test_no_inbound(self):
+        flows = make_flows([(0, 1, 0.0, 1.0, 0)])
+        assert max_concurrent_inbound(flows, server=5) == 0
+
+
+class TestAudit:
+    def test_locality_fractions(self, tiny_topology):
+        other_rack = tiny_topology.spec.servers_per_rack
+        flows = make_flows([
+            (0, 1, 0.0, 1.0, 0),           # in rack (and in vlan)
+            (0, other_rack, 0.0, 1.0, 0),  # in vlan, not rack
+        ])
+        audit = incast_audit(flows, tiny_topology)
+        assert audit.frac_flows_in_rack == pytest.approx(0.5)
+        assert audit.frac_flows_in_vlan == pytest.approx(1.0)
+
+    def test_cap_exceedance(self, tiny_topology):
+        rows = [(i + 1, 0, 0.0, 1.0, 0) for i in range(6)]
+        audit = incast_audit(make_flows(rows), tiny_topology, connection_cap=4)
+        assert audit.peak_fan_in == 6
+        assert audit.frac_servers_exceeding_cap == pytest.approx(
+            1 / tiny_topology.num_servers
+        )
+
+    def test_job_multiplexing(self, tiny_topology):
+        flows = make_flows([
+            (0, 1, 0.0, 5.0, 0),
+            (2, 3, 0.0, 5.0, 1),
+            (4, 5, 0.0, 5.0, 2),
+        ])
+        audit = incast_audit(flows, tiny_topology)
+        assert audit.median_concurrent_jobs == pytest.approx(3.0)
+
+    def test_empty_flows(self, tiny_topology):
+        audit = incast_audit(make_flows([]), tiny_topology)
+        assert audit.peak_fan_in == 0
+        assert audit.median_concurrent_jobs == 0.0
+
+    def test_campaign_preconditions_hold(self, dataset):
+        """On the simulated campaign the paper's observations hold: most
+        exchanges are local or VLAN-contained and fan-in stays moderate
+        relative to the cluster size."""
+        audit = incast_audit(
+            dataset.flows, dataset.result.topology,
+            connection_cap=dataset.config.workload.max_connections,
+        )
+        assert audit.frac_flows_in_vlan >= audit.frac_flows_in_rack
+        assert audit.median_concurrent_jobs >= 1.0
+        assert audit.peak_fan_in < dataset.result.topology.num_servers

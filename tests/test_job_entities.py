@@ -1,0 +1,85 @@
+"""Runtime job/phase/vertex entities."""
+
+import pytest
+
+from repro.util.units import GB
+from repro.workload.job import (
+    InputSource,
+    JobRuntime,
+    PhaseRuntime,
+    VertexRuntime,
+    VertexState,
+)
+from repro.workload.scope import STANDARD_TEMPLATES, JobSpec, compile_job
+
+
+def compiled_job(template="report", input_bytes=2 * GB):
+    spec = JobSpec(name="j", template=STANDARD_TEMPLATES[template],
+                   input_bytes=input_bytes, submit_time=0.0)
+    return compile_job(spec)
+
+
+class TestInputSource:
+    def test_requires_holder(self):
+        with pytest.raises(ValueError):
+            InputSource(servers=(), size=1.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            InputSource(servers=(0,), size=-1.0)
+
+
+class TestVertexRuntime:
+    def test_total_input_bytes(self):
+        vertex = VertexRuntime(vertex_id=0, job_id=0, phase_index=0)
+        vertex.inputs.append(InputSource(servers=(0,), size=10.0))
+        vertex.inputs.append(InputSource(servers=(1,), size=5.0))
+        assert vertex.total_input_bytes == 15.0
+
+    def test_initial_state(self):
+        vertex = VertexRuntime(vertex_id=0, job_id=0, phase_index=0)
+        assert vertex.state == VertexState.WAITING
+        assert vertex.server is None
+
+
+class TestPhaseRuntime:
+    def test_not_done_until_full_complement(self):
+        compiled = compiled_job().phases[0]
+        phase = PhaseRuntime(compiled=compiled)
+        # one finished vertex of several expected: not done
+        vertex = VertexRuntime(vertex_id=0, job_id=0, phase_index=0)
+        vertex.state = VertexState.DONE
+        phase.vertices.append(vertex)
+        assert compiled.num_vertices > 1
+        assert not phase.done
+
+    def test_done_when_all_spawned_and_terminal(self):
+        compiled = compiled_job().phases[0]
+        phase = PhaseRuntime(compiled=compiled)
+        for index in range(compiled.num_vertices):
+            vertex = VertexRuntime(vertex_id=index, job_id=0, phase_index=0)
+            vertex.state = VertexState.DONE
+            phase.vertices.append(vertex)
+        assert phase.done
+        assert phase.completed_vertices == compiled.num_vertices
+
+    def test_failed_vertices_count_as_terminal(self):
+        compiled = compiled_job("interactive", input_bytes=200e6).phases[1]
+        phase = PhaseRuntime(compiled=compiled)
+        for index in range(compiled.num_vertices):
+            vertex = VertexRuntime(vertex_id=index, job_id=0, phase_index=1)
+            vertex.state = VertexState.FAILED
+            phase.vertices.append(vertex)
+        assert phase.done
+        assert phase.completed_vertices == 0
+
+
+class TestJobRuntime:
+    def test_names_derived_from_spec(self):
+        job = JobRuntime(job_id=0, compiled=compiled_job())
+        assert job.name == "j"
+        assert job.template_name == "report"
+
+    def test_servers_used_starts_empty(self):
+        job = JobRuntime(job_id=0, compiled=compiled_job())
+        assert job.servers_used == set()

@@ -1,0 +1,60 @@
+"""Instrumentation overhead accounting (§2)."""
+
+import pytest
+
+from repro.instrumentation.overhead import OverheadModel, estimate_overhead
+
+
+def report(events=1_000_000, traffic=1e12, raw=1e8, compressed=1e7,
+           duration=1000.0, servers=100, model=None):
+    return estimate_overhead(
+        events=events, traffic_bytes=traffic, raw_log_bytes=raw,
+        compressed_log_bytes=compressed, duration=duration, num_servers=servers,
+        model=model,
+    )
+
+
+class TestAccounting:
+    def test_cpu_increase_scales_with_events(self):
+        low = report(events=10_000)
+        high = report(events=1_000_000)
+        assert high.cpu_utilization_increase_pct > low.cpu_utilization_increase_pct
+
+    def test_cpu_increase_formula(self):
+        model = OverheadModel(cycles_per_event=1000.0, cpu_hz=1e9, cores=1)
+        result = report(events=1_000_000, duration=1000.0, servers=1, model=model)
+        # 1000 events/s * 1000 cycles = 1e6 cycles/s of a 1e9 budget = 0.1%
+        assert result.cpu_utilization_increase_pct == pytest.approx(0.1)
+
+    def test_cycles_per_byte(self):
+        model = OverheadModel(cycles_per_event=4000.0)
+        result = report(events=1000, traffic=4_000_000.0, model=model)
+        assert result.cycles_per_traffic_byte == pytest.approx(1.0)
+
+    def test_compression_ratio(self):
+        assert report(raw=2e8, compressed=1e7).compression_ratio == pytest.approx(20.0)
+
+    def test_log_volume_extrapolation(self):
+        result = report(raw=1e9, duration=1000.0, servers=10)
+        per_server_per_sec = 1e9 / 1000.0 / 10
+        assert result.log_bytes_per_server_per_day == pytest.approx(
+            per_server_per_sec * 86400
+        )
+
+    def test_upload_rates(self):
+        result = report(raw=1e9, compressed=1e8, duration=1000.0, servers=10)
+        assert result.upload_rate_raw_mbps == pytest.approx(0.8)
+        assert result.upload_rate_compressed_mbps == pytest.approx(0.08)
+        assert result.throughput_drop_mbps == result.upload_rate_compressed_mbps
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            report(duration=0.0)
+        with pytest.raises(ValueError):
+            report(servers=0)
+
+    def test_rows_render(self):
+        rows = report().rows()
+        assert len(rows) == 9
+        assert all(isinstance(metric, str) and isinstance(value, str)
+                   for metric, value in rows)

@@ -1,0 +1,138 @@
+"""Macroscopic pattern statistics (Figs 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import (
+    correspondent_stats,
+    pair_byte_stats,
+    pattern_summary,
+    scatter_gather_servers,
+)
+
+
+@pytest.fixture()
+def endpoint_ids(tiny_topology):
+    return np.asarray(tiny_topology.endpoints())
+
+
+def empty_tm(tiny_topology, endpoint_ids):
+    n = endpoint_ids.size
+    return np.zeros((n, n))
+
+
+class TestPairByteStats:
+    def test_all_zero(self, tiny_topology, endpoint_ids):
+        stats = pair_byte_stats(empty_tm(tiny_topology, endpoint_ids),
+                                tiny_topology, endpoint_ids)
+        assert stats.prob_zero_in_rack == 1.0
+        assert stats.prob_zero_cross_rack == 1.0
+        assert stats.in_rack_log_bytes.size == 0
+
+    def test_in_rack_pair_classified(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[0, 1] = np.e**10  # same rack
+        stats = pair_byte_stats(tm, tiny_topology, endpoint_ids)
+        assert stats.in_rack_log_bytes.tolist() == pytest.approx([10.0])
+        assert stats.cross_rack_log_bytes.size == 0
+
+    def test_cross_rack_pair_classified(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        other = tiny_topology.spec.servers_per_rack
+        tm[0, other] = np.e**12
+        stats = pair_byte_stats(tm, tiny_topology, endpoint_ids)
+        assert stats.cross_rack_log_bytes.tolist() == pytest.approx([12.0])
+
+    def test_zero_probabilities(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[0, 1] = 100.0
+        stats = pair_byte_stats(tm, tiny_topology, endpoint_ids)
+        spec = tiny_topology.spec
+        in_rack_pairs = tiny_topology.num_racks * spec.servers_per_rack * (
+            spec.servers_per_rack - 1
+        )
+        assert stats.prob_zero_in_rack == pytest.approx(1 - 1 / in_rack_pairs)
+        assert stats.prob_talk_in_rack == pytest.approx(1 / in_rack_pairs)
+
+    def test_external_pairs_ignored(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[-1, 0] = 1e9  # external -> server
+        stats = pair_byte_stats(tm, tiny_topology, endpoint_ids)
+        assert stats.in_rack_log_bytes.size == 0
+        assert stats.cross_rack_log_bytes.size == 0
+
+
+class TestCorrespondents:
+    def test_counts_either_direction(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[0, 1] = 1.0   # 0 -> 1
+        tm[2, 0] = 1.0   # 2 -> 0 (incoming still counts)
+        stats = correspondent_stats(tm, tiny_topology, endpoint_ids)
+        assert stats.in_rack_counts[0] == 2
+        assert stats.in_rack_counts[1] == 1
+        assert stats.in_rack_counts[2] == 1
+
+    def test_fraction_normalisation(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        rack_peers = tiny_topology.spec.servers_per_rack - 1
+        for peer in range(1, rack_peers + 1):
+            tm[0, peer] = 1.0
+        stats = correspondent_stats(tm, tiny_topology, endpoint_ids)
+        assert stats.in_rack_fraction[0] == pytest.approx(1.0)
+
+    def test_medians(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        other = tiny_topology.spec.servers_per_rack
+        tm[0, other] = 1.0
+        stats = correspondent_stats(tm, tiny_topology, endpoint_ids)
+        assert stats.median_cross_rack == 0.0  # most servers silent
+        assert stats.cross_rack_counts.max() == 1
+
+
+class TestPatternSummary:
+    def test_byte_shares_sum_to_one(self, tiny_topology, endpoint_ids, rng):
+        n = endpoint_ids.size
+        tm = rng.random((n, n))
+        np.fill_diagonal(tm, 0.0)
+        summary = pattern_summary(tm, tiny_topology, endpoint_ids)
+        assert (
+            summary.in_rack_byte_fraction
+            + summary.cross_rack_byte_fraction
+            + summary.external_byte_fraction
+        ) == pytest.approx(1.0)
+
+    def test_locality_ratio(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[0, 1] = 75.0
+        other = tiny_topology.spec.servers_per_rack
+        tm[0, other] = 25.0
+        summary = pattern_summary(tm, tiny_topology, endpoint_ids)
+        assert summary.locality_ratio == pytest.approx(3.0)
+
+    def test_active_pairs(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[0, 1] = 1.0
+        tm[3, 4] = 1.0
+        summary = pattern_summary(tm, tiny_topology, endpoint_ids)
+        assert summary.num_active_pairs == 2
+
+
+class TestScatterGather:
+    def test_hub_detected(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        hub = 0
+        outside = [
+            s for s in range(tiny_topology.num_servers)
+            if tiny_topology.rack_of(s) != tiny_topology.rack_of(hub)
+        ]
+        for peer in outside[: len(outside) // 2 + 1]:
+            tm[hub, peer] = 1.0
+        hubs = scatter_gather_servers(tm, tiny_topology, endpoint_ids,
+                                      min_fanout_fraction=0.25)
+        assert hub in hubs.tolist()
+
+    def test_quiet_matrix_no_hubs(self, tiny_topology, endpoint_ids):
+        tm = empty_tm(tiny_topology, endpoint_ids)
+        tm[0, 1] = 1.0
+        hubs = scatter_gather_servers(tm, tiny_topology, endpoint_ids)
+        assert hubs.size == 0

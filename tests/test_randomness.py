@@ -1,0 +1,66 @@
+"""Deterministic random stream management."""
+
+import pytest
+
+from repro.util.randomness import RandomSource, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_positive_63_bit(self):
+        for seed in range(20):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**63
+
+    def test_path_not_ambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc") systematically;
+        # with hashing these are simply different paths.
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+class TestRandomSource:
+    def test_stream_cached(self):
+        source = RandomSource(7)
+        assert source.stream("x") is source.stream("x")
+
+    def test_streams_independent(self):
+        source = RandomSource(7)
+        a = source.stream("a").random(5)
+        b = source.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_reproducible_across_instances(self):
+        first = RandomSource(7).stream("workload").random(4)
+        second = RandomSource(7).stream("workload").random(4)
+        assert (first == second).all()
+
+    def test_child_namespacing(self):
+        source = RandomSource(7)
+        child = source.child("sub")
+        direct = RandomSource(derive_seed(7, "sub"))
+        assert (child.stream("x").random(3) == direct.stream("x").random(3)).all()
+
+    def test_empty_stream_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).stream()
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomSource("seed")  # type: ignore[arg-type]
+
+    def test_draw_order_isolation(self):
+        """Drawing from one stream must not perturb another."""
+        source_a = RandomSource(3)
+        source_a.stream("noise").random(100)
+        value_a = source_a.stream("signal").random()
+        source_b = RandomSource(3)
+        value_b = source_b.stream("signal").random()
+        assert value_a == value_b

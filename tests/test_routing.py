@@ -1,0 +1,110 @@
+"""Tree routing and the tomography routing matrix."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.routing import Router, bisection_bandwidth, tor_routing_matrix
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+
+
+class TestPaths:
+    def test_same_rack_two_hops(self, tiny_topology, tiny_router):
+        path = tiny_router.path_links(0, 1)
+        assert len(path) == 2  # server->tor, tor->server
+
+    def test_same_vlan_four_hops(self, tiny_topology, tiny_router):
+        other = tiny_topology.spec.servers_per_rack  # first server of rack 1
+        path = tiny_router.path_links(0, other)
+        assert len(path) == 4
+
+    def test_cross_vlan_six_hops(self, tiny_topology, tiny_router):
+        spec = tiny_topology.spec
+        other_vlan_server = spec.servers_per_rack * spec.racks_per_vlan
+        path = tiny_router.path_links(0, other_vlan_server)
+        assert len(path) == 6
+
+    def test_external_path(self, tiny_topology, tiny_router):
+        external = tiny_topology.num_nodes - 1
+        path = tiny_router.path_links(0, external)
+        assert len(path) == 4  # server->tor->agg->core->external
+
+    def test_self_path_empty(self, tiny_router):
+        assert tiny_router.path_links(3, 3) == ()
+        assert tiny_router.path_nodes(3, 3) == (3,)
+
+    def test_paths_cached(self, tiny_router):
+        assert tiny_router.path_links(0, 7) is tiny_router.path_links(0, 7)
+
+    def test_path_contiguity(self, tiny_topology, tiny_router):
+        """Every consecutive link pair shares the intermediate node."""
+        for dst in (1, 7, 15, tiny_topology.num_nodes - 1):
+            nodes = tiny_router.path_nodes(0, dst)
+            links = tiny_router.path_links(0, dst)
+            for (a, b), link_id in zip(zip(nodes[:-1], nodes[1:]), links):
+                link = tiny_topology.links[link_id]
+                assert (link.src, link.dst) == (a, b)
+
+    def test_hop_count(self, tiny_router):
+        assert tiny_router.hop_count(0, 1) == 2
+
+    @given(st.integers(min_value=0, max_value=21), st.integers(min_value=0, max_value=21))
+    @settings(max_examples=80, deadline=None)
+    def test_forward_reverse_symmetry(self, a, b):
+        topo = ClusterTopology(
+            ClusterSpec(racks=4, servers_per_rack=5, racks_per_vlan=2, external_hosts=2)
+        )
+        router = Router(topo)
+        endpoints = topo.endpoints()
+        src, dst = endpoints[a % len(endpoints)], endpoints[b % len(endpoints)]
+        forward = router.path_nodes(src, dst)
+        backward = router.path_nodes(dst, src)
+        assert forward == tuple(reversed(backward))
+
+
+class TestRoutingMatrix:
+    def test_shape(self, tiny_topology):
+        matrix, pairs, observed = tor_routing_matrix(tiny_topology)
+        n = tiny_topology.num_racks
+        assert len(pairs) == n * (n - 1)
+        assert matrix.shape == (len(observed), len(pairs))
+
+    def test_binary_entries(self, tiny_topology):
+        matrix, _, _ = tor_routing_matrix(tiny_topology)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_same_vlan_pair_uses_two_links(self, tiny_topology):
+        matrix, pairs, _ = tor_routing_matrix(tiny_topology)
+        # racks 0 and 1 share a VLAN in the tiny topology
+        column = pairs.index((0, 1))
+        assert matrix[:, column].sum() == 2  # tor0->agg, agg->tor1
+
+    def test_cross_vlan_pair_uses_four_links(self, tiny_topology):
+        matrix, pairs, _ = tor_routing_matrix(tiny_topology)
+        column = pairs.index((0, tiny_topology.num_racks - 1))
+        assert matrix[:, column].sum() == 4
+
+    def test_underconstrained(self, tiny_topology):
+        """The tomography problem the paper poses: links << pairs."""
+        matrix, pairs, observed = tor_routing_matrix(tiny_topology)
+        rank = np.linalg.matrix_rank(matrix)
+        assert rank < len(pairs)
+
+    def test_uplink_row_sums_all_sources(self, tiny_topology):
+        """A ToR's uplink carries every pair originating at that rack."""
+        matrix, pairs, observed = tor_routing_matrix(tiny_topology)
+        tor0 = tiny_topology.tor_of_rack(0)
+        agg0 = tiny_topology.agg_of_vlan(0)
+        uplink = tiny_topology.link_between(tor0, agg0).link_id
+        row = observed.index(uplink)
+        sourced = [k for k, (i, _) in enumerate(pairs) if i == 0]
+        assert all(matrix[row, k] == 1.0 for k in sourced)
+
+
+class TestBisection:
+    def test_positive(self, tiny_topology):
+        assert bisection_bandwidth(tiny_topology) > 0
+
+    def test_equals_agg_core_capacity(self, tiny_topology):
+        expected = tiny_topology.num_vlans * tiny_topology.spec.agg_uplink_capacity
+        assert bisection_bandwidth(tiny_topology) == expected

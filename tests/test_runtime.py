@@ -1,0 +1,348 @@
+"""Job executor unit tests against a fake simulator service."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cluster.routing import Router
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.instrumentation.applog import ApplicationLog
+from repro.simulation.transport import Transfer
+from repro.util.units import GB, MB
+from repro.workload.generator import WorkloadConfig, WorkloadSchedule
+from repro.workload.job import JobState, VertexState
+from repro.workload.runtime import JobExecutor
+from repro.workload.scope import STANDARD_TEMPLATES, JobSpec
+
+
+class FakeServices:
+    """A minimal in-memory simulator: transfers finish after a fixed
+    service time, callbacks fire through a heap-driven clock."""
+
+    def __init__(self, topology: ClusterTopology, transfer_time: float = 0.1,
+                 congestion: float = 0.0) -> None:
+        self.topology = topology
+        self.router = Router(topology)
+        self.transfer_time = transfer_time
+        self.congestion = congestion
+        self.time = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.transfers: list[Transfer] = []
+
+    def now(self) -> float:
+        return self.time
+
+    def schedule(self, time, callback):
+        heapq.heappush(self._heap, (max(time, self.time), next(self._seq), callback))
+
+    def start_transfer(self, src, dst, size, meta, on_complete):
+        start = self.time
+
+        def finish():
+            transfer = Transfer(
+                transfer_id=len(self.transfers), src=src, dst=dst, size=size,
+                start_time=start, end_time=self.time, meta=meta,
+            )
+            self.transfers.append(transfer)
+            on_complete(transfer)
+
+        self.schedule(self.time + self.transfer_time, finish)
+
+    def max_path_utilization(self, src, dst, start, end):
+        return self.congestion
+
+    def run(self, until: float = 1e9, max_events: int = 100000) -> None:
+        for _ in range(max_events):
+            if not self._heap or self._heap[0][0] > until:
+                return
+            time, _, callback = heapq.heappop(self._heap)
+            self.time = max(self.time, time)
+            callback()
+
+
+@pytest.fixture()
+def topo():
+    return ClusterTopology(
+        ClusterSpec(racks=3, servers_per_rack=4, racks_per_vlan=3, external_hosts=1)
+    )
+
+
+def make_executor(topo, services, seed=0, **config_kwargs):
+    defaults = dict(
+        job_arrival_rate=0.0,
+        initial_data_per_server=0.0,
+        non_network_failure_prob=0.0,
+        read_failure_base=0.0,
+    )
+    defaults.update(config_kwargs)
+    config = WorkloadConfig(**defaults)
+    return JobExecutor(
+        topology=topo,
+        config=config,
+        services=services,
+        applog=ApplicationLog(),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def submit_job(executor, services, template="interactive", input_bytes=512 * MB,
+               submit_time=0.0):
+    spec = JobSpec(name="test-job", template=STANDARD_TEMPLATES[template],
+                   input_bytes=input_bytes, submit_time=submit_time)
+    schedule = WorkloadSchedule(jobs=[spec], ingestions=[], evacuations=[],
+                                duration=1e9)
+    executor.install_schedule(schedule)
+    return spec
+
+
+class TestJobLifecycle:
+    def test_interactive_job_completes(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services)
+        services.run()
+        job = executor.jobs[0]
+        assert job.state == JobState.SUCCEEDED
+        assert job.end_time is not None
+
+    def test_phases_run_in_order(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services, template="report", input_bytes=2 * GB)
+        services.run()
+        applog = executor.applog
+        starts = {r.phase_index: r.time for r in applog.phase_starts}
+        ends = {r.phase_index: r.time for r in applog.phase_ends}
+        assert set(starts) == {0, 1, 2}
+        assert starts[0] <= starts[1] <= starts[2]
+        # Barrier: aggregate starts only after partition fully ends.
+        assert starts[2] >= ends[1]
+
+    def test_barrier_phase_started_once(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services, template="report", input_bytes=3 * GB)
+        services.run()
+        job = executor.jobs[0]
+        aggregate = job.phases[2]
+        assert len(aggregate.vertices) == aggregate.compiled.num_vertices
+
+    def test_all_vertices_terminal(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services, template="production", input_bytes=4 * GB)
+        services.run()
+        job = executor.jobs[0]
+        for phase in job.phases:
+            for vertex in phase.vertices:
+                assert vertex.state == VertexState.DONE
+
+    def test_slots_all_released(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services, template="report", input_bytes=2 * GB)
+        services.run()
+        assert executor.scheduler.utilization() == 0.0
+
+    def test_servers_used_recorded(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services)
+        services.run()
+        job = executor.jobs[0]
+        assert job.servers_used
+        assert all(0 <= s < topo.num_servers for s in job.servers_used)
+
+    def test_output_replication_issued(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, egress_probability=0.0)
+        submit_job(executor, services, template="report", input_bytes=2 * GB)
+        services.run()
+        kinds = {t.meta.kind for t in services.transfers}
+        assert "replication" in kinds
+
+    def test_control_messages_issued(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services)
+        services.run()
+        assert any(t.meta.kind == "control" for t in services.transfers)
+
+
+class TestReadFailures:
+    def test_no_failures_with_zero_hazard(self, topo):
+        services = FakeServices(topo, congestion=1.0)
+        executor = make_executor(topo, services)
+        submit_job(executor, services, template="report", input_bytes=2 * GB)
+        services.run()
+        assert executor.applog.read_failures == []
+
+    def test_certain_failure_kills_job(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, non_network_failure_prob=1.0)
+        submit_job(executor, services, template="report", input_bytes=2 * GB)
+        services.run()
+        job = executor.jobs[0]
+        assert job.state == JobState.KILLED
+        assert executor.applog.job_outcome(0) == "killed_read_failure"
+        assert executor.applog.read_failures
+
+    def test_kill_releases_slots(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, non_network_failure_prob=1.0)
+        submit_job(executor, services, template="report", input_bytes=2 * GB)
+        services.run()
+        assert executor.scheduler.utilization() == 0.0
+
+    def test_congested_fetch_multiplier_applied(self, topo):
+        """With base hazard and full congestion multiplier, failures are
+        far more likely than with no congestion."""
+        def failure_count(congestion):
+            services = FakeServices(topo, congestion=congestion)
+            executor = make_executor(
+                topo, services, read_failure_base=0.05,
+                read_failure_congested_multiplier=15.0,
+            )
+            submit_job(executor, services, template="report", input_bytes=4 * GB)
+            services.run()
+            return len(executor.applog.read_failures)
+
+        assert failure_count(1.0) > failure_count(0.0)
+
+
+class TestEvacuationAndIngestion:
+    def test_evacuation_moves_blocks(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, initial_data_per_server=1 * GB,
+                                 evacuation_rate=0.0)
+        schedule = WorkloadSchedule(jobs=[], ingestions=[], evacuations=[],
+                                    duration=10.0)
+        executor.install_schedule(schedule)
+        executor._run_evacuation()
+        services.run()
+        assert any(t.meta.kind == "evacuation" for t in services.transfers)
+        assert executor.applog.evacuations
+
+    def test_ingestion_replicates(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        external = topo.num_nodes - 1
+        executor._start_ingestion(external, 512 * MB)
+        services.run()
+        kinds = [t.meta.kind for t in services.transfers]
+        assert "ingest" in kinds
+        assert "replication" in kinds
+
+    def test_ingest_flows_originate_external(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        external = topo.num_nodes - 1
+        executor._start_ingestion(external, 512 * MB)
+        services.run()
+        for transfer in services.transfers:
+            if transfer.meta.kind == "ingest":
+                assert transfer.src == external
+
+
+class TestLocality:
+    def test_extract_reads_local_when_uncontended(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services)
+        submit_job(executor, services, template="interactive", input_bytes=1 * GB)
+        services.run()
+        fetched = [t for t in services.transfers if t.meta.kind == "fetch"
+                   and t.meta.phase_index == 0]
+        assert fetched == []  # every extract read its block locally
+
+    def test_zero_locality_bias_produces_remote_reads(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, locality_bias=0.0,
+                                 locality_wait=0.0)
+        submit_job(executor, services, template="interactive", input_bytes=1 * GB)
+        services.run()
+        fetched = [t for t in services.transfers if t.meta.kind == "fetch"]
+        assert fetched  # placements ignore data location, reads go remote
+
+
+class TestPartitionSkew:
+    def test_shuffle_bytes_conserved_under_skew(self, topo):
+        """Skewed partitioning must conserve each producer's output."""
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, partition_skew_sigma=1.0)
+        submit_job(executor, services, template="report", input_bytes=3 * GB)
+        services.run()
+        job = executor.jobs[0]
+        partition_out = sum(
+            v.output_bytes for v in job.phases[1].vertices
+            if v.state == VertexState.DONE
+        )
+        aggregate_in = sum(
+            v.total_input_bytes for v in job.phases[2].vertices
+        )
+        assert aggregate_in == pytest.approx(partition_out, rel=1e-9)
+
+    def test_skew_makes_buckets_uneven(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, partition_skew_sigma=1.0)
+        submit_job(executor, services, template="report", input_bytes=8 * GB)
+        services.run()
+        job = executor.jobs[0]
+        inputs = [v.total_input_bytes for v in job.phases[2].vertices]
+        assert max(inputs) > 1.5 * min(inputs)
+
+    def test_zero_sigma_uniform(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, partition_skew_sigma=0.0)
+        submit_job(executor, services, template="report", input_bytes=8 * GB)
+        services.run()
+        job = executor.jobs[0]
+        inputs = [v.total_input_bytes for v in job.phases[2].vertices]
+        assert max(inputs) == pytest.approx(min(inputs), rel=1e-9)
+
+
+class TestRackEvacuation:
+    def test_multiple_servers_same_rack(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, initial_data_per_server=1 * GB,
+                                 evacuation_servers=3)
+        executor._run_evacuation()
+        services.run()
+        evacuated = [record.server for record in executor.applog.evacuations]
+        assert len(evacuated) == 3
+        racks = {topo.rack_of(server) for server in evacuated}
+        assert len(racks) == 1
+
+    def test_single_server_mode(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, initial_data_per_server=1 * GB,
+                                 evacuation_servers=1)
+        executor._run_evacuation()
+        services.run()
+        assert len(executor.applog.evacuations) == 1
+
+
+class TestLocalReadFailures:
+    def test_local_only_jobs_can_fail(self, topo):
+        """Bad disks strike local reads: congestion-free jobs still have
+        a failure baseline (the Fig 8 control group)."""
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, non_network_failure_prob=1.0)
+        submit_job(executor, services, template="interactive",
+                   input_bytes=512 * MB)
+        services.run()
+        assert executor.applog.read_failures
+        failure = executor.applog.read_failures[0]
+        assert failure.src == failure.dst  # a local read
+
+    def test_local_failures_zero_when_disabled(self, topo):
+        services = FakeServices(topo)
+        executor = make_executor(topo, services, non_network_failure_prob=0.0)
+        submit_job(executor, services, template="interactive",
+                   input_bytes=512 * MB)
+        services.run()
+        assert executor.applog.read_failures == []

@@ -1,0 +1,146 @@
+"""Locality-seeking slot scheduler (work-seeks-bandwidth)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.scheduler import Placement, PlacementLevel, SlotScheduler
+
+
+@pytest.fixture()
+def scheduler(tiny_topology, rng):
+    return SlotScheduler(tiny_topology, rng=rng, slots_per_server=2)
+
+
+class TestCapacity:
+    def test_initial_free_slots(self, scheduler, tiny_topology):
+        assert scheduler.total_free_slots() == 2 * tiny_topology.num_servers
+        assert scheduler.free_slots(0) == 2
+        assert scheduler.utilization() == 0.0
+
+    def test_place_consumes_slot(self, scheduler):
+        placement = scheduler.try_place([0])
+        assert placement is not None
+        assert scheduler.free_slots(placement.server) == 1
+
+    def test_release_returns_slot(self, scheduler):
+        placement = scheduler.try_place([0])
+        scheduler.release(placement.server)
+        assert scheduler.free_slots(placement.server) == 2
+
+    def test_release_without_place_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.release(0)
+
+    def test_exhaustion_returns_none(self, tiny_topology, rng):
+        scheduler = SlotScheduler(tiny_topology, rng=rng, slots_per_server=1)
+        for _ in range(tiny_topology.num_servers):
+            assert scheduler.try_place([]) is not None
+        assert scheduler.try_place([0]) is None
+
+    def test_invalid_slots_rejected(self, tiny_topology, rng):
+        with pytest.raises(ValueError):
+            SlotScheduler(tiny_topology, rng=rng, slots_per_server=0)
+
+    def test_invalid_bias_rejected(self, tiny_topology, rng):
+        with pytest.raises(ValueError):
+            SlotScheduler(tiny_topology, rng=rng, locality_bias=1.5)
+
+
+class TestLadder:
+    def test_local_preferred(self, scheduler):
+        placement = scheduler.try_place([7, 3])
+        assert placement.level == PlacementLevel.LOCAL
+        assert placement.server == 7  # preference order wins
+
+    def test_preference_order_respected(self, scheduler):
+        first = scheduler.try_place([4, 9])
+        second = scheduler.try_place([4, 9])
+        third = scheduler.try_place([4, 9])
+        assert [p.server for p in (first, second, third)] == [4, 4, 9]
+
+    def test_rack_fallback(self, scheduler, tiny_topology):
+        target = 0
+        # Fill the preferred server completely.
+        for _ in range(2):
+            scheduler.try_place([target])
+        placement = scheduler.try_place([target])
+        assert placement.level == PlacementLevel.RACK
+        assert tiny_topology.rack_of(placement.server) == tiny_topology.rack_of(target)
+
+    def test_vlan_fallback(self, scheduler, tiny_topology):
+        rack0 = list(tiny_topology.servers_in_rack(0))
+        for server in rack0:
+            for _ in range(2):
+                scheduler.try_place([server])
+        placement = scheduler.try_place([rack0[0]])
+        assert placement.level == PlacementLevel.VLAN
+        assert tiny_topology.vlan_of(placement.server) == tiny_topology.vlan_of(rack0[0])
+
+    def test_cluster_fallback(self, tiny_topology, rng):
+        scheduler = SlotScheduler(tiny_topology, rng=rng, slots_per_server=1)
+        vlan0_servers = [
+            s
+            for rack in tiny_topology.racks_in_vlan(0)
+            for s in tiny_topology.servers_in_rack(rack)
+        ]
+        for server in vlan0_servers:
+            scheduler.try_place([server])
+        placement = scheduler.try_place([vlan0_servers[0]])
+        assert placement.level == PlacementLevel.CLUSTER
+        assert tiny_topology.vlan_of(placement.server) != 0
+
+    def test_no_preference_places_somewhere(self, scheduler):
+        placement = scheduler.try_place([])
+        assert placement is not None
+        assert placement.level == PlacementLevel.CLUSTER
+
+    def test_external_preferences_ignored(self, scheduler, tiny_topology):
+        external = tiny_topology.num_nodes - 1
+        placement = scheduler.try_place([external])
+        assert placement is not None
+        assert placement.server < tiny_topology.num_servers
+
+
+class TestMaxLevel:
+    def test_local_only_refuses_when_full(self, scheduler):
+        for _ in range(2):
+            scheduler.try_place([5])
+        refused = scheduler.try_place([5], max_level=PlacementLevel.LOCAL)
+        assert refused is None
+        # but a full-ladder request succeeds
+        assert scheduler.try_place([5]) is not None
+
+    def test_local_only_accepts_free_preferred(self, scheduler):
+        placement = scheduler.try_place([5], max_level=PlacementLevel.LOCAL)
+        assert placement == Placement(server=5, level=PlacementLevel.LOCAL)
+
+    def test_rack_level_stops_at_rack(self, scheduler, tiny_topology):
+        rack0 = list(tiny_topology.servers_in_rack(0))
+        for server in rack0:
+            for _ in range(2):
+                scheduler.try_place([server])
+        refused = scheduler.try_place([rack0[0]], max_level=PlacementLevel.RACK)
+        assert refused is None
+
+
+class TestLocalityBias:
+    def test_zero_bias_spreads(self, tiny_topology):
+        """With locality off, placements on a preferred server occur at
+        roughly the uniform rate."""
+        rng = np.random.default_rng(0)
+        scheduler = SlotScheduler(tiny_topology, rng=rng, slots_per_server=10**6,
+                                  locality_bias=0.0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            placement = scheduler.try_place([0, 1, 2])
+            if placement.server in (0, 1, 2):
+                hits += 1
+        expected = 3 / tiny_topology.num_servers
+        assert hits / trials < 3 * expected
+
+    def test_full_bias_always_local_when_free(self, scheduler):
+        for _ in range(20):
+            placement = scheduler.try_place([10])
+            assert placement.level != PlacementLevel.CLUSTER
+            scheduler.release(placement.server)

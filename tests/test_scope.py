@@ -1,0 +1,131 @@
+"""Scope-like job compilation."""
+
+import math
+
+import pytest
+
+from repro.util.units import GB, MB
+from repro.workload.scope import (
+    STANDARD_TEMPLATES,
+    JobSpec,
+    JobTemplate,
+    PhaseTemplate,
+    PhaseType,
+    compile_job,
+)
+
+
+def make_spec(template_name: str = "report", input_bytes: float = 4 * GB) -> JobSpec:
+    return JobSpec(
+        name="job",
+        template=STANDARD_TEMPLATES[template_name],
+        input_bytes=input_bytes,
+        submit_time=0.0,
+    )
+
+
+class TestTemplates:
+    def test_standard_templates_all_start_with_extract(self):
+        for template in STANDARD_TEMPLATES.values():
+            assert template.phases[0].phase_type == PhaseType.EXTRACT
+
+    def test_template_requires_extract_first(self):
+        with pytest.raises(ValueError):
+            JobTemplate(
+                name="bad",
+                phases=(PhaseTemplate(PhaseType.AGGREGATE, selectivity=1.0),),
+                min_input_bytes=1,
+                max_input_bytes=2,
+            )
+
+    def test_template_rejects_bad_size_range(self):
+        with pytest.raises(ValueError):
+            JobTemplate(
+                name="bad",
+                phases=(PhaseTemplate(PhaseType.EXTRACT, selectivity=1.0),),
+                min_input_bytes=10,
+                max_input_bytes=5,
+            )
+
+    def test_template_rejects_unknown_home_scope(self):
+        with pytest.raises(ValueError):
+            JobTemplate(
+                name="bad",
+                phases=(PhaseTemplate(PhaseType.EXTRACT, selectivity=1.0),),
+                min_input_bytes=1,
+                max_input_bytes=2,
+                home_scope="continent",
+            )
+
+    def test_selectivity_positive(self):
+        with pytest.raises(ValueError):
+            PhaseTemplate(PhaseType.EXTRACT, selectivity=0.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(name="x", template=STANDARD_TEMPLATES["report"],
+                    input_bytes=0, submit_time=0.0)
+        with pytest.raises(ValueError):
+            JobSpec(name="x", template=STANDARD_TEMPLATES["report"],
+                    input_bytes=1, submit_time=-1.0)
+
+
+class TestCompile:
+    def test_extract_one_vertex_per_block(self):
+        job = compile_job(make_spec(input_bytes=4 * GB), block_size=256 * MB)
+        assert job.phases[0].num_vertices == math.ceil(4 * GB / (256 * MB))
+
+    def test_extract_cap(self):
+        job = compile_job(make_spec(input_bytes=400 * GB), block_size=256 * MB,
+                          max_extract_vertices=100)
+        assert job.phases[0].num_vertices == 100
+
+    def test_pipelined_partition_matches_extract(self):
+        job = compile_job(make_spec("report"))
+        extract, partition = job.phases[0], job.phases[1]
+        assert partition.pipelined
+        assert partition.num_vertices == extract.num_vertices
+
+    def test_aggregate_bucket_sizing(self):
+        job = compile_job(make_spec("report", input_bytes=8 * GB),
+                          target_bucket_bytes=512 * MB)
+        aggregate = job.phases[2]
+        expected = math.ceil(aggregate.input_bytes / (512 * MB))
+        assert aggregate.num_vertices == min(expected, 64)
+
+    def test_aggregate_cap(self):
+        job = compile_job(make_spec("report", input_bytes=19 * GB),
+                          target_bucket_bytes=64 * MB, max_vertices_per_phase=16)
+        assert job.phases[2].num_vertices == 16
+
+    def test_byte_flow_through_selectivities(self):
+        spec = make_spec("report", input_bytes=10 * GB)
+        job = compile_job(spec)
+        running = spec.input_bytes
+        for phase, template in zip(job.phases, spec.template.phases):
+            assert phase.input_bytes == pytest.approx(running)
+            running *= template.selectivity
+            assert phase.output_bytes == pytest.approx(running)
+
+    def test_output_bytes(self):
+        spec = make_spec("interactive", input_bytes=1 * GB)
+        job = compile_job(spec)
+        assert job.output_bytes == pytest.approx(1 * GB * 0.10 * 0.05)
+
+    def test_every_phase_has_a_vertex(self):
+        job = compile_job(make_spec("production", input_bytes=10 * GB))
+        assert all(phase.num_vertices >= 1 for phase in job.phases)
+
+    def test_production_has_combine(self):
+        job = compile_job(make_spec("production", input_bytes=10 * GB))
+        assert job.phases[-1].phase_type == PhaseType.COMBINE
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            compile_job(make_spec(), block_size=0)
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            compile_job(make_spec(), max_vertices_per_phase=0)
+        with pytest.raises(ValueError):
+            compile_job(make_spec(), max_extract_vertices=0)

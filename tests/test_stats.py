@@ -1,0 +1,172 @@
+"""Statistics toolkit, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    ecdf,
+    fraction_at_or_below,
+    log_histogram,
+    logarithmic_fit,
+    pearson_correlation,
+    percentile,
+    weighted_ecdf,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEcdf:
+    def test_basic_evaluation(self):
+        cdf = ecdf([1.0, 2.0, 2.0, 3.0])
+        assert cdf.evaluate(0.5)[0] == 0.0
+        assert cdf.evaluate(1.0)[0] == pytest.approx(0.25)
+        assert cdf.evaluate(2.0)[0] == pytest.approx(0.75)
+        assert cdf.evaluate(10.0)[0] == 1.0
+
+    def test_median(self):
+        assert ecdf([5.0, 1.0, 3.0]).median() == 3.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ecdf([1.0]).quantile(1.5)
+
+    def test_empty(self):
+        cdf = ecdf([])
+        assert cdf.n == 0
+        assert cdf.evaluate(1.0)[0] == 0.0
+
+    def test_quantile_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([]).quantile(0.5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bounded(self, samples):
+        cdf = ecdf(samples)
+        probs = cdf.probabilities
+        assert np.all(np.diff(probs) >= -1e-12)
+        assert probs[-1] == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100), finite_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_evaluate_matches_count(self, samples, point):
+        cdf = ecdf(samples)
+        expected = sum(1 for s in samples if s <= point) / len(samples)
+        assert cdf.evaluate(point)[0] == pytest.approx(expected)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100),
+           st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_inverse(self, samples, q):
+        cdf = ecdf(samples)
+        value = cdf.quantile(q)[0]
+        assert cdf.evaluate(value)[0] >= q - 1e-12
+
+
+class TestWeightedEcdf:
+    def test_weight_fractions(self):
+        cdf = weighted_ecdf([1.0, 2.0, 3.0], [1.0, 1.0, 2.0])
+        assert cdf.evaluate(1.0)[0] == pytest.approx(0.25)
+        assert cdf.evaluate(2.0)[0] == pytest.approx(0.5)
+        assert cdf.evaluate(3.0)[0] == pytest.approx(1.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_ecdf([1.0], [-1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_ecdf([1.0, 2.0], [1.0])
+
+    def test_zero_total_weight_is_empty(self):
+        assert weighted_ecdf([1.0, 2.0], [0.0, 0.0]).n == 0
+
+    @given(
+        st.lists(
+            st.tuples(finite_floats, st.floats(min_value=0.0, max_value=1e6)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_manual_weight_sum(self, pairs):
+        values = [p[0] for p in pairs]
+        weights = [p[1] for p in pairs]
+        total = sum(weights)
+        cdf = weighted_ecdf(values, weights)
+        if total == 0:
+            assert cdf.n == 0
+            return
+        point = values[0]
+        expected = sum(w for v, w in pairs if v <= point) / total
+        assert cdf.evaluate(point)[0] == pytest.approx(expected, rel=1e-9)
+
+
+class TestPercentileHelpers:
+    def test_percentile(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_fraction_at_or_below(self):
+        assert fraction_at_or_below([1, 2, 3, 4], 2) == 0.5
+
+    def test_fraction_empty(self):
+        assert fraction_at_or_below([], 1) == 0.0
+
+
+class TestLogHistogram:
+    def test_counts_sum(self):
+        hist = log_histogram([1.0, 10.0, 100.0], bins=5)
+        assert hist.total == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_histogram([1.0, 0.0])
+
+    def test_densities_integrate_to_one(self):
+        hist = log_histogram(np.exp(np.linspace(1, 5, 50)), bins=8)
+        widths = np.diff(hist.bin_edges)
+        assert float((hist.densities * widths).sum()) == pytest.approx(1.0)
+
+    def test_bin_centers_inside_edges(self):
+        hist = log_histogram([2.0, 4.0, 8.0], bins=4)
+        assert np.all(hist.bin_centers > hist.bin_edges[0])
+        assert np.all(hist.bin_centers < hist.bin_edges[-1])
+
+
+class TestCorrelationAndFit:
+    def test_perfect_positive_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative_correlation(self):
+        assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1])
+
+    def test_log_fit_recovers_coefficients(self):
+        x = np.linspace(1, 50, 40)
+        y = -0.7 * np.log(x) + 2.0
+        a, b = logarithmic_fit(x, y)
+        assert a == pytest.approx(-0.7, abs=1e-9)
+        assert b == pytest.approx(2.0, abs=1e-9)
+
+    def test_log_fit_rejects_nonpositive_x(self):
+        with pytest.raises(ValueError):
+            logarithmic_fit([0.0, 1.0], [1.0, 2.0])

@@ -1,0 +1,128 @@
+"""Log serialisation, compression and round-trip fidelity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrumentation.events import SocketEventLog
+from repro.instrumentation.storage import (
+    compression_report,
+    deserialize_log,
+    serialize_log,
+)
+
+
+def build_log(rows):
+    log = SocketEventLog()
+    for row in rows:
+        log.append(**row)
+    log.finalize()
+    return log
+
+
+def sample_row(timestamp=1.0, server=0, num_bytes=100.0):
+    return dict(
+        timestamp=timestamp, server=server, direction=0, src=0, src_port=8400,
+        dst=1, dst_port=50001, protocol=6, num_bytes=num_bytes,
+        job_id=7, phase_index=2,
+    )
+
+
+class TestSerialize:
+    def test_requires_finalized(self):
+        log = SocketEventLog()
+        log.append(**sample_row())
+        with pytest.raises(ValueError):
+            serialize_log(log)
+
+    def test_compression_shrinks(self):
+        rows = [sample_row(timestamp=float(i)) for i in range(500)]
+        serialized = serialize_log(build_log(rows))
+        assert serialized.compressed_size < serialized.raw_size
+        assert serialized.compression_ratio > 5.0
+
+    def test_records_are_etw_style(self):
+        serialized = serialize_log(build_log([sample_row()]))
+        text = serialized.raw.decode()
+        assert "event=SocketOp" in text
+        assert "operation=send" in text
+        assert "host=server-0" in text
+
+    def test_empty_log(self):
+        serialized = serialize_log(build_log([]))
+        round_tripped = deserialize_log(serialized)
+        assert len(round_tripped) == 0
+
+
+class TestRoundTrip:
+    def test_exact_fields(self):
+        rows = [sample_row(timestamp=2.25, server=3, num_bytes=42.5)]
+        log = build_log(rows)
+        back = deserialize_log(serialize_log(log))
+        original = log.row(0)
+        restored = back.row(0)
+        assert restored.server == original.server
+        assert restored.src_port == original.src_port
+        assert restored.dst_port == original.dst_port
+        assert restored.job_id == original.job_id
+        assert restored.phase_index == original.phase_index
+        assert restored.timestamp == pytest.approx(original.timestamp, abs=1e-6)
+        assert restored.num_bytes == pytest.approx(original.num_bytes, abs=0.05)
+
+    def test_event_count_preserved(self):
+        rows = [sample_row(timestamp=float(i), server=i % 4) for i in range(50)]
+        log = build_log(rows)
+        back = deserialize_log(serialize_log(log))
+        assert len(back) == len(log)
+
+    def test_bytes_preserved_within_rounding(self):
+        rows = [sample_row(num_bytes=float(b)) for b in range(1, 100)]
+        log = build_log(rows)
+        back = deserialize_log(serialize_log(log))
+        assert back.total_bytes(None) == pytest.approx(
+            log.total_bytes(None), abs=0.05 * len(rows)
+        )
+
+    def test_malformed_rejected(self):
+        serialized = serialize_log(build_log([sample_row()]))
+        import zlib
+        from repro.instrumentation.storage import SerializedLog
+        broken = SerializedLog(raw=b"junk", compressed=zlib.compress(b"junk"))
+        with pytest.raises(ValueError):
+            deserialize_log(broken)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e5),
+                st.integers(min_value=0, max_value=50),
+                st.floats(min_value=0.1, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, triples):
+        rows = [
+            sample_row(timestamp=t, server=s, num_bytes=b) for t, s, b in triples
+        ]
+        log = build_log(rows)
+        back = deserialize_log(serialize_log(log))
+        assert len(back) == len(log)
+        assert np.allclose(
+            np.sort(back.column("num_bytes")),
+            np.sort(log.column("num_bytes")),
+            atol=0.05,
+        )
+
+
+class TestReport:
+    def test_report_fields(self):
+        rows = [sample_row(timestamp=float(i)) for i in range(100)]
+        report = compression_report(build_log(rows))
+        assert report["events"] == 100
+        assert report["raw_bytes"] > report["compressed_bytes"] > 0
+        assert report["compression_ratio"] > 1.0
+        assert report["bytes_per_event"] > 50

@@ -1,0 +1,40 @@
+"""The one-call characterisation facade."""
+
+import pytest
+
+from repro.core.summary import characterize
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def report(self, dataset):
+        return characterize(dataset.result)
+
+    def test_components_populated(self, report):
+        assert len(report.flows) > 0
+        assert report.tm_series.num_windows > 0
+        assert report.congestion.num_links > 0
+        assert report.durations.total_flows == len(report.flows)
+
+    def test_consistent_with_direct_analyses(self, report, dataset):
+        from repro.core import duration_stats, reconstruct_flows
+
+        direct = duration_stats(reconstruct_flows(dataset.result.socket_log))
+        assert report.durations.frac_flows_under_10s == pytest.approx(
+            direct.frac_flows_under_10s
+        )
+
+    def test_render_mentions_paper_anchors(self, report):
+        text = report.render()
+        assert "IMC 2009" in text
+        assert "89% / 99.5%" in text
+        assert "86%" in text
+        assert "15 ms" in text
+
+    def test_threshold_override(self, dataset):
+        strict = characterize(dataset.result, threshold=0.95)
+        lax = characterize(dataset.result, threshold=0.5)
+        assert (
+            strict.congestion.frac_links_hot_at_least_10s
+            <= lax.congestion.frac_links_hot_at_least_10s
+        )

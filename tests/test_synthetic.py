@@ -1,0 +1,130 @@
+"""Parametric synthetic traffic model (§4.1 as a generator)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.synthetic.arrivals import StopAndGoArrivals
+from repro.synthetic.model import SyntheticTrafficModel, gravity_synthetic_tm
+from repro.core.flow_stats import estimate_mode_spacing
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return ClusterTopology(
+        ClusterSpec(racks=10, servers_per_rack=10, racks_per_vlan=5,
+                    external_hosts=0)
+    )
+
+
+class TestSyntheticTm:
+    def test_talk_probabilities_match_parameters(self, topo):
+        model = SyntheticTrafficModel(scatter_gather_rate=0.0)
+        rng = np.random.default_rng(0)
+        in_rack_talks = 0
+        in_rack_pairs = 0
+        cross_talks = 0
+        cross_pairs = 0
+        for _ in range(10):
+            tm = model.sample_server_tm(topo, rng)
+            racks = np.array([topo.rack_of(s) for s in range(topo.num_servers)])
+            same = racks[:, None] == racks[None, :]
+            np.fill_diagonal(same, False)
+            cross = ~same
+            np.fill_diagonal(cross, False)
+            in_rack_talks += (tm[same] > 0).sum()
+            in_rack_pairs += same.sum()
+            cross_talks += (tm[cross] > 0).sum()
+            cross_pairs += cross.sum()
+        assert in_rack_talks / in_rack_pairs == pytest.approx(0.11, abs=0.02)
+        assert cross_talks / cross_pairs == pytest.approx(0.005, abs=0.003)
+
+    def test_log_volume_range(self, topo):
+        model = SyntheticTrafficModel(scatter_gather_rate=0.0)
+        tm = model.sample_server_tm(topo, np.random.default_rng(1))
+        nonzero = tm[tm > 0]
+        logs = np.log(nonzero)
+        assert logs.min() >= 4.0 - 1e-9
+        assert logs.max() <= 20.0 + 1e-9
+
+    def test_in_rack_pairs_skew_larger(self, topo):
+        model = SyntheticTrafficModel(scatter_gather_rate=0.0)
+        rng = np.random.default_rng(2)
+        in_logs, cross_logs = [], []
+        for _ in range(10):
+            tm = model.sample_server_tm(topo, rng)
+            racks = np.array([topo.rack_of(s) for s in range(topo.num_servers)])
+            same = racks[:, None] == racks[None, :]
+            np.fill_diagonal(same, False)
+            in_logs.extend(np.log(tm[same][tm[same] > 0]))
+            cross = ~same
+            np.fill_diagonal(cross, False)
+            cross_logs.extend(np.log(tm[cross][tm[cross] > 0]))
+        assert np.median(in_logs) > np.median(cross_logs)
+
+    def test_scatter_gather_adds_hubs(self, topo):
+        model = SyntheticTrafficModel(scatter_gather_rate=5.0, scatter_fanout=0.5)
+        tm = model.sample_server_tm(topo, np.random.default_rng(3))
+        fanouts = np.maximum((tm > 0).sum(axis=1), (tm > 0).sum(axis=0))
+        assert fanouts.max() >= 0.4 * topo.num_servers
+
+    def test_tor_tm_zero_diagonal(self, topo):
+        model = SyntheticTrafficModel()
+        tor = model.sample_tor_tm(topo, np.random.default_rng(4))
+        assert np.all(np.diag(tor) == 0.0)
+        assert tor.shape == (topo.num_racks, topo.num_racks)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTrafficModel(prob_talk_in_rack=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTrafficModel(log_min=10, log_max=5)
+        with pytest.raises(ValueError):
+            SyntheticTrafficModel(job_clusters=-1)
+
+
+class TestGravityTm:
+    def test_total_volume(self):
+        tm = gravity_synthetic_tm(10, np.random.default_rng(0), total_volume=1e9)
+        assert tm.sum() == pytest.approx(1e9)
+        assert np.all(np.diag(tm) == 0.0)
+
+    def test_dense(self):
+        tm = gravity_synthetic_tm(10, np.random.default_rng(0))
+        off_diagonal = tm[~np.eye(10, dtype=bool)]
+        assert (off_diagonal > 0).all()
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            gravity_synthetic_tm(1, np.random.default_rng(0))
+
+
+class TestArrivals:
+    def test_gaps_positive_and_bounded(self):
+        process = StopAndGoArrivals()
+        gaps = process.sample_gaps(1000, np.random.default_rng(0))
+        assert (gaps > 0).all()
+        assert gaps.max() <= process.max_gap
+
+    def test_periodic_modes_present(self):
+        process = StopAndGoArrivals(quantum=0.015)
+        gaps = process.sample_gaps(8000, np.random.default_rng(1))
+        spacing = estimate_mode_spacing(gaps)
+        assert spacing == pytest.approx(0.015, abs=0.002)
+
+    def test_times_within_duration(self):
+        process = StopAndGoArrivals()
+        times = process.sample_times(5.0, np.random.default_rng(2), start=10.0)
+        assert times.size > 0
+        assert times.min() >= 10.0
+        assert times.max() < 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StopAndGoArrivals(quantum=0.0)
+        with pytest.raises(ValueError):
+            StopAndGoArrivals(burst_weight=1.5)
+        with pytest.raises(ValueError):
+            StopAndGoArrivals().sample_gaps(-1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            StopAndGoArrivals().sample_times(0.0, np.random.default_rng(0))

@@ -1,0 +1,317 @@
+"""Tomography: gravity, tomogravity, sparsity-max, job prior, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.routing import tor_routing_matrix
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.instrumentation.applog import ApplicationLog
+from repro.tomography.gravity import (
+    gravity_matrix,
+    gravity_prior_for_pairs,
+    node_totals_from_tm,
+)
+from repro.tomography.jobprior import job_affinity_matrix, job_aware_prior
+from repro.tomography.metrics import (
+    fraction_of_entries_for_volume,
+    heavy_hitter_overlap,
+    nonzero_count,
+    rmsre,
+    volume_threshold,
+)
+from repro.tomography.sparsity import sparsity_max_estimate
+from repro.tomography.tomogravity import tomogravity_estimate
+
+
+@pytest.fixture(scope="module")
+def tomo_setup():
+    topo = ClusterTopology(
+        ClusterSpec(racks=8, servers_per_rack=4, racks_per_vlan=4, external_hosts=0)
+    )
+    routing, pairs, observed = tor_routing_matrix(topo)
+    return topo, routing, pairs, observed
+
+
+def pair_vector(matrix, pairs):
+    return np.array([matrix[i, j] for i, j in pairs])
+
+
+class TestGravity:
+    def test_rank_one_without_diagonal_removal(self):
+        out_t = np.array([1.0, 2.0, 3.0])
+        in_t = np.array([3.0, 2.0, 1.0])
+        matrix = gravity_matrix(out_t, in_t, zero_diagonal=False)
+        assert np.linalg.matrix_rank(matrix) == 1
+        assert matrix.sum() == pytest.approx(out_t.sum())
+
+    def test_zero_diagonal_preserves_total(self):
+        out_t = np.array([5.0, 5.0, 5.0])
+        in_t = np.array([5.0, 5.0, 5.0])
+        matrix = gravity_matrix(out_t, in_t)
+        assert np.all(np.diag(matrix) == 0.0)
+        assert matrix.sum() == pytest.approx(15.0)
+
+    def test_proportionality(self):
+        out_t = np.array([1.0, 0.0, 2.0])
+        in_t = np.array([0.0, 3.0, 3.0])
+        matrix = gravity_matrix(out_t, in_t, zero_diagonal=False)
+        assert matrix[1].sum() == 0.0
+        assert matrix[2, 1] / matrix[0, 1] == pytest.approx(2.0)
+
+    def test_empty_traffic(self):
+        matrix = gravity_matrix(np.zeros(3), np.zeros(3))
+        assert matrix.sum() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gravity_matrix(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            gravity_matrix(np.array([-1.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_node_totals(self):
+        tm = np.array([[0.0, 2.0], [3.0, 0.0]])
+        out_t, in_t = node_totals_from_tm(tm)
+        assert out_t.tolist() == [2.0, 3.0]
+        assert in_t.tolist() == [3.0, 2.0]
+
+    def test_prior_for_pairs_alignment(self):
+        out_t = np.array([1.0, 2.0])
+        in_t = np.array([2.0, 1.0])
+        pairs = [(0, 1), (1, 0)]
+        prior = gravity_prior_for_pairs(out_t, in_t, pairs)
+        matrix = gravity_matrix(out_t, in_t)
+        assert prior.tolist() == [matrix[0, 1], matrix[1, 0]]
+
+
+class TestTomogravity:
+    def test_link_constraints_satisfied(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        rng = np.random.default_rng(0)
+        truth = rng.uniform(0, 1e9, size=len(pairs))
+        counts = routing @ truth
+        out_t = np.zeros(8)
+        in_t = np.zeros(8)
+        for k, (i, j) in enumerate(pairs):
+            out_t[i] += truth[k]
+            in_t[j] += truth[k]
+        prior = gravity_prior_for_pairs(out_t, in_t, pairs)
+        estimate = tomogravity_estimate(routing, counts, prior)
+        residual = np.abs(routing @ estimate - counts).sum() / counts.sum()
+        assert residual < 0.01
+        assert (estimate >= 0).all()
+
+    def test_exact_when_truth_is_gravity(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        out_t = np.linspace(1, 8, 8) * 1e9
+        in_t = np.linspace(8, 1, 8) * 1e9
+        truth = gravity_prior_for_pairs(out_t, in_t, pairs)
+        counts = routing @ truth
+        estimate = tomogravity_estimate(routing, counts,
+                                        gravity_prior_for_pairs(out_t, in_t, pairs))
+        assert rmsre(truth, estimate) < 0.02
+
+    def test_sparse_truth_estimated_poorly(self, tomo_setup):
+        """The paper's headline: gravity priors fail on sparse DC TMs."""
+        _, routing, pairs, _ = tomo_setup
+        rng = np.random.default_rng(1)
+        truth = np.zeros(len(pairs))
+        hot = rng.choice(len(pairs), size=6, replace=False)
+        truth[hot] = rng.lognormal(20, 1, size=6)
+        counts = routing @ truth
+        out_t = np.zeros(8)
+        in_t = np.zeros(8)
+        for k, (i, j) in enumerate(pairs):
+            out_t[i] += truth[k]
+            in_t[j] += truth[k]
+        prior = gravity_prior_for_pairs(out_t, in_t, pairs)
+        estimate = tomogravity_estimate(routing, counts, prior)
+        assert rmsre(truth, estimate) > 0.2
+
+    def test_zero_traffic(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        estimate = tomogravity_estimate(
+            routing, np.zeros(routing.shape[0]), np.zeros(len(pairs))
+        )
+        assert estimate.sum() == 0.0
+
+    def test_shape_validation(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        with pytest.raises(ValueError):
+            tomogravity_estimate(routing, np.zeros(3), np.zeros(len(pairs)))
+        with pytest.raises(ValueError):
+            tomogravity_estimate(routing, np.zeros(routing.shape[0]), np.zeros(2))
+
+
+class TestSparsityMax:
+    def test_recovers_very_sparse_truth(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        truth = np.zeros(len(pairs))
+        truth[3] = 1e9
+        counts = routing @ truth
+        estimate = sparsity_max_estimate(routing, counts, time_limit=10.0)
+        assert nonzero_count(estimate) <= 3
+        residual = np.abs(routing @ estimate - counts).sum() / counts.sum()
+        assert residual < 0.05
+
+    def test_sparser_than_spread_truth(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        rng = np.random.default_rng(2)
+        truth = rng.uniform(1e6, 1e8, size=len(pairs))
+        counts = routing @ truth
+        estimate = sparsity_max_estimate(routing, counts, time_limit=10.0)
+        assert nonzero_count(estimate) < nonzero_count(truth)
+
+    def test_zero_counts(self, tomo_setup):
+        _, routing, pairs, _ = tomo_setup
+        estimate = sparsity_max_estimate(routing, np.zeros(routing.shape[0]))
+        assert estimate.sum() == 0.0
+
+    def test_validation(self, tomo_setup):
+        _, routing, _, _ = tomo_setup
+        with pytest.raises(ValueError):
+            sparsity_max_estimate(routing, np.zeros(3))
+        with pytest.raises(ValueError):
+            sparsity_max_estimate(routing, np.zeros(routing.shape[0]),
+                                  tolerance=-1.0)
+
+
+class TestJobPrior:
+    def test_affinity_counts_colocated_jobs(self, tiny_topology):
+        applog = ApplicationLog()
+        applog.record_vertex_start(0, 0, 0, server=0, locality="LOCAL", time=1.0)
+        applog.record_vertex_start(1, 0, 0, server=5, locality="LOCAL", time=1.0)
+        affinity = job_affinity_matrix(applog, tiny_topology)
+        rack_a = tiny_topology.rack_of(0)
+        rack_b = tiny_topology.rack_of(5)
+        assert affinity[rack_a, rack_b] == 1.0
+        assert affinity[rack_b, rack_a] == 1.0
+        assert np.all(np.diag(affinity) == 0.0)
+
+    def test_time_window_filter(self, tiny_topology):
+        applog = ApplicationLog()
+        applog.record_vertex_start(0, 0, 0, server=0, locality="LOCAL", time=1.0)
+        applog.record_vertex_start(1, 0, 0, server=5, locality="LOCAL", time=100.0)
+        affinity = job_affinity_matrix(applog, tiny_topology, start=0.0, end=10.0)
+        assert affinity.sum() == 0.0  # second vertex excluded, no pair
+
+    def test_prior_boosts_affine_pairs(self):
+        out_t = np.full(4, 100.0)
+        in_t = np.full(4, 100.0)
+        affinity = np.zeros((4, 4))
+        affinity[0, 1] = affinity[1, 0] = 10.0
+        prior = job_aware_prior(out_t, in_t, affinity, strength=1.0)
+        base = gravity_matrix(out_t, in_t)
+        assert prior[0, 1] > base[0, 1]
+        assert prior.sum() == pytest.approx(base.sum())
+
+    def test_zero_strength_is_gravity(self):
+        out_t = np.array([1.0, 2.0, 3.0])
+        in_t = np.array([3.0, 2.0, 1.0])
+        affinity = np.ones((3, 3))
+        prior = job_aware_prior(out_t, in_t, affinity, strength=0.0)
+        assert np.allclose(prior, gravity_matrix(out_t, in_t))
+
+
+class TestMetrics:
+    def test_volume_threshold(self):
+        x = np.array([100.0, 50.0, 25.0, 10.0, 5.0, 5.0, 5.0])
+        # top entries 100+50 = 150 of 200 = 75%
+        assert volume_threshold(x, 0.75) == 50.0
+
+    def test_rmsre_perfect(self):
+        x = np.array([10.0, 5.0, 1.0])
+        assert rmsre(x, x) == 0.0
+
+    def test_rmsre_ignores_small_entries(self):
+        truth = np.array([1000.0, 1.0])
+        estimate = np.array([1000.0, 100.0])  # huge error on tiny entry
+        assert rmsre(truth, estimate, volume_fraction=0.75) == 0.0
+
+    def test_rmsre_relative(self):
+        truth = np.array([100.0])
+        estimate = np.array([160.0])
+        assert rmsre(truth, estimate) == pytest.approx(0.6)
+
+    def test_fraction_for_volume(self):
+        x = np.array([75.0, 10.0, 10.0, 5.0])
+        assert fraction_of_entries_for_volume(x, 0.75) == pytest.approx(0.25)
+
+    def test_fraction_uniform(self):
+        x = np.ones(100)
+        assert fraction_of_entries_for_volume(x, 0.75) == pytest.approx(0.75)
+
+    def test_fraction_of_zeros_nan(self):
+        assert np.isnan(fraction_of_entries_for_volume(np.zeros(5)))
+
+    def test_nonzero_count_relative_floor(self):
+        x = np.array([1e9, 1e-3, 0.0])
+        assert nonzero_count(x) == 1
+
+    def test_heavy_hitter_overlap(self):
+        truth = np.zeros(100)
+        truth[:3] = 1000.0
+        estimate = np.zeros(100)
+        estimate[0] = 500.0   # true heavy hitter
+        estimate[50] = 500.0  # not a heavy hitter
+        assert heavy_hitter_overlap(truth, estimate, percentile=97) == 1
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_covers_requested_volume(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1e6, size=n)
+        threshold = volume_threshold(x, 0.75)
+        covered = x[x >= threshold].sum()
+        assert covered >= 0.75 * x.sum() - 1e-6
+
+
+class TestRolePrior:
+    def test_directional_affinity(self, tiny_topology):
+        from repro.tomography.roleprior import role_affinity_matrix
+
+        applog = ApplicationLog()
+        applog.record_phase_start(0, 0, "extract", 0.0)
+        applog.record_phase_start(0, 1, "aggregate", 1.0)
+        # producer on rack of server 0, consumer on rack of server 5
+        applog.record_vertex_start(0, 0, 0, server=0, locality="LOCAL", time=0.5)
+        applog.record_vertex_start(1, 0, 1, server=5, locality="LOCAL", time=1.5)
+        affinity = role_affinity_matrix(applog, tiny_topology)
+        producer_rack = tiny_topology.rack_of(0)
+        consumer_rack = tiny_topology.rack_of(5)
+        assert affinity[producer_rack, consumer_rack] == 1.0
+        assert affinity[consumer_rack, producer_rack] == 0.0  # directional
+
+    def test_job_without_consumers_contributes_nothing(self, tiny_topology):
+        from repro.tomography.roleprior import role_affinity_matrix
+
+        applog = ApplicationLog()
+        applog.record_phase_start(0, 0, "extract", 0.0)
+        applog.record_vertex_start(0, 0, 0, server=0, locality="LOCAL", time=0.5)
+        affinity = role_affinity_matrix(applog, tiny_topology)
+        assert affinity.sum() == 0.0
+
+    def test_role_prior_preserves_total(self):
+        from repro.tomography.roleprior import role_aware_prior
+
+        out_t = np.full(4, 50.0)
+        in_t = np.full(4, 50.0)
+        affinity = np.zeros((4, 4))
+        affinity[0, 2] = 5.0
+        prior = role_aware_prior(out_t, in_t, affinity, strength=2.0)
+        base = gravity_matrix(out_t, in_t)
+        assert prior.sum() == pytest.approx(base.sum())
+        assert prior[0, 2] > base[0, 2]
+        assert prior[2, 0] < base[2, 0]  # renormalisation shrinks the rest
+
+    def test_time_window(self, tiny_topology):
+        from repro.tomography.roleprior import role_affinity_matrix
+
+        applog = ApplicationLog()
+        applog.record_phase_start(0, 0, "extract", 0.0)
+        applog.record_phase_start(0, 1, "aggregate", 0.0)
+        applog.record_vertex_start(0, 0, 0, server=0, locality="LOCAL", time=0.5)
+        applog.record_vertex_start(1, 0, 1, server=5, locality="LOCAL", time=50.0)
+        affinity = role_affinity_matrix(applog, tiny_topology, start=0.0, end=10.0)
+        assert affinity.sum() == 0.0  # the consumer is outside the window

@@ -1,0 +1,145 @@
+"""Cluster topology structure (paper Fig 1)."""
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec, ClusterTopology, NodeKind
+from repro.util.units import GBPS
+
+
+class TestClusterSpec:
+    def test_defaults_valid(self):
+        spec = ClusterSpec()
+        assert spec.num_servers == spec.racks * spec.servers_per_rack
+
+    def test_num_vlans_rounds_up(self):
+        spec = ClusterSpec(racks=5, racks_per_vlan=2)
+        assert spec.num_vlans == 3
+
+    def test_rejects_zero_racks(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(racks=0)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(servers_per_rack=0)
+
+    def test_rejects_negative_external(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(external_hosts=-1)
+
+
+class TestNodeLayout:
+    def test_node_kinds(self, tiny_topology):
+        topo = tiny_topology
+        assert topo.node_kind(0) == NodeKind.SERVER
+        assert topo.node_kind(topo.num_servers - 1) == NodeKind.SERVER
+        assert topo.node_kind(topo.tor_of_rack(0)) == NodeKind.TOR
+        assert topo.node_kind(topo.agg_of_vlan(0)) == NodeKind.AGG
+        assert topo.node_kind(topo.core_id) == NodeKind.CORE
+        assert topo.node_kind(topo.num_nodes - 1) == NodeKind.EXTERNAL
+
+    def test_node_kind_out_of_range(self, tiny_topology):
+        with pytest.raises(ValueError):
+            tiny_topology.node_kind(tiny_topology.num_nodes)
+
+    def test_rack_assignment(self, tiny_topology):
+        spec = tiny_topology.spec
+        for server in range(tiny_topology.num_servers):
+            assert tiny_topology.rack_of(server) == server // spec.servers_per_rack
+
+    def test_rack_of_rejects_non_server(self, tiny_topology):
+        with pytest.raises(ValueError):
+            tiny_topology.rack_of(tiny_topology.num_servers)
+
+    def test_servers_in_rack_partition(self, tiny_topology):
+        seen = set()
+        for rack in range(tiny_topology.num_racks):
+            members = set(tiny_topology.servers_in_rack(rack))
+            assert not members & seen
+            seen |= members
+        assert seen == set(range(tiny_topology.num_servers))
+
+    def test_vlan_groups_racks(self, tiny_topology):
+        for vlan in range(tiny_topology.num_vlans):
+            for rack in tiny_topology.racks_in_vlan(vlan):
+                assert tiny_topology.vlan_of_rack(rack) == vlan
+
+    def test_endpoints_are_servers_plus_external(self, tiny_topology):
+        endpoints = tiny_topology.endpoints()
+        assert len(endpoints) == (
+            tiny_topology.num_servers + tiny_topology.spec.external_hosts
+        )
+        assert all(tiny_topology.is_endpoint(node) for node in endpoints)
+
+    def test_same_rack_and_vlan(self, tiny_topology):
+        spec = tiny_topology.spec
+        assert tiny_topology.same_rack(0, 1)
+        assert not tiny_topology.same_rack(0, spec.servers_per_rack)
+        assert tiny_topology.same_vlan(0, spec.servers_per_rack)
+        # external endpoints belong to no rack
+        external = tiny_topology.num_nodes - 1
+        assert not tiny_topology.same_rack(0, external)
+        assert not tiny_topology.same_vlan(0, external)
+
+
+class TestLinks:
+    def test_links_are_duplex(self, tiny_topology):
+        for link in tiny_topology.links:
+            reverse = tiny_topology.link_between(link.dst, link.src)
+            assert reverse.capacity == link.capacity
+
+    def test_link_count(self, tiny_topology):
+        spec = tiny_topology.spec
+        expected = 2 * (
+            tiny_topology.num_servers       # server<->tor
+            + tiny_topology.num_racks       # tor<->agg
+            + tiny_topology.num_vlans       # agg<->core
+            + spec.external_hosts           # external<->core
+        )
+        assert tiny_topology.num_links == expected
+
+    def test_capacities_match_spec(self):
+        spec = ClusterSpec(
+            racks=2, servers_per_rack=2, racks_per_vlan=2,
+            server_nic_capacity=1 * GBPS, tor_uplink_capacity=5 * GBPS,
+        )
+        topo = ClusterTopology(spec)
+        nic = topo.link_between(0, topo.tor_of_rack(0))
+        uplink = topo.link_between(topo.tor_of_rack(0), topo.agg_of_vlan(0))
+        assert nic.capacity == 1 * GBPS
+        assert uplink.capacity == 5 * GBPS
+
+    def test_inter_switch_links_exclude_servers(self, tiny_topology):
+        for link in tiny_topology.inter_switch_links():
+            assert tiny_topology.node_kind(link.src) != NodeKind.SERVER
+            assert tiny_topology.node_kind(link.dst) != NodeKind.SERVER
+            assert not tiny_topology.is_external(link.src)
+            assert not tiny_topology.is_external(link.dst)
+
+    def test_server_access_links_touch_servers(self, tiny_topology):
+        for link in tiny_topology.server_access_links():
+            kinds = {tiny_topology.node_kind(link.src), tiny_topology.node_kind(link.dst)}
+            assert NodeKind.SERVER in kinds
+
+    def test_link_ids_dense(self, tiny_topology):
+        for index, link in enumerate(tiny_topology.links):
+            assert link.link_id == index
+
+
+class TestAddressing:
+    def test_server_ips_unique(self, tiny_topology):
+        ips = {tiny_topology.ip_of(s) for s in range(tiny_topology.num_servers)}
+        assert len(ips) == tiny_topology.num_servers
+
+    def test_external_ips(self, tiny_topology):
+        for host in tiny_topology.external_hosts():
+            assert tiny_topology.ip_of(host).startswith("192.168.200.")
+
+    def test_switches_not_addressable(self, tiny_topology):
+        with pytest.raises(ValueError):
+            tiny_topology.ip_of(tiny_topology.tor_of_rack(0))
+
+    def test_describe_mentions_counts(self, tiny_topology):
+        text = tiny_topology.describe()
+        assert str(tiny_topology.num_servers) in text
+        assert str(tiny_topology.num_racks) in text

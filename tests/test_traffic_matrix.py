@@ -1,0 +1,159 @@
+"""Traffic matrix computation at multiple time-scales."""
+
+import numpy as np
+import pytest
+
+from repro.core.traffic_matrix import (
+    log_matrix,
+    server_tm_to_tor_tm,
+    tm_series_from_events,
+    tm_series_from_transfers,
+)
+from repro.instrumentation.events import DIRECTION_RECV, DIRECTION_SEND, SocketEventLog
+from repro.simulation.transport import Transfer, TransferMeta
+
+
+def event_log(events):
+    log = SocketEventLog()
+    for event in events:
+        defaults = dict(
+            server=0, direction=DIRECTION_SEND, src=0, src_port=8400,
+            dst=1, dst_port=50000, protocol=6, num_bytes=100.0,
+            job_id=-1, phase_index=-1,
+        )
+        defaults.update(event)
+        log.append(**defaults)
+    log.finalize()
+    return log
+
+
+def transfer(src, dst, size, start, end):
+    return Transfer(transfer_id=0, src=src, dst=dst, size=size,
+                    start_time=start, end_time=end, meta=TransferMeta(kind="fetch"))
+
+
+class TestEventSeries:
+    def test_bytes_land_in_window(self, tiny_topology):
+        log = event_log([{"timestamp": 12.0, "src": 0, "dst": 1}])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=30.0)
+        assert series.num_windows == 3
+        assert series.matrices[1, 0, 1] == 100.0
+        assert series.total().sum() == 100.0
+
+    def test_recv_duplicates_excluded(self, tiny_topology):
+        log = event_log([
+            {"timestamp": 1.0, "direction": DIRECTION_SEND},
+            {"timestamp": 1.0, "direction": DIRECTION_RECV, "server": 1},
+        ])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        assert series.total().sum() == 100.0
+
+    def test_external_sender_counted_via_recv(self, tiny_topology):
+        external = tiny_topology.num_nodes - 1
+        log = event_log([
+            {"timestamp": 1.0, "direction": DIRECTION_RECV, "src": external,
+             "dst": 2, "server": 2},
+        ])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        index = list(series.endpoint_ids).index(external)
+        assert series.total()[index, 2] == 100.0
+
+    def test_endpoint_ids_cover_servers_and_external(self, tiny_topology):
+        log = event_log([])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        assert series.num_endpoints == (
+            tiny_topology.num_servers + tiny_topology.spec.external_hosts
+        )
+
+    def test_invalid_window_rejected(self, tiny_topology):
+        with pytest.raises(ValueError):
+            tm_series_from_events(event_log([]), tiny_topology, window=0, duration=10)
+
+
+class TestTransferSeries:
+    def test_bytes_spread_over_lifetime(self, tiny_topology):
+        series = tm_series_from_transfers(
+            [transfer(0, 1, 100.0, start=5.0, end=15.0)],
+            tiny_topology, window=10.0, duration=20.0,
+        )
+        assert series.matrices[0, 0, 1] == pytest.approx(50.0)
+        assert series.matrices[1, 0, 1] == pytest.approx(50.0)
+
+    def test_instant_transfer(self, tiny_topology):
+        series = tm_series_from_transfers(
+            [transfer(0, 1, 100.0, start=5.0, end=5.0)],
+            tiny_topology, window=10.0, duration=20.0,
+        )
+        assert series.matrices[0, 0, 1] == 100.0
+
+    def test_truncated_at_duration(self, tiny_topology):
+        series = tm_series_from_transfers(
+            [transfer(0, 1, 100.0, start=15.0, end=25.0)],
+            tiny_topology, window=10.0, duration=20.0,
+        )
+        # only the first half of the transfer falls inside the horizon
+        assert series.total()[0, 1] == pytest.approx(50.0)
+
+
+class TestAggregation:
+    def test_aggregate_sums_windows(self, tiny_topology):
+        log = event_log([
+            {"timestamp": 1.0}, {"timestamp": 11.0}, {"timestamp": 21.0},
+        ])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=40.0)
+        coarse = series.aggregate(2)
+        assert coarse.num_windows == 2
+        assert coarse.window == 20.0
+        assert coarse.matrices[0, 0, 1] == 200.0
+        assert coarse.total().sum() == series.total().sum() - 0.0
+
+    def test_aggregate_factor_one_identity(self, tiny_topology):
+        log = event_log([{"timestamp": 1.0}])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        assert series.aggregate(1) is series
+
+    def test_aggregate_too_coarse_rejected(self, tiny_topology):
+        log = event_log([{"timestamp": 1.0}])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        with pytest.raises(ValueError):
+            series.aggregate(5)
+
+    def test_totals_per_window(self, tiny_topology):
+        log = event_log([{"timestamp": 1.0}, {"timestamp": 11.0}])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=20.0)
+        assert series.totals_per_window().tolist() == [100.0, 100.0]
+
+
+class TestTorCollapse:
+    def test_intra_rack_excluded(self, tiny_topology):
+        log = event_log([{"timestamp": 1.0, "src": 0, "dst": 1}])  # same rack
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        tor = server_tm_to_tor_tm(series.total(), tiny_topology, series.endpoint_ids)
+        assert tor.sum() == 0.0
+
+    def test_cross_rack_counted(self, tiny_topology):
+        other_rack = tiny_topology.spec.servers_per_rack
+        log = event_log([{"timestamp": 1.0, "src": 0, "dst": other_rack}])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        tor = server_tm_to_tor_tm(series.total(), tiny_topology, series.endpoint_ids)
+        assert tor[0, 1] == 100.0
+        assert np.all(np.diag(tor) == 0.0)
+
+    def test_external_traffic_dropped(self, tiny_topology):
+        external = tiny_topology.num_nodes - 1
+        log = event_log([
+            {"timestamp": 1.0, "direction": DIRECTION_RECV, "src": external,
+             "dst": 0, "server": 0},
+        ])
+        series = tm_series_from_events(log, tiny_topology, window=10.0, duration=10.0)
+        tor = server_tm_to_tor_tm(series.total(), tiny_topology, series.endpoint_ids)
+        assert tor.sum() == 0.0
+
+
+class TestLogMatrix:
+    def test_zeros_become_nan(self):
+        tm = np.array([[0.0, np.e], [1.0, 0.0]])
+        logged = log_matrix(tm)
+        assert np.isnan(logged[0, 0])
+        assert logged[0, 1] == pytest.approx(1.0)
+        assert logged[1, 0] == pytest.approx(0.0)

@@ -1,0 +1,72 @@
+"""Units and formatting helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+class TestConstants:
+    def test_gbps_is_bytes_per_second(self):
+        assert units.GBPS == pytest.approx(125e6)
+
+    def test_mb_decimal(self):
+        assert units.MB == 1_000_000.0
+
+    def test_day_seconds(self):
+        assert units.DAY == 86400.0
+
+
+class TestConversions:
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(10) == 80
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(80) == 10
+
+    def test_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(12345.5)) == 12345.5
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert units.format_bytes(1500) == "1.50 KB"
+
+    def test_gigabytes(self):
+        assert units.format_bytes(3.2e9) == "3.20 GB"
+
+    def test_terabytes(self):
+        assert units.format_bytes(2e12) == "2.00 TB"
+
+    def test_negative_value_keeps_sign(self):
+        assert units.format_bytes(-2e6) == "-2.00 MB"
+
+
+class TestFormatRate:
+    def test_gigabit(self):
+        assert units.format_rate(125e6) == "1.00 Gbps"
+
+    def test_megabit(self):
+        assert units.format_rate(125e3) == "1.00 Mbps"
+
+    def test_sub_kilobit(self):
+        assert units.format_rate(10) == "80 bps"
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert units.format_duration(0.002) == "2.0 ms"
+
+    def test_microseconds(self):
+        assert units.format_duration(5e-6) == "5.0 us"
+
+    def test_seconds(self):
+        assert units.format_duration(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert units.format_duration(90) == "1.50 min"
+
+    def test_hours(self):
+        assert units.format_duration(3700) == "1.03 h"

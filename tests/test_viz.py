@@ -1,0 +1,96 @@
+"""ASCII rendering of figures."""
+
+import numpy as np
+import pytest
+
+from repro.util.ascii import render_bars, render_cdf, render_heatmap, render_series
+from repro.util.stats import ecdf
+
+
+class TestHeatmap:
+    def test_renders_box(self):
+        text = render_heatmap(np.arange(16).reshape(4, 4), title="test")
+        lines = text.splitlines()
+        assert lines[0] == "test"
+        assert lines[1].startswith("+")
+        assert lines[-1].startswith("+")
+        assert all(line.startswith("|") for line in lines[2:-1])
+
+    def test_downsamples_large_matrix(self):
+        text = render_heatmap(np.random.default_rng(0).random((200, 300)),
+                              max_width=40, max_height=20)
+        longest = max(len(line) for line in text.splitlines())
+        assert longest <= 42
+
+    def test_nan_cells_blank(self):
+        matrix = np.full((3, 3), np.nan)
+        matrix[0, 0] = 1.0
+        text = render_heatmap(matrix)
+        assert " " in text
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.arange(5))
+
+
+class TestCdfPlot:
+    def test_single_curve(self):
+        text = render_cdf({"x": ecdf([1.0, 2.0, 3.0])})
+        assert "o=x" in text
+
+    def test_log_axis(self):
+        text = render_cdf({"x": ecdf([0.01, 1.0, 100.0])}, log_x=True)
+        assert "log10(x)" in text
+
+    def test_empty_curves(self):
+        assert "(no data)" in render_cdf({"x": ecdf([])})
+
+    def test_multiple_markers(self):
+        text = render_cdf({"a": ecdf([1.0]), "b": ecdf([2.0])})
+        assert "o=a" in text and "x=b" in text
+
+
+class TestBarsAndSeries:
+    def test_bars(self):
+        text = render_bars(["day 0", "day 1"], [100.0, -50.0])
+        assert "day 0" in text
+        assert "#" in text and "-" in text
+
+    def test_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_empty_bars(self):
+        assert "(no data)" in render_bars([], [], title="t")
+
+    def test_series(self):
+        text = render_series(np.sin(np.linspace(0, 6, 50)), title="wave")
+        assert text.startswith("wave")
+        assert "*" in text
+
+    def test_series_downsampled(self):
+        text = render_series(np.arange(1000), width=50)
+        longest = max(len(line) for line in text.splitlines())
+        assert longest < 70
+
+
+class TestFigureAdapters:
+    def test_figure_renderings_from_campaign(self, dataset):
+        """Every figure adapter produces non-trivial text on real data."""
+        from repro.experiments import fig02, fig06, fig07, fig08, fig09, fig10, fig11
+        from repro.viz import (
+            figure6_episode_cdf,
+            figure7_victim_cdf,
+            figure8_bars,
+            figure9_duration_cdfs,
+            figure10_series,
+            figure11_interarrival_cdfs,
+        )
+
+        assert "Fig 2" in fig02.run(dataset).render()
+        assert "Fig 6" in figure6_episode_cdf(fig06.run(dataset).summary)
+        assert "Fig 7" in figure7_victim_cdf(fig07.run(dataset).comparison)
+        assert "Fig 8" in figure8_bars(fig08.run(dataset).study)
+        assert "Fig 9" in figure9_duration_cdfs(fig09.run(dataset).stats)
+        assert "Fig 10" in figure10_series(fig10.run(dataset).stats)
+        assert "Fig 11" in figure11_interarrival_cdfs(fig11.run(dataset).stats)
