@@ -4,24 +4,34 @@ The standard campaign (96 servers, eight scaled days) takes a couple of
 minutes to build and is shared — memoised — by every benchmark.  Each
 benchmark appends its paper-vs-measured table to a session report that is
 printed at the end and written to ``benchmarks/report.txt``.
+
+The session also runs under a telemetry session: the campaign build is
+traced and metered, and ``pytest_sessionfinish`` writes
+``benchmarks/BENCH_core_ops.json`` — per-benchmark wall times plus the
+campaign's metrics snapshot — so benchmark trajectories are
+machine-readable across commits.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.experiments import build_dataset, standard_config
 from repro.experiments.common import ExperimentDataset
+from repro.telemetry import Telemetry
 
 _REPORT: list[str] = []
+_WALL_SECONDS: dict[str, float] = {}
+_TELEMETRY = Telemetry()
 
 
 @pytest.fixture(scope="session")
 def standard_dataset() -> ExperimentDataset:
     """The standard measurement campaign, built once per session."""
-    return build_dataset(standard_config())
+    return build_dataset(standard_config(), telemetry=_TELEMETRY)
 
 
 @pytest.fixture()
@@ -34,12 +44,36 @@ def report():
     return add
 
 
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _WALL_SECONDS[report.nodeid] = report.duration
+
+
+def _write_bench_json(directory: pathlib.Path) -> None:
+    from repro.telemetry.tracing import aggregate_spans
+
+    payload = {
+        "schema_version": 1,
+        "benchmarks": [
+            {"id": nodeid, "wall_seconds": seconds}
+            for nodeid, seconds in sorted(_WALL_SECONDS.items())
+        ],
+        "campaign_timings": aggregate_spans(_TELEMETRY.tracer.spans),
+        "campaign_metrics": _TELEMETRY.metrics.snapshot(),
+    }
+    out = directory / "BENCH_core_ops.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def pytest_sessionfinish(session, exitstatus):
+    directory = pathlib.Path(__file__).parent
+    if _WALL_SECONDS:
+        _write_bench_json(directory)
     if not _REPORT:
         return
     body = "\n\n".join(_REPORT)
     banner = "\n" + "=" * 72 + "\nPAPER vs MEASURED (this session)\n" + "=" * 72
     print(banner)
     print(body)
-    out = pathlib.Path(__file__).parent / "report.txt"
+    out = directory / "report.txt"
     out.write_text(body + "\n")

@@ -29,6 +29,7 @@ Quickstart::
 from .cluster import ClusterSpec, ClusterTopology, Router
 from .config import SimulationConfig
 from .simulation import SimulationResult, Simulator, simulate
+from .telemetry import RunManifest, Telemetry
 from .workload import WorkloadConfig
 
 __version__ = "1.0.0"
@@ -42,5 +43,7 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    "Telemetry",
+    "RunManifest",
     "__version__",
 ]

@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the library's workflow:
+Four commands cover the library's workflow:
 
 * ``simulate`` — run a measurement campaign and print its statistics,
-  optionally dumping the compressed socket-event log;
+  optionally dumping the compressed socket-event log; with
+  ``--telemetry`` it also prints progress heartbeats, writes a JSONL
+  span trace (``--trace-out``) and records a run manifest
+  (``--manifest-out``) pinning config, seed, git version and metrics;
 * ``figures`` — reproduce any subset of the paper's figures against a
   campaign and print the paper-vs-measured tables;
-* ``ablations`` — run the A1-A3 design-choice ablations.
+* ``ablations`` — run the A1-A3 design-choice ablations;
+* ``telemetry-report`` — render a previously written trace/manifest as
+  human-readable tables.
 """
 
 from __future__ import annotations
@@ -45,6 +50,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--dump-log", metavar="PATH",
                      help="write the compressed socket-event log here")
+    sim.add_argument("--telemetry", action="store_true",
+                     help="instrument the run: heartbeats, spans, metrics, "
+                          "and a run manifest")
+    sim.add_argument("--trace-out", metavar="PATH",
+                     help="write the JSONL span trace here (implies --telemetry)")
+    sim.add_argument("--manifest-out", metavar="PATH",
+                     help="write the run manifest here (implies --telemetry; "
+                          "default derives from --trace-out or repro-manifest.json)")
+    sim.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                     help="simulated seconds between progress heartbeats "
+                          "(default: duration/5)")
 
     figures = sub.add_parser("figures", help="reproduce paper figures")
     figures.add_argument("names", nargs="*", default=[],
@@ -57,7 +73,26 @@ def _build_parser() -> argparse.ArgumentParser:
     ablations.add_argument("names", nargs="*", default=[],
                            help="subset of: locality, conncap, gravity (default all)")
     ablations.add_argument("--seed", type=int, default=11)
+
+    report = sub.add_parser("telemetry-report",
+                            help="render a trace/manifest as tables")
+    report.add_argument("trace", nargs="?", default=None,
+                        help="JSONL span trace written by simulate --trace-out")
+    report.add_argument("--manifest", metavar="PATH",
+                        help="run manifest written by simulate --telemetry")
     return parser
+
+
+def _print_heartbeat(snapshot: dict) -> None:
+    """One progress line per heartbeat, on stderr (stdout stays parseable)."""
+    print(
+        "[telemetry] t={now:.1f}s/{duration:.1f}s ({percent:.0f}%) "
+        "events={events_processed} ({events_per_wall_second:.0f}/s) "
+        "active_flows={active_flows} jobs={jobs_finished}/{jobs_started} "
+        "transfers={transfers_completed}".format(**snapshot),
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -76,7 +111,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
     )
-    result = simulate(config)
+    telemetry_on = bool(args.telemetry or args.trace_out or args.manifest_out)
+    if telemetry_on:
+        from .experiments.common import build_dataset
+        from .telemetry import RunManifest, Telemetry
+
+        tele = Telemetry()
+        # The full dataset build (campaign + flow reconstruction + TM
+        # series) exercises every instrumented stage, so the manifest
+        # captures the pipeline end to end — including the dataset
+        # cache behaviour the figure sweeps depend on.
+        with tele.span("cli.simulate"):
+            dataset = build_dataset(
+                config,
+                telemetry=tele,
+                heartbeat=_print_heartbeat,
+                heartbeat_interval=args.heartbeat,
+            )
+        result = dataset.result
+    else:
+        result = simulate(config)
     print(f"cluster:  {result.topology.describe()}")
     for key in sorted(result.stats):
         print(f"  {key}: {result.stats[key]:.0f}")
@@ -88,6 +142,68 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             handle.write(serialized.compressed)
         print(f"wrote {format_bytes(serialized.compressed_size)} "
               f"(compressed {serialized.compression_ratio:.1f}x) to {args.dump_log}")
+    if telemetry_on:
+        if args.trace_out:
+            count = tele.tracer.write_jsonl(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}")
+        manifest_path = args.manifest_out
+        if manifest_path is None:
+            manifest_path = (
+                f"{args.trace_out}.manifest.json"
+                if args.trace_out
+                else "repro-manifest.json"
+            )
+        manifest = RunManifest.capture("simulate", config, tele)
+        manifest.write(manifest_path)
+        print(f"wrote run manifest ({len(manifest.metrics)} metrics) "
+              f"to {manifest_path}")
+    return 0
+
+
+def _format_metric(state: dict) -> str:
+    """One-cell rendering of a metric snapshot for the report table."""
+    if state.get("type") == "histogram":
+        return (f"n={state['count']} mean={state['mean']:.3g} "
+                f"p50={state['p50']:.3g} p99={state['p99']:.3g} "
+                f"max={state['max']:.3g}")
+    return f"{state.get('value', 0.0):.6g}"
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from .experiments.reporting import format_table
+    from .telemetry import RunManifest, aggregate_spans, read_jsonl
+
+    if not args.trace and not args.manifest:
+        print("nothing to report: pass a trace file and/or --manifest",
+              file=sys.stderr)
+        return 2
+    if args.trace:
+        rollup = aggregate_spans(read_jsonl(args.trace))
+        rows = [
+            (name, str(agg["count"]), f"{agg['total_s']:.3f}",
+             f"{agg['mean_s']:.3f}", f"{agg['max_s']:.3f}")
+            for name, agg in sorted(
+                rollup.items(), key=lambda item: -item[1]["total_s"]
+            )
+        ]
+        print(format_table(
+            f"spans — {args.trace}", rows,
+            headers=("span", "count", "total s", "mean s", "max s"),
+        ))
+    if args.manifest:
+        manifest = RunManifest.load(args.manifest)
+        if args.trace:
+            print()
+        print(f"run: {manifest.command!r} seed={manifest.seed} "
+              f"git={manifest.git_version} at {manifest.created_at} "
+              f"({manifest.wall_seconds:.2f}s wall)")
+        rows = [
+            (name, _format_metric(state))
+            for name, state in manifest.metrics.items()
+        ]
+        print(format_table(
+            f"metrics — {args.manifest}", rows, headers=("metric", "value"),
+        ))
     return 0
 
 
@@ -147,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "figures": _cmd_figures,
         "ablations": _cmd_ablations,
+        "telemetry-report": _cmd_telemetry_report,
     }
     return handlers[args.command](args)
 

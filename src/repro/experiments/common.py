@@ -26,6 +26,7 @@ from ..config import SimulationConfig
 from ..core.flows import FlowTable, reconstruct_flows
 from ..core.traffic_matrix import TrafficMatrixSeries, tm_series_from_events
 from ..simulation.simulator import SimulationResult, simulate
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..util.units import GBPS
 from ..workload.generator import WorkloadConfig
 
@@ -152,20 +153,52 @@ def _cache_key(config: SimulationConfig) -> tuple:
     )
 
 
-def build_dataset(config: SimulationConfig | None = None) -> ExperimentDataset:
-    """Run (or fetch the memoised) campaign for a configuration."""
+def build_dataset(
+    config: SimulationConfig | None = None,
+    telemetry: Telemetry | None = None,
+    heartbeat=None,
+    heartbeat_interval: float | None = None,
+) -> ExperimentDataset:
+    """Run (or fetch the memoised) campaign for a configuration.
+
+    With a :class:`~repro.telemetry.Telemetry` session attached, each
+    build stage gets its own span and cache lookups are counted
+    (``dataset.cache_hits`` / ``dataset.cache_misses``), so a figure
+    sweep shows exactly how often it paid for a campaign.  ``heartbeat``
+    and ``heartbeat_interval`` are forwarded to
+    :func:`~repro.simulation.simulator.simulate` for progress reporting.
+    """
+    tele = telemetry or NULL_TELEMETRY
+    # Resolve both counters up front so every manifest reports the pair,
+    # zeros included.
+    cache_hits = tele.counter("dataset.cache_hits")
+    cache_misses = tele.counter("dataset.cache_misses")
     if config is None:
         config = standard_config()
     key = _cache_key(config)
     cached = _CACHE.get(key)
     if cached is not None:
+        cache_hits.inc()
         return cached
-    result = simulate(config)
-    flows = reconstruct_flows(result.socket_log)
-    tm10 = tm_series_from_events(
-        result.socket_log, result.topology, window=10.0, duration=config.duration
-    )
-    utilization = result.link_loads.utilization_matrix()
+    cache_misses.inc()
+    with tele.span("build_dataset", seed=config.seed, duration=config.duration):
+        with tele.span("build_dataset.simulate"):
+            result = simulate(
+                config,
+                telemetry=telemetry,
+                heartbeat=heartbeat,
+                heartbeat_interval=heartbeat_interval,
+            )
+        with tele.span("build_dataset.reconstruct_flows") as span:
+            flows = reconstruct_flows(result.socket_log)
+            span.set(num_flows=len(flows))
+        with tele.span("build_dataset.tm_series"):
+            tm10 = tm_series_from_events(
+                result.socket_log, result.topology, window=10.0,
+                duration=config.duration,
+            )
+        with tele.span("build_dataset.utilization"):
+            utilization = result.link_loads.utilization_matrix()
     observed = np.array(
         [link.link_id for link in result.topology.inter_switch_links()], dtype=int
     )

@@ -20,23 +20,38 @@ class Row:
         return (self.metric, self.paper, self.measured)
 
 
-def format_table(title: str, rows: list[Row]) -> str:
-    """Render rows as a fixed-width text table."""
-    headers = ("metric", "paper", "measured (this repro)")
+#: Default column headers: the paper-vs-measured comparison.
+_DEFAULT_HEADERS = ("metric", "paper", "measured (this repro)")
+
+
+def format_table(
+    title: str,
+    rows: list,
+    headers: tuple[str, ...] = _DEFAULT_HEADERS,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    ``rows`` may be :class:`Row` instances or plain tuples of strings;
+    custom ``headers`` let other reports (e.g. ``repro
+    telemetry-report``) reuse the same renderer with different columns.
+    """
+    cells = [
+        row.as_tuple() if hasattr(row, "as_tuple") else tuple(row) for row in rows
+    ]
+    for cell_row in cells:
+        if len(cell_row) != len(headers):
+            raise ValueError(
+                f"row has {len(cell_row)} columns, headers have {len(headers)}"
+            )
     widths = [
-        max(len(headers[0]), *(len(r.metric) for r in rows)) if rows else len(headers[0]),
-        max(len(headers[1]), *(len(r.paper) for r in rows)) if rows else len(headers[1]),
-        max(len(headers[2]), *(len(r.measured) for r in rows)) if rows else len(headers[2]),
+        max(len(header), *(len(row[column]) for row in cells)) if cells else len(header)
+        for column, header in enumerate(headers)
     ]
     lines = [title]
-    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
-    lines.append(header)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
     lines.append("-+-".join("-" * w for w in widths))
-    for row in rows:
+    for cell_row in cells:
         lines.append(
-            " | ".join(
-                value.ljust(width)
-                for value, width in zip(row.as_tuple(), widths)
-            )
+            " | ".join(value.ljust(width) for value, width in zip(cell_row, widths))
         )
     return "\n".join(lines)

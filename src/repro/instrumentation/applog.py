@@ -112,7 +112,15 @@ class EvacuationRecord:
 
 @dataclass
 class ApplicationLog:
-    """Append-only store of application events with query helpers."""
+    """Append-only store of application events with query helpers.
+
+    Queries (``job_outcome``, ``job_interval``, ``phase_type_of``) are
+    O(1): the recording methods maintain dict indexes alongside the raw
+    record lists.  A campaign logs tens of thousands of records and the
+    impact/attribution analyses query per job, so linear scans here made
+    those analyses quadratic.  First-wins semantics are preserved: a
+    duplicate start/end record never overwrites the indexed one.
+    """
 
     job_starts: list[JobStartRecord] = field(default_factory=list)
     job_ends: list[JobEndRecord] = field(default_factory=list)
@@ -123,17 +131,43 @@ class ApplicationLog:
     read_failures: list[ReadFailureRecord] = field(default_factory=list)
     evacuations: list[EvacuationRecord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Indexes are rebuilt from any records passed to the constructor
+        # so a log restored from storage queries identically.
+        self._job_start_time: dict[int, float] = {}
+        self._job_end_by_id: dict[int, JobEndRecord] = {}
+        self._phase_type: dict[tuple[int, int], str] = {}
+        self._last_vertex_end: dict[int, float] = {}
+        for start in self.job_starts:
+            self._job_start_time.setdefault(start.job_id, start.time)
+        for end in self.job_ends:
+            self._job_end_by_id.setdefault(end.job_id, end)
+        for phase in self.phase_starts:
+            self._phase_type.setdefault(
+                (phase.job_id, phase.phase_index), phase.phase_type
+            )
+        for vertex in self.vertex_ends:
+            self._index_vertex_end(vertex)
+
+    def _index_vertex_end(self, record: VertexEndRecord) -> None:
+        previous = self._last_vertex_end.get(record.job_id)
+        if previous is None or record.time > previous:
+            self._last_vertex_end[record.job_id] = record.time
+
     # ------------------------------------------------------------ recording
 
     def record_job_start(self, job_id: int, name: str, template: str,
                          time: float) -> None:
         """Log a job start."""
         self.job_starts.append(JobStartRecord(job_id, name, template, time))
+        self._job_start_time.setdefault(job_id, time)
 
     def record_job_end(self, job_id: int, outcome: str, time: float,
                        read_failures: int) -> None:
         """Log a job's terminal state."""
-        self.job_ends.append(JobEndRecord(job_id, outcome, time, read_failures))
+        record = JobEndRecord(job_id, outcome, time, read_failures)
+        self.job_ends.append(record)
+        self._job_end_by_id.setdefault(job_id, record)
 
     def record_phase_start(self, job_id: int, phase_index: int, phase_type: str,
                            time: float) -> None:
@@ -141,6 +175,7 @@ class ApplicationLog:
         self.phase_starts.append(
             PhaseStartRecord(job_id, phase_index, phase_type, time)
         )
+        self._phase_type.setdefault((job_id, phase_index), phase_type)
 
     def record_phase_end(self, job_id: int, phase_index: int, time: float) -> None:
         """Log a phase end."""
@@ -156,10 +191,10 @@ class ApplicationLog:
     def record_vertex_end(self, vertex_id: int, job_id: int, phase_index: int,
                           time: float, read_failures: int, remote_bytes: float) -> None:
         """Log a vertex completion."""
-        self.vertex_ends.append(
-            VertexEndRecord(vertex_id, job_id, phase_index, time, read_failures,
-                            remote_bytes)
-        )
+        record = VertexEndRecord(vertex_id, job_id, phase_index, time,
+                                 read_failures, remote_bytes)
+        self.vertex_ends.append(record)
+        self._index_vertex_end(record)
 
     def record_read_failure(self, job_id: int, vertex_id: int, src: int, dst: int,
                             time: float) -> None:
@@ -180,23 +215,18 @@ class ApplicationLog:
 
     def job_outcome(self, job_id: int) -> str | None:
         """Terminal outcome of a job, or ``None`` if it never ended."""
-        for record in self.job_ends:
-            if record.job_id == job_id:
-                return record.outcome
-        return None
+        record = self._job_end_by_id.get(job_id)
+        return record.outcome if record is not None else None
 
     def job_interval(self, job_id: int) -> tuple[float, float] | None:
         """(start, end) of a job; end falls back to the last record seen."""
-        start = next(
-            (r.time for r in self.job_starts if r.job_id == job_id), None
-        )
+        start = self._job_start_time.get(job_id)
         if start is None:
             return None
-        end = next((r.time for r in self.job_ends if r.job_id == job_id), None)
-        if end is None:
-            end_candidates = [r.time for r in self.vertex_ends if r.job_id == job_id]
-            end = max(end_candidates) if end_candidates else start
-        return (start, end)
+        end_record = self._job_end_by_id.get(job_id)
+        if end_record is not None:
+            return (start, end_record.time)
+        return (start, self._last_vertex_end.get(job_id, start))
 
     def jobs_with_read_failures(self) -> set[int]:
         """Job ids that logged at least one read failure."""
@@ -211,7 +241,4 @@ class ApplicationLog:
 
     def phase_type_of(self, job_id: int, phase_index: int) -> str | None:
         """The declared type of a phase, if its start was logged."""
-        for record in self.phase_starts:
-            if record.job_id == job_id and record.phase_index == phase_index:
-                return record.phase_type
-        return None
+        return self._phase_type.get((job_id, phase_index))

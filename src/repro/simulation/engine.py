@@ -55,6 +55,11 @@ class EventEngine:
         self._sequence = itertools.count()
         self.now = 0.0
         self.events_processed = 0
+        #: Number of same-timestamp batches drained (telemetry: the ratio
+        #: events_processed / batches_processed is the mean batch size).
+        self.batches_processed = 0
+        #: High-water mark of the heap, including cancelled entries.
+        self.peak_heap_depth = 0
         self.batch_hook: Callable[[], None] | None = None
         self.time_advance_hook: Callable[[float], None] | None = None
 
@@ -66,6 +71,8 @@ class EventEngine:
         heapq.heappush(
             self._heap, _HeapEntry(handle.time, next(self._sequence), handle)
         )
+        if len(self._heap) > self.peak_heap_depth:
+            self.peak_heap_depth = len(self._heap)
         return handle
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -107,6 +114,7 @@ class EventEngine:
                 if callback is not None:
                     self.events_processed += 1
                     callback()
+            self.batches_processed += 1
             if self.batch_hook is not None:
                 self.batch_hook()
         self.now = until

@@ -32,6 +32,8 @@ class LinkLoadTracker:
         self._bins = BinAccumulator(
             num_keys=topology.num_links, bin_width=bin_width, horizon=horizon
         )
+        #: Telemetry: (link, interval) contributions integrated so far.
+        self.intervals_integrated = 0
 
     # ------------------------------------------------------------- load sink
 
@@ -39,6 +41,7 @@ class LinkLoadTracker:
         self, keys: np.ndarray, rates: np.ndarray, start: float, end: float
     ) -> None:
         """Transport sink: integrate per-link rates over an interval."""
+        self.intervals_integrated += len(keys)
         self._bins.add_interval_bulk(keys, rates, start, end)
 
     # ------------------------------------------------------------- accessors

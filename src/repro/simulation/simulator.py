@@ -12,6 +12,7 @@ real campaign would *not* have, kept for validation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -23,6 +24,7 @@ if TYPE_CHECKING:  # imported lazily to avoid a config<->simulation cycle
     from ..config import SimulationConfig
 from ..instrumentation.collector import ClusterCollector
 from ..instrumentation.events import SocketEventLog
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..util.randomness import RandomSource
 from ..workload.generator import WorkloadSchedule, generate_schedule
 from ..workload.job import JobRuntime
@@ -55,8 +57,11 @@ class SimulationResult:
 class Simulator:
     """Co-simulates the workload executor and the fluid network."""
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self, config: SimulationConfig, telemetry: Telemetry | None = None
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.topology = ClusterTopology(config.cluster)
         self.router = Router(self.topology)
         self.randomness = RandomSource(config.seed)
@@ -80,6 +85,7 @@ class Simulator:
             applog=self.applog,
             rng=self.randomness.stream("executor"),
             congestion_threshold=config.congestion_threshold,
+            telemetry=self.telemetry,
         )
         self.transfers: list[Transfer] = []
         self._completion_event: EventHandle | None = None
@@ -87,6 +93,9 @@ class Simulator:
         self._recompute_wakeup: EventHandle | None = None
         self.engine.time_advance_hook = self._on_time_advance
         self.engine.batch_hook = self._after_batch
+        self._batch_size_hist = self.telemetry.histogram("engine.batch_size")
+        self._events_at_last_batch = 0
+        self._wall_start: float | None = None
 
     # ------------------------------------------------- SimulationServices
 
@@ -142,6 +151,10 @@ class Simulator:
                     callback(transfer)
 
     def _after_batch(self) -> None:
+        if self.telemetry.enabled:
+            processed = self.engine.events_processed
+            self._batch_size_hist.observe(processed - self._events_at_last_batch)
+            self._events_at_last_batch = processed
         self._dispatch_completions()
         if not self.transport.rates_dirty:
             return
@@ -169,26 +182,117 @@ class Simulator:
         if next_time is not None:
             self._completion_event = self.engine.schedule(next_time, lambda: None)
 
+    # ------------------------------------------------------------ telemetry
+
+    def attach_heartbeat(
+        self, interval: float, callback: Callable[[dict], None]
+    ) -> None:
+        """Invoke ``callback(progress_snapshot())`` every ``interval``
+        simulated seconds for the duration of the campaign.
+
+        Call before :meth:`run`.  The heartbeat rides the event engine,
+        so it fires between batches and never perturbs workload RNG
+        draws; it is how the CLI reports progress on long campaigns.
+        """
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+
+        def beat() -> None:
+            callback(self.progress_snapshot())
+            if self.engine.now + interval <= self.config.duration + 1e-9:
+                self.engine.schedule(self.engine.now + interval, beat)
+
+        self.engine.schedule(min(interval, self.config.duration), beat)
+
+    def progress_snapshot(self) -> dict:
+        """Point-in-time campaign progress for heartbeats and debugging."""
+        now = self.engine.now
+        wall = (
+            time.perf_counter() - self._wall_start
+            if self._wall_start is not None
+            else 0.0
+        )
+        events = self.engine.events_processed
+        return {
+            "now": now,
+            "duration": self.config.duration,
+            "percent": 100.0 * now / self.config.duration,
+            "wall_seconds": wall,
+            "events_processed": events,
+            "events_per_wall_second": events / wall if wall > 0 else 0.0,
+            "active_flows": self.transport.active_count,
+            "pending_events": len(self.engine._heap),
+            "jobs_started": len(self.applog.job_starts),
+            "jobs_finished": len(self.applog.job_ends),
+            "transfers_completed": len(self.transfers),
+        }
+
+    def _publish_metrics(self, socket_log: SocketEventLog) -> None:
+        """Fold the run's counters into the telemetry registry."""
+        tele = self.telemetry
+        tele.counter("engine.events_processed").inc(self.engine.events_processed)
+        tele.counter("engine.batches_processed").inc(self.engine.batches_processed)
+        tele.gauge("engine.peak_heap_depth").max(self.engine.peak_heap_depth)
+        tele.counter("transport.transfers_started").inc(
+            self.transport.transfers_started
+        )
+        tele.counter("transport.rate_recomputes").inc(self.transport.rate_recomputes)
+        tele.gauge("transport.peak_active_flows").max(self.transport.peak_active)
+        tele.counter("linkloads.intervals_integrated").inc(
+            self.link_loads.intervals_integrated
+        )
+        tele.counter("sim.transfers_completed").inc(len(self.transfers))
+        tele.counter("collector.socket_events").inc(len(socket_log))
+        tele.counter("workload.transfers_requested").inc(
+            self.executor.transfers_requested
+        )
+        tele.counter("workload.evacuation_events").inc(
+            len(self.applog.evacuations)
+        )
+        if self._wall_start is not None:
+            wall = time.perf_counter() - self._wall_start
+            tele.gauge("sim.wall_seconds").set(wall)
+            if wall > 0:
+                tele.gauge("sim.events_per_wall_second").set(
+                    self.engine.events_processed / wall
+                )
+
     # ----------------------------------------------------------------- run
 
     def run(self, schedule: WorkloadSchedule | None = None) -> SimulationResult:
         """Execute the full campaign and return its artefacts."""
         config = self.config
-        if schedule is None:
-            schedule = generate_schedule(
-                config.workload,
-                duration=config.duration,
-                rng=self.randomness.stream("workload"),
-                external_hosts=list(self.topology.external_hosts()),
+        tele = self.telemetry
+        self._wall_start = time.perf_counter()
+        with tele.span(
+            "simulate.campaign", seed=config.seed, duration=config.duration
+        ) as campaign:
+            with tele.span("simulate.workload_schedule"):
+                if schedule is None:
+                    schedule = generate_schedule(
+                        config.workload,
+                        duration=config.duration,
+                        rng=self.randomness.stream("workload"),
+                        external_hosts=list(self.topology.external_hosts()),
+                    )
+                self.executor.install_schedule(schedule)
+            with tele.span("simulate.engine_run"):
+                self.engine.run(until=config.duration)
+            with tele.span("simulate.transport_settle"):
+                # Settle the network to the end of the campaign window.
+                self.transport.advance_to(config.duration)
+                self._dispatch_completions()
+            with tele.span("simulate.collector_finalize"):
+                socket_log = self.collector.finalize()
+            campaign.set(
+                events_processed=self.engine.events_processed,
+                transfers_completed=len(self.transfers),
             )
-        self.executor.install_schedule(schedule)
-        self.engine.run(until=config.duration)
-        # Settle the network to the end of the campaign window.
-        self.transport.advance_to(config.duration)
-        self._dispatch_completions()
-        socket_log = self.collector.finalize()
+        self._publish_metrics(socket_log)
         stats = {
             "events_processed": float(self.engine.events_processed),
+            "event_batches": float(self.engine.batches_processed),
+            "rate_recomputes": float(self.transport.rate_recomputes),
             "transfers_completed": float(len(self.transfers)),
             "transfers_started": float(self.transport.transfers_started),
             "socket_events": float(len(socket_log)),
@@ -210,6 +314,24 @@ class Simulator:
         )
 
 
-def simulate(config: SimulationConfig) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(config).run()
+def simulate(
+    config: SimulationConfig,
+    telemetry: Telemetry | None = None,
+    heartbeat: Callable[[dict], None] | None = None,
+    heartbeat_interval: float | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    When ``heartbeat`` is given, it is called with a progress snapshot
+    every ``heartbeat_interval`` simulated seconds (default: a fifth of
+    the campaign duration, so every run beats at least four times).
+    """
+    simulator = Simulator(config, telemetry=telemetry)
+    if heartbeat is not None:
+        interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else config.duration / 5.0
+        )
+        simulator.attach_heartbeat(interval, heartbeat)
+    return simulator.run()

@@ -124,6 +124,9 @@ class FluidTransport:
         self._completed_buffer: list[tuple[Transfer, Callable[[Transfer], None] | None]] = []
         self._next_transfer_id = 0
         self.transfers_started = 0
+        #: Telemetry: fair-share allocation passes and concurrency peak.
+        self.rate_recomputes = 0
+        self.peak_active = 0
 
     # ---------------------------------------------------------------- slots
 
@@ -184,6 +187,9 @@ class FluidTransport:
         self._start_times[slot] = self.now
         self.rates_dirty = True
         self.transfers_started += 1
+        active = self.transfers_started - self._next_transfer_id
+        if active > self.peak_active:
+            self.peak_active = active
         return slot
 
     def advance_to(self, time: float) -> None:
@@ -250,6 +256,7 @@ class FluidTransport:
 
     def recompute_rates(self) -> None:
         """Re-run the fair-share allocation for the current active set."""
+        self.rate_recomputes += 1
         active_idx = np.flatnonzero(self._active)
         if active_idx.size == 0:
             self.rates_dirty = False

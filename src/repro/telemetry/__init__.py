@@ -1,0 +1,154 @@
+"""repro.telemetry — observability for the simulator itself.
+
+The paper instruments a production cluster (ETW socket events, app logs,
+SNMP counters); this package instruments the *reproduction* with the
+same philosophy: cheap always-on counters, structured traces, and a
+provenance manifest per campaign.
+
+Three pieces:
+
+* :mod:`~repro.telemetry.metrics` — a zero-dependency registry of
+  counters, gauges and histograms (reservoir quantiles);
+* :mod:`~repro.telemetry.tracing` — nested wall-clock spans with JSONL
+  export;
+* :mod:`~repro.telemetry.manifest` — :class:`RunManifest`, pinning
+  config, seed, git version, timings and headline metrics for a run.
+
+:class:`Telemetry` bundles a registry and a tracer behind one handle.
+Components take an optional ``telemetry`` argument and default to
+:data:`NULL_TELEMETRY`, whose instruments are shared no-ops — call sites
+stay branch-free and a non-instrumented run pays only a no-op method
+call on already-resolved objects.
+
+Usage::
+
+    from repro.telemetry import Telemetry
+
+    tele = Telemetry()
+    with tele.span("simulate.campaign", seed=42):
+        result = simulate(config, telemetry=tele)
+    tele.tracer.write_jsonl("trace.jsonl")
+    print(tele.metrics.snapshot())
+"""
+
+from __future__ import annotations
+
+from .manifest import RunManifest, git_describe
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import Span, Tracer, aggregate_spans, read_jsonl
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "read_jsonl",
+    "aggregate_spans",
+    "RunManifest",
+    "git_describe",
+]
+
+
+class _NullSpan:
+    """Inert span: context manager + attribute sink."""
+
+    __slots__ = ()
+    span_id = -1
+    parent_id = None
+    name = "<null>"
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """Discard attributes."""
+
+
+class _NullCounter:
+    """Inert counter."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge:
+    """Inert gauge."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def max(self, value: float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram:
+    """Inert histogram."""
+
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        """Discard the sample."""
+
+    def quantile(self, q: float) -> float:
+        """Always zero."""
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class Telemetry:
+    """One run's metrics registry + tracer behind a single handle."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+
+    def span(self, name: str, **attrs):
+        """Context manager tracing the body (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def counter(self, name: str, **labels):
+        """Resolve a counter (shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        """Resolve a gauge (shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels):
+        """Resolve a histogram (shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self.metrics.histogram(name, **labels)
+
+
+#: Shared disabled session: every instrument is an inert singleton.
+NULL_TELEMETRY = Telemetry(enabled=False)

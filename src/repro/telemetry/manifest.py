@@ -1,0 +1,114 @@
+"""Run manifests: the provenance record of one measurement campaign.
+
+The paper's analyses are only auditable because every figure can be
+traced back to *which* cluster, *which* weeks of logs and *which*
+pipeline produced it (§2).  A :class:`RunManifest` plays that role for
+the reproduction: it pins the full configuration, the seed, the code
+version (``git describe``), per-stage timings from the tracer and the
+final metrics snapshot, so any artefact — a figure, a table, a trace —
+can be regenerated from its manifest alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from .tracing import aggregate_spans
+
+__all__ = ["RunManifest", "git_describe"]
+
+_SCHEMA_VERSION = 1
+
+
+def git_describe() -> str:
+    """Best-effort ``git describe --always --dirty`` of the source tree."""
+    repo_dir = pathlib.Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def _jsonable_config(config) -> dict:
+    """A config dataclass as plain JSON-friendly data."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        raw = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        raw = config
+    else:
+        raw = {"repr": repr(config)}
+    # Round-trip through json to normalise tuples and reject surprises
+    # early (a manifest that cannot serialise is useless).
+    return json.loads(json.dumps(raw, default=str))
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to say what produced a campaign's artefacts."""
+
+    command: str
+    config: dict
+    seed: int | None
+    created_at: str
+    git_version: str
+    wall_seconds: float = 0.0
+    timings: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    schema_version: int = _SCHEMA_VERSION
+
+    @classmethod
+    def capture(cls, command: str, config, telemetry, extra: dict | None = None
+                ) -> "RunManifest":
+        """Snapshot a finished run from its config and telemetry session.
+
+        ``config`` is typically a :class:`repro.config.SimulationConfig`;
+        any dataclass (or plain dict) works.  ``telemetry`` is a
+        :class:`repro.telemetry.Telemetry`; its tracer supplies the
+        per-stage timings and its registry the metrics snapshot.
+        """
+        spans = telemetry.tracer.spans
+        roots = [span for span in spans if span.parent_id is None]
+        return cls(
+            command=command,
+            config=_jsonable_config(config),
+            seed=getattr(config, "seed", None),
+            created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            git_version=git_describe(),
+            wall_seconds=sum(span.duration for span in roots),
+            timings=aggregate_spans(spans),
+            metrics=telemetry.metrics.snapshot(),
+            extra=dict(extra or {}),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record."""
+        return dataclasses.asdict(self)
+
+    def write(self, path) -> None:
+        """Write the manifest as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        """Read a manifest previously written with :meth:`write`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

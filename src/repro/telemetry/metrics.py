@@ -1,0 +1,197 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The paper's measurement stack keeps per-server counters (ETW event
+counts, SNMP byte counters) alongside the raw logs; this module is the
+reproduction's equivalent for the *simulator itself*.  Everything here
+is stdlib-only and cheap enough to leave compiled into the hot layers:
+a counter increment is one float add, and histogram quantiles use a
+fixed-size reservoir (Vitter's Algorithm R) so memory stays bounded no
+matter how many samples a campaign produces.
+
+Instruments are identified by ``(name, labels)``.  Asking the registry
+for the same name/labels twice returns the same object, so call sites
+can resolve an instrument once and hold it across a hot loop.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default reservoir capacity for histogram quantiles.  512 samples give
+#: quantile estimates within a few percent — plenty for progress and
+#: profiling metrics.
+_RESERVOIR_SIZE = 512
+
+
+def _flatten(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Canonical flat key, e.g. ``jobs_finished{outcome=succeeded}``."""
+    if not labels:
+        return name
+    body = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{body}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state."""
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (heap depth, active flows, rates)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum of observed values."""
+        if value > self.value:
+            self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state."""
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Count/sum/min/max plus reservoir-sampled quantiles.
+
+    The reservoir is Vitter's Algorithm R with a generator seeded from
+    the instrument name, so a deterministic simulation produces a
+    deterministic metrics snapshot.
+    """
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    reservoir_size: int = _RESERVOIR_SIZE
+    count: int = 0
+    total: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+    _reservoir: list[float] = field(default_factory=list)
+    _rng: random.Random = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._rng is None:
+            self._rng = random.Random(zlib.crc32(_flatten(self.name, self.labels).encode()))
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (nearest-rank over the reservoir)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """JSON-friendly summary including p50/p90/p99."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one run."""
+
+    def __init__(self, reservoir_size: int = _RESERVOIR_SIZE) -> None:
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._reservoir_size = reservoir_size
+
+    @staticmethod
+    def _labels_key(labels: dict) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _get_or_create(self, name: str, labels: dict, factory, kind: type):
+        key = (name, self._labels_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(name, labels, Counter, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(name, labels, Gauge, Gauge)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(
+            name,
+            labels,
+            lambda n, l: Histogram(n, l, reservoir_size=self._reservoir_size),
+            Histogram,
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Flat ``{name{labels}: state}`` map of every instrument, sorted."""
+        flat = {
+            _flatten(name, labels): instrument.snapshot()  # type: ignore[attr-defined]
+            for (name, labels), instrument in self._instruments.items()
+        }
+        return dict(sorted(flat.items()))

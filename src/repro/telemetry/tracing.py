@@ -1,0 +1,131 @@
+"""Span-based tracing with wall-clock timing and JSONL export.
+
+A :class:`Tracer` records a tree of named spans::
+
+    with tracer.span("simulate.campaign", seed=42):
+        with tracer.span("simulate.engine_run"):
+            ...
+
+Each completed span carries its name, parent link, start timestamp,
+duration and free-form attributes.  ``write_jsonl`` emits one JSON
+object per line — the same grep-able shape as the collector's ETW-style
+socket log, so the simulator's own behaviour is inspectable with the
+same tools as the traffic it simulates.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Span", "Tracer", "read_jsonl", "aggregate_spans"]
+
+
+@dataclass
+class Span:
+    """One traced operation; attributes may be added while it is open."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float  # wall-clock epoch seconds
+    attrs: dict = field(default_factory=dict)
+    duration: float = 0.0  # seconds, filled on exit
+
+    def set(self, **attrs) -> None:
+        """Attach extra attributes to the span."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects spans; nesting follows the runtime call structure."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []  # completed, in finish order
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child span of the current span for the ``with`` body."""
+        record = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start=time.time(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration = time.perf_counter() - started
+            self._stack.pop()
+            self.spans.append(record)
+
+    def to_jsonl(self) -> str:
+        """Serialise completed spans, one JSON object per line."""
+        return "\n".join(json.dumps(span.to_dict()) for span in self.spans)
+
+    def write_jsonl(self, path) -> int:
+        """Write the trace to ``path``; returns the number of spans."""
+        body = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            if body:
+                handle.write(body + "\n")
+        return len(self.spans)
+
+
+def read_jsonl(path) -> list[dict]:
+    """Load a trace written by :meth:`Tracer.write_jsonl`."""
+    spans: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def aggregate_spans(spans: list[dict] | list[Span]) -> dict[str, dict]:
+    """Per-name timing rollup: ``{name: {count, total_s, mean_s, max_s}}``.
+
+    Accepts either :class:`Span` objects or the dicts ``read_jsonl``
+    returns, so the CLI report works on live tracers and on files alike.
+    """
+    rollup: dict[str, dict] = {}
+    for span in spans:
+        if isinstance(span, Span):
+            name, duration = span.name, span.duration
+        else:
+            name, duration = span["name"], span["duration"]
+        entry = rollup.setdefault(
+            name, {"count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+    for entry in rollup.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return dict(sorted(rollup.items()))

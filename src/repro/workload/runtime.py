@@ -36,6 +36,7 @@ import numpy as np
 from ..cluster.topology import ClusterTopology
 from ..instrumentation.applog import ApplicationLog
 from ..simulation.transport import Transfer, TransferMeta
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .blockstore import BlockStore
 from .generator import WorkloadConfig, WorkloadSchedule
 from .job import (
@@ -98,6 +99,7 @@ class JobExecutor:
         applog: ApplicationLog,
         rng: np.random.Generator,
         congestion_threshold: float = 0.7,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.topology = topology
         self.config = config
@@ -105,6 +107,22 @@ class JobExecutor:
         self.applog = applog
         self.congestion_threshold = congestion_threshold
         self._rng = rng
+        # Telemetry instruments are resolved once here; on the null
+        # session every one is a shared no-op, so the hot paths below
+        # stay branch-free.
+        tele = telemetry or NULL_TELEMETRY
+        self._ctr_jobs_started = tele.counter("workload.jobs_started")
+        self._ctr_jobs_finished = {
+            "succeeded": tele.counter("workload.jobs_finished", outcome="succeeded"),
+            "killed_read_failure": tele.counter(
+                "workload.jobs_finished", outcome="killed_read_failure"
+            ),
+        }
+        self._ctr_phases_started = tele.counter("workload.phases_started")
+        self._ctr_phases_finished = tele.counter("workload.phases_finished")
+        self._ctr_vertices_started = tele.counter("workload.vertices_started")
+        self._ctr_vertices_finished = tele.counter("workload.vertices_finished")
+        self._ctr_read_failures = tele.counter("workload.read_failures")
         self.blockstore = BlockStore(
             topology, rng=rng, replication_factor=config.replication_factor
         )
@@ -214,6 +232,7 @@ class JobExecutor:
             job.phases.append(PhaseRuntime(compiled=compiled_phase))
         self.applog.record_job_start(job.job_id, spec.name, spec.template.name,
                                      self.services.now())
+        self._ctr_jobs_started.inc()
         extract_phase = job.phases[0]
         blocks_per_vertex: list[list] = [[] for _ in range(extract_phase.compiled.num_vertices)]
         for index, block in enumerate(dataset.blocks):
@@ -247,6 +266,7 @@ class JobExecutor:
                 job.job_id, phase_index, phase.compiled.phase_type.value,
                 self.services.now(),
             )
+            self._ctr_phases_started.inc()
 
     # ------------------------------------------------------------- placement
 
@@ -343,6 +363,7 @@ class JobExecutor:
             vertex.vertex_id, job.job_id, vertex.phase_index, placement.server,
             placement.level.name, self.services.now(),
         )
+        self._ctr_vertices_started.inc()
         self._send_control_message(self._job_manager[job.job_id], placement.server, job)
         self._begin_fetches(vertex)
 
@@ -482,6 +503,7 @@ class JobExecutor:
                 job.job_id, vertex.vertex_id, transfer.src, transfer.dst,
                 self.services.now(),
             )
+            self._ctr_read_failures.inc()
             if vertex.read_failures > _MAX_READ_RETRIES:
                 self._kill_job(job)
                 return
@@ -528,6 +550,7 @@ class JobExecutor:
                 job.job_id, vertex.vertex_id, vertex.server, vertex.server,
                 self.services.now(),
             )
+            self._ctr_read_failures.inc()
             if vertex.read_failures > _MAX_READ_RETRIES:
                 self._kill_job(job)
                 return
@@ -576,6 +599,7 @@ class JobExecutor:
             read_failures=vertex.read_failures,
             remote_bytes=vertex.remote_bytes_read,
         )
+        self._ctr_vertices_finished.inc()
         self._send_control_message(vertex.server, self._job_manager[job.job_id], job)
         self._fetch_queues.pop(vertex_id, None)
         self._advance_phase(job, vertex)
@@ -596,6 +620,7 @@ class JobExecutor:
         if phase.done and phase.end_time is None:
             phase.end_time = self.services.now()
             self.applog.record_phase_end(job.job_id, phase_index, self.services.now())
+            self._ctr_phases_finished.inc()
             if phase_index == len(job.phases) - 1:
                 self._complete_job(job)
 
@@ -669,6 +694,7 @@ class JobExecutor:
         job.end_time = self.services.now()
         self.applog.record_job_end(job.job_id, "succeeded", self.services.now(),
                                    read_failures=job.read_failure_count)
+        self._ctr_jobs_finished["succeeded"].inc()
         if job.compiled.spec.template.writes_output:
             self._write_job_output(job)
 
@@ -678,6 +704,7 @@ class JobExecutor:
         self.applog.record_job_end(job.job_id, "killed_read_failure",
                                    self.services.now(),
                                    read_failures=job.read_failure_count)
+        self._ctr_jobs_finished["killed_read_failure"].inc()
         freed: list[int] = []
         for phase in job.phases:
             for vertex in phase.vertices:

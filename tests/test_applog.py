@@ -57,3 +57,74 @@ class TestQueries:
         log = populated_log()
         assert log.evacuations[0].server == 7
         assert log.evacuations[0].blocks_moved == 12
+
+
+class TestIndexedQueries:
+    """The O(1) indexes must agree with scan semantics under interleaving."""
+
+    def test_queries_correct_after_interleaved_records(self):
+        log = ApplicationLog()
+        # Records from three jobs arrive interleaved, as they do when
+        # campaigns overlap: starts, vertex ends, terminal states and
+        # phase starts in mixed order.
+        log.record_job_start(0, "a", "interactive", 1.0)
+        log.record_job_start(1, "b", "report", 1.5)
+        log.record_phase_start(1, 0, "extract", 1.6)
+        log.record_vertex_end(100, 0, 0, time=4.0, read_failures=0,
+                              remote_bytes=0.0)
+        log.record_phase_start(0, 0, "extract", 1.1)
+        log.record_job_end(1, "killed_read_failure", 5.0, read_failures=6)
+        log.record_vertex_end(101, 0, 0, time=3.0, read_failures=0,
+                              remote_bytes=0.0)
+        log.record_job_start(2, "c", "daily", 6.0)
+        log.record_phase_start(0, 1, "aggregate", 4.5)
+        log.record_job_end(0, "succeeded", 7.0, read_failures=0)
+
+        assert log.job_outcome(0) == "succeeded"
+        assert log.job_outcome(1) == "killed_read_failure"
+        assert log.job_outcome(2) is None
+        assert log.job_outcome(9) is None
+        assert log.job_interval(0) == (1.0, 7.0)
+        assert log.job_interval(1) == (1.5, 5.0)
+        # Job 2 never ended and has no vertex ends: interval collapses.
+        assert log.job_interval(2) == (6.0, 6.0)
+        assert log.phase_type_of(0, 0) == "extract"
+        assert log.phase_type_of(0, 1) == "aggregate"
+        assert log.phase_type_of(1, 0) == "extract"
+        assert log.phase_type_of(2, 0) is None
+
+    def test_interval_fallback_tracks_latest_vertex_end(self):
+        log = ApplicationLog()
+        log.record_job_start(3, "j", "report", 1.0)
+        log.record_vertex_end(1, 3, 0, time=9.0, read_failures=0,
+                              remote_bytes=0.0)
+        log.record_vertex_end(2, 3, 0, time=4.0, read_failures=0,
+                              remote_bytes=0.0)
+        # Out-of-order vertex ends: the max, not the last, wins.
+        assert log.job_interval(3) == (1.0, 9.0)
+        log.record_job_end(3, "succeeded", 11.0, read_failures=0)
+        assert log.job_interval(3) == (1.0, 11.0)
+
+    def test_first_record_wins_on_duplicates(self):
+        log = ApplicationLog()
+        log.record_job_start(4, "j", "report", 2.0)
+        log.record_job_end(4, "succeeded", 5.0, read_failures=0)
+        log.record_job_end(4, "killed_read_failure", 6.0, read_failures=1)
+        assert log.job_outcome(4) == "succeeded"
+        assert log.job_interval(4) == (2.0, 5.0)
+
+    def test_indexes_rebuilt_from_constructor_records(self):
+        source = populated_log()
+        restored = ApplicationLog(
+            job_starts=list(source.job_starts),
+            job_ends=list(source.job_ends),
+            phase_starts=list(source.phase_starts),
+            phase_ends=list(source.phase_ends),
+            vertex_starts=list(source.vertex_starts),
+            vertex_ends=list(source.vertex_ends),
+            read_failures=list(source.read_failures),
+            evacuations=list(source.evacuations),
+        )
+        assert restored.job_outcome(0) == "succeeded"
+        assert restored.job_interval(1) == (3.0, 4.0)
+        assert restored.phase_type_of(0, 0) == "extract"

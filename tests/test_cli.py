@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 from repro.cli import main
 
 
@@ -24,6 +26,73 @@ class TestSimulate:
               "--duration", "20", "--seed", "3"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestSimulateTelemetry:
+    def test_telemetry_smoke(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        code = main([
+            "simulate", "--racks", "3", "--servers-per-rack", "4",
+            "--duration", "20", "--seed", "123",
+            "--telemetry", "--trace-out", str(trace),
+            "--manifest-out", str(manifest_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # At least one progress heartbeat on stderr.
+        heartbeats = [line for line in captured.err.splitlines()
+                      if line.startswith("[telemetry]")]
+        assert len(heartbeats) >= 1
+        assert "events=" in heartbeats[0]
+        # Valid JSONL trace with nested spans covering the pipeline.
+        spans = [json.loads(line) for line in
+                 trace.read_text().strip().splitlines()]
+        names = {span["name"] for span in spans}
+        assert {"simulate.campaign", "simulate.engine_run",
+                "simulate.transport_settle",
+                "simulate.workload_schedule"} <= names
+        campaign = next(s for s in spans if s["name"] == "simulate.campaign")
+        engine_run = next(s for s in spans if s["name"] == "simulate.engine_run")
+        assert engine_run["parent_id"] == campaign["span_id"]
+        # Manifest records config, seed and a rich metrics snapshot.
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["seed"] == 123
+        assert manifest["config"]["cluster"]["racks"] == 3
+        assert len(manifest["metrics"]) >= 10
+        assert "dataset.cache_misses" in manifest["metrics"]
+        assert "dataset.cache_hits" in manifest["metrics"]
+        assert manifest["metrics"]["engine.events_processed"]["value"] > 0
+
+    def test_manifest_path_derived_from_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "simulate", "--racks", "3", "--servers-per-rack", "4",
+            "--duration", "20", "--seed", "124", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        assert (tmp_path / "t.jsonl.manifest.json").exists()
+
+    def test_telemetry_report_renders_tables(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        main([
+            "simulate", "--racks", "3", "--servers-per-rack", "4",
+            "--duration", "20", "--seed", "125",
+            "--trace-out", str(trace), "--manifest-out", str(manifest_path),
+        ])
+        capsys.readouterr()
+        code = main(["telemetry-report", str(trace),
+                     "--manifest", str(manifest_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulate.engine_run" in out
+        assert "engine.events_processed" in out
+        assert "seed=125" in out
+
+    def test_telemetry_report_without_inputs_fails(self, capsys):
+        assert main(["telemetry-report"]) == 2
+        assert "nothing to report" in capsys.readouterr().err
 
 
 class TestFigures:

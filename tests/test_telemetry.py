@@ -1,0 +1,303 @@
+"""Telemetry subsystem: metrics registry, tracer, manifests, wiring."""
+
+import json
+
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.config import SimulationConfig
+from repro.experiments.common import build_dataset, clear_dataset_cache
+from repro.simulation.simulator import simulate
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    RunManifest,
+    Telemetry,
+    Tracer,
+    aggregate_spans,
+    read_jsonl,
+)
+from repro.workload.generator import WorkloadConfig
+
+
+def tiny_config(seed: int = 3) -> SimulationConfig:
+    return SimulationConfig(
+        cluster=ClusterSpec(racks=3, servers_per_rack=4, racks_per_vlan=3,
+                            external_hosts=1),
+        workload=WorkloadConfig(job_arrival_rate=0.2),
+        duration=15.0,
+        seed=seed,
+    )
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("jobs", outcome="succeeded")
+        bad = registry.counter("jobs", outcome="killed")
+        ok.inc(3)
+        bad.inc()
+        assert ok.value == 3 and bad.value == 1
+        snap = registry.snapshot()
+        assert snap["jobs{outcome=succeeded}"]["value"] == 3
+        assert snap["jobs{outcome=killed}"]["value"] == 1
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", k1="a", k2="b")
+        b = registry.counter("x", k2="b", k1="a")
+        assert a is b
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4.0)
+        gauge.max(2.0)
+        assert gauge.value == 4.0
+        gauge.max(9.0)
+        assert gauge.value == 9.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        hist = MetricsRegistry().histogram("sizes")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.mean == 2.5
+        assert hist.min_value == 1.0
+        assert hist.max_value == 4.0
+
+    def test_quantiles_on_known_data(self):
+        hist = MetricsRegistry().histogram("q")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert abs(hist.quantile(0.5) - 50) <= 2
+        assert abs(hist.quantile(0.9) - 90) <= 2
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        def build():
+            hist = MetricsRegistry(reservoir_size=64).histogram("r")
+            for value in range(10_000):
+                hist.observe(float(value))
+            return hist
+
+        first, second = build(), build()
+        assert len(first._reservoir) == 64
+        assert first._reservoir == second._reservoir
+        assert first.count == 10_000
+
+    def test_empty_snapshot_is_json_safe(self):
+        snap = MetricsRegistry().histogram("empty").snapshot()
+        json.dumps(snap)
+        assert snap["count"] == 0 and snap["min"] == 0.0
+
+
+class TestTracer:
+    def test_nesting_links_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        by_name = {span.name: span for span in tracer.spans}
+        assert 0 <= by_name["inner"].duration <= by_name["outer"].duration
+
+    def test_attrs_at_open_and_during(self):
+        tracer = Tracer()
+        with tracer.span("s", seed=7) as span:
+            span.set(events=42)
+        assert tracer.spans[0].attrs == {"seed": 7, "events": 42}
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.current is None
+        assert tracer.spans[0].name == "boom"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", seed=1):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 2
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+        loaded = read_jsonl(path)
+        assert {span["name"] for span in loaded} == {"a", "b"}
+        child = next(span for span in loaded if span["name"] == "b")
+        parent = next(span for span in loaded if span["name"] == "a")
+        assert child["parent_id"] == parent["span_id"]
+        assert parent["attrs"] == {"seed": 1}
+
+    def test_aggregate_rollup(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        rollup = aggregate_spans(tracer.spans)
+        assert rollup["stage"]["count"] == 3
+        assert rollup["stage"]["max_s"] >= rollup["stage"]["mean_s"] >= 0
+
+
+class TestNullTelemetry:
+    def test_disabled_instruments_are_inert(self):
+        NULL_TELEMETRY.counter("x").inc(5)
+        NULL_TELEMETRY.gauge("y").set(3.0)
+        NULL_TELEMETRY.histogram("z").observe(1.0)
+        with NULL_TELEMETRY.span("s") as span:
+            span.set(k=1)
+        assert NULL_TELEMETRY.counter("x").value == 0
+        assert len(NULL_TELEMETRY.metrics) == 0
+        assert NULL_TELEMETRY.tracer.spans == []
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_TELEMETRY.counter("a") is NULL_TELEMETRY.counter("b")
+
+
+class TestSimulatorWiring:
+    def test_simulate_records_metrics_and_spans(self):
+        tele = Telemetry()
+        result = simulate(tiny_config(), telemetry=tele)
+        snap = tele.metrics.snapshot()
+        assert len(snap) >= 10
+        assert snap["engine.events_processed"]["value"] == result.stats[
+            "events_processed"
+        ]
+        assert snap["transport.rate_recomputes"]["value"] == result.stats[
+            "rate_recomputes"
+        ]
+        assert snap["workload.jobs_started"]["value"] > 0
+        assert snap["engine.batch_size"]["count"] > 0
+        names = {span.name for span in tele.tracer.spans}
+        assert {"simulate.campaign", "simulate.engine_run",
+                "simulate.workload_schedule",
+                "simulate.transport_settle"} <= names
+        campaign = next(
+            s for s in tele.tracer.spans if s.name == "simulate.campaign"
+        )
+        engine_run = next(
+            s for s in tele.tracer.spans if s.name == "simulate.engine_run"
+        )
+        assert engine_run.parent_id == campaign.span_id
+
+    def test_telemetry_does_not_change_campaign_statistics(self):
+        plain = simulate(tiny_config())
+        traced = simulate(tiny_config(), telemetry=Telemetry())
+        # Instrumentation must not perturb the workload: identical
+        # traffic, job outcomes and logs (engine-internal counts differ
+        # only when heartbeats add wakeup events, not used here).
+        assert traced.stats["transfers_completed"] == plain.stats[
+            "transfers_completed"
+        ]
+        assert traced.stats["socket_events"] == plain.stats["socket_events"]
+        assert traced.stats["jobs_finished"] == plain.stats["jobs_finished"]
+
+    def test_heartbeat_fires_and_reports_progress(self):
+        beats = []
+        simulate(tiny_config(), telemetry=Telemetry(),
+                 heartbeat=beats.append, heartbeat_interval=5.0)
+        assert len(beats) == 3  # t = 5, 10, 15
+        assert [beat["now"] for beat in beats] == [5.0, 10.0, 15.0]
+        final = beats[-1]
+        assert final["percent"] == 100.0
+        assert final["events_processed"] > 0
+        assert {"active_flows", "jobs_started", "jobs_finished",
+                "transfers_completed", "wall_seconds"} <= final.keys()
+
+    def test_heartbeat_requires_positive_interval(self):
+        from repro.simulation.simulator import Simulator
+
+        simulator = Simulator(tiny_config())
+        with pytest.raises(ValueError):
+            simulator.attach_heartbeat(0.0, lambda snap: None)
+
+
+class TestDatasetCacheCounters:
+    def test_miss_then_hit(self):
+        clear_dataset_cache()
+        tele = Telemetry()
+        config = tiny_config(seed=99)
+        try:
+            first = build_dataset(config, telemetry=tele)
+            second = build_dataset(config, telemetry=tele)
+        finally:
+            clear_dataset_cache()
+        assert first is second
+        snap = tele.metrics.snapshot()
+        assert snap["dataset.cache_misses"]["value"] == 1
+        assert snap["dataset.cache_hits"]["value"] == 1
+        names = {span.name for span in tele.tracer.spans}
+        assert {"build_dataset", "build_dataset.simulate",
+                "build_dataset.reconstruct_flows",
+                "build_dataset.tm_series"} <= names
+
+
+class TestRunManifest:
+    def test_capture_write_load_round_trip(self, tmp_path):
+        tele = Telemetry()
+        config = tiny_config(seed=21)
+        with tele.span("test.run"):
+            simulate(config, telemetry=tele)
+        manifest = RunManifest.capture("simulate", config, tele,
+                                       extra={"note": "unit test"})
+        assert manifest.seed == 21
+        assert manifest.config["duration"] == 15.0
+        assert manifest.config["cluster"]["racks"] == 3
+        assert manifest.git_version
+        assert len(manifest.metrics) >= 10
+        assert "test.run" in manifest.timings
+        assert manifest.wall_seconds > 0
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        loaded = RunManifest.load(path)
+        assert loaded.seed == manifest.seed
+        assert loaded.metrics == manifest.metrics
+        assert loaded.extra == {"note": "unit test"}
+
+    def test_manifest_is_plain_json(self, tmp_path):
+        tele = Telemetry()
+        manifest = RunManifest.capture("simulate", tiny_config(), tele)
+        path = tmp_path / "m.json"
+        manifest.write(path)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert data["command"] == "simulate"
