@@ -1,0 +1,108 @@
+"""Campaign-level benchmarks: the dataset cache and the parallel runner.
+
+Standalone (not pytest-benchmark): run ``PYTHONPATH=src python
+benchmarks/bench_campaign.py`` and it writes
+``benchmarks/BENCH_campaign.json`` with
+
+* cold vs warm-disk dataset build time for the small config — the
+  speedup a second process gets from ``.repro-cache``;
+* serial (``jobs=1``) vs parallel (``jobs=2``) wall time for a 4-seed
+  campaign over fig02+fig09, with per-seed content hashes so the run
+  doubles as a determinism check.
+
+``host.cpu_count`` is recorded alongside: on a single-core host the
+parallel campaign cannot beat the serial one (spawn overhead makes it
+slightly slower), so interpret ``parallel_speedup`` against the core
+count, not in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.experiments import run_campaign, small_config
+from repro.experiments.common import build_dataset, clear_dataset_cache
+from repro.telemetry import Telemetry
+
+SEEDS = 4
+JOBS_PARALLEL = 2
+EXPERIMENTS = ["fig02", "fig09"]
+
+
+def bench_dataset_cache(workdir: pathlib.Path) -> dict:
+    cache_dir = workdir / "dataset-cache"
+    config = small_config(seed=101)
+
+    start = time.perf_counter()
+    build_dataset(config, cache_dir=cache_dir)
+    cold_seconds = time.perf_counter() - start
+
+    clear_dataset_cache()  # a second cold process, minus the interpreter
+    tele = Telemetry()
+    start = time.perf_counter()
+    build_dataset(config, telemetry=tele, cache_dir=cache_dir)
+    warm_seconds = time.perf_counter() - start
+    hits = tele.metrics.snapshot()["dataset.disk_cache_hits"]["value"]
+    assert hits == 1, f"warm build should hit the disk cache, saw {hits}"
+
+    return {
+        "config": "small",
+        "cold_build_seconds": round(cold_seconds, 3),
+        "warm_disk_load_seconds": round(warm_seconds, 3),
+        "disk_cache_speedup": round(cold_seconds / warm_seconds, 1),
+    }
+
+
+def bench_campaign(workdir: pathlib.Path) -> dict:
+    out: dict = {"seeds": SEEDS, "experiments": EXPERIMENTS}
+    hashes: dict[str, list[str]] = {}
+    for label, jobs in (("serial", 1), ("parallel", JOBS_PARALLEL)):
+        clear_dataset_cache()
+        cache_dir = workdir / f"campaign-cache-{label}"
+        start = time.perf_counter()
+        result = run_campaign(
+            small_config(), seeds=SEEDS, experiments=EXPERIMENTS,
+            jobs=jobs, cache_dir=cache_dir,
+        )
+        wall = time.perf_counter() - start
+        out[label] = {
+            "jobs": jobs,
+            "wall_seconds": round(wall, 3),
+            "per_seed_build_seconds": [
+                round(run.build_seconds, 3) for run in result.seed_runs
+            ],
+        }
+        hashes[label] = [run.content_hash for run in result.seed_runs]
+    out["parallel_speedup"] = round(
+        out["serial"]["wall_seconds"] / out["parallel"]["wall_seconds"], 2
+    )
+    out["serial_parallel_hashes_identical"] = hashes["serial"] == hashes["parallel"]
+    assert out["serial_parallel_hashes_identical"], hashes
+    return out
+
+
+def main() -> None:
+    import os
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+    try:
+        payload = {
+            "schema_version": 1,
+            "host": {"cpu_count": os.cpu_count()},
+            "dataset_cache": bench_dataset_cache(workdir),
+            "campaign": bench_campaign(workdir),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    out = pathlib.Path(__file__).parent / "BENCH_campaign.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's workflow:
+Six commands cover the library's workflow:
 
 * ``simulate`` — run a measurement campaign and print its statistics,
   optionally dumping the compressed socket-event log; with
@@ -8,10 +8,17 @@ Four commands cover the library's workflow:
   span trace (``--trace-out``) and records a run manifest
   (``--manifest-out``) pinning config, seed, git version and metrics;
 * ``figures`` — reproduce any subset of the paper's figures against a
-  campaign and print the paper-vs-measured tables;
-* ``ablations`` — run the A1-A3 design-choice ablations;
+  campaign (``--list`` enumerates the experiment registry);
+* ``ablations`` — run the registered design-choice ablations;
+* ``campaign`` — run the whole experiment suite over multiple seeds
+  (``--jobs`` fans seeds across processes) and aggregate mean/CI
+  summary rows into a campaign manifest, or report a prior one;
+* ``cache`` — inspect or clear the on-disk dataset cache;
 * ``telemetry-report`` — render a previously written trace/manifest as
   human-readable tables.
+
+Figure and ablation names resolve through
+:mod:`repro.experiments.registry`; nothing here hard-codes the catalog.
 """
 
 from __future__ import annotations
@@ -23,12 +30,6 @@ from .cluster.topology import ClusterSpec
 from .config import SimulationConfig
 from .util.units import GBPS, format_bytes
 from .workload.generator import WorkloadConfig
-
-_FIGURES = (
-    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
-    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table_s2",
-    "ext_roleprior", "ext_sampling",
-)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,15 +65,55 @@ def _build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="reproduce paper figures")
     figures.add_argument("names", nargs="*", default=[],
-                         help=f"subset of: {', '.join(_FIGURES)} (default all)")
+                         help="registered figure experiments (default all; "
+                              "see --list)")
+    figures.add_argument("--list", action="store_true", dest="list_experiments",
+                         help="enumerate the experiment registry and exit")
     figures.add_argument("--standard", action="store_true",
                          help="use the standard campaign (slower, sharper)")
     figures.add_argument("--seed", type=int, default=None)
 
     ablations = sub.add_parser("ablations", help="run design-choice ablations")
     ablations.add_argument("names", nargs="*", default=[],
-                           help="subset of: locality, conncap, gravity (default all)")
+                           help="registered ablations (default all)")
     ablations.add_argument("--seed", type=int, default=11)
+
+    campaign = sub.add_parser(
+        "campaign", help="multi-seed campaign: run experiments across seeds")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="build per-seed datasets (in parallel) and aggregate")
+    campaign_run.add_argument("--seeds", type=int, default=4,
+                              help="number of seeds (base-seed, base-seed+1, ...)")
+    campaign_run.add_argument("--base-seed", type=int, default=None,
+                              help="first seed (default: the config's seed)")
+    campaign_run.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (1 = in-process)")
+    campaign_run.add_argument("--experiments", default=None,
+                              help="comma-separated registry names "
+                                   "(default: every figure experiment)")
+    campaign_run.add_argument("--standard", action="store_true",
+                              help="use the standard campaign per seed")
+    campaign_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="disk dataset cache location "
+                                   "(default .repro-cache)")
+    campaign_run.add_argument("--no-disk-cache", action="store_true",
+                              help="always rebuild datasets; persist nothing")
+    campaign_run.add_argument("--manifest-out", default="campaign-manifest.json",
+                              metavar="PATH")
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render a campaign manifest as tables")
+    campaign_report.add_argument("manifest", nargs="?",
+                                 default="campaign-manifest.json")
+
+    cache = sub.add_parser("cache", help="inspect the on-disk dataset cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for verb, text in (("ls", "list cached datasets"),
+                       ("clear", "remove every cached dataset")):
+        cache_cmd = cache_sub.add_parser(verb, help=text)
+        cache_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                               help="cache location (default .repro-cache "
+                                    "or $REPRO_CACHE_DIR)")
 
     report = sub.add_parser("telemetry-report",
                             help="render a trace/manifest as tables")
@@ -208,11 +249,28 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from . import experiments
-    from .experiments import build_dataset, format_table, small_config, standard_config
+    from .experiments import (
+        build_dataset,
+        experiment_names,
+        experiment_specs,
+        format_table,
+        get_experiment,
+        small_config,
+        standard_config,
+    )
+    from .viz.figures import render_figure
 
-    names = args.names or list(_FIGURES)
-    unknown = [n for n in names if n not in _FIGURES]
+    if args.list_experiments:
+        rows = [
+            (spec.name, spec.kind, spec.figure, spec.title)
+            for spec in experiment_specs()
+        ]
+        print(format_table("experiment registry", rows,
+                           headers=("name", "kind", "figure", "title")))
+        return 0
+    figure_names = experiment_names(kind="figure")
+    names = args.names or figure_names
+    unknown = [n for n in names if n not in figure_names]
     if unknown:
         print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
         return 2
@@ -223,36 +281,125 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     print("Building campaign dataset...")
     dataset = build_dataset(config)
     for name in names:
-        module = getattr(experiments, name)
-        result = module.run(dataset)
+        get_experiment(name)  # resolves through the registry
         print()
-        print(format_table(f"{name} — paper vs this reproduction", result.rows()))
+        print(render_figure(name, dataset))
     return 0
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    from .experiments import format_table
-    from .experiments.ablations import (
-        run_connection_cap_ablation,
-        run_gravity_regime_ablation,
-        run_locality_ablation,
-    )
+    from .experiments import experiment_names, format_table, get_experiment
 
-    runners = {
-        "locality": lambda: run_locality_ablation(seed=args.seed),
-        "conncap": lambda: run_connection_cap_ablation(seed=args.seed),
-        "gravity": lambda: run_gravity_regime_ablation(seed=args.seed),
-    }
-    names = args.names or list(runners)
-    unknown = [n for n in names if n not in runners]
+    ablation_names = experiment_names(kind="ablation")
+    names = args.names or ablation_names
+    unknown = [n for n in names if n not in ablation_names]
     if unknown:
         print(f"unknown ablations: {', '.join(unknown)}", file=sys.stderr)
         return 2
     for name in names:
         print(f"Running ablation {name!r}...")
-        result = runners[name]()
+        result = get_experiment(name).run(seed=args.seed)
         print(format_table(f"ablation: {name}", result.rows()))
         print()
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "report":
+        return _cmd_campaign_report(args)
+    from .experiments import (
+        campaign_manifest,
+        experiment_names,
+        render_campaign_report,
+        run_campaign,
+        small_config,
+        standard_config,
+    )
+    from .telemetry import Telemetry
+
+    names = (
+        [name.strip() for name in args.experiments.split(",") if name.strip()]
+        if args.experiments
+        else None
+    )
+    if names:
+        known = set(experiment_names())
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    config = standard_config() if args.standard else small_config()
+    if args.base_seed is not None:
+        config = config.with_seed(args.base_seed)
+
+    def report_progress(record: dict, completed: int, total: int) -> None:
+        source = "disk cache" if record["from_disk_cache"] else "built"
+        print(f"[campaign] seed {record['seed']} done in "
+              f"{record['wall_seconds']:.1f}s ({source}) — {completed}/{total}",
+              file=sys.stderr, flush=True)
+
+    tele = Telemetry()
+    result = run_campaign(
+        config,
+        seeds=args.seeds,
+        experiments=names,
+        jobs=args.jobs,
+        telemetry=tele,
+        cache_dir=args.cache_dir,
+        disk_cache=False if args.no_disk_cache else True,
+        progress=report_progress,
+    )
+    manifest = campaign_manifest(result, tele)
+    manifest.write(args.manifest_out)
+    print(render_campaign_report(result.extra()))
+    print(f"\nwrote campaign manifest ({len(result.seeds)} seeds, "
+          f"{len(result.experiments)} experiments) to {args.manifest_out}")
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .experiments import render_campaign_report
+    from .telemetry import RunManifest
+
+    manifest = RunManifest.load(args.manifest)
+    campaign = manifest.extra.get("campaign")
+    if not campaign:
+        print(f"{args.manifest} holds no campaign record", file=sys.stderr)
+        return 2
+    print(f"run: {manifest.command!r} base seed={manifest.seed} "
+          f"git={manifest.git_version} at {manifest.created_at}")
+    print()
+    print(render_campaign_report(campaign))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .experiments.cache import DatasetDiskCache
+
+    disk = DatasetDiskCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = disk.clear()
+        print(f"removed {removed} cached dataset(s) from {disk.root}")
+        return 0
+    entries = disk.entries()
+    if not entries:
+        print(f"no cached datasets under {disk.root}")
+        return 0
+    rows = [
+        (
+            entry.get("fingerprint", "?")[:12],
+            str(entry.get("seed", "?")),
+            f"{entry.get('duration', 0.0):.0f}s",
+            format_bytes(entry.get("size_bytes", 0)),
+            entry.get("content_hash", "?")[:12],
+        )
+        for entry in entries
+    ]
+    print(format_table(
+        f"dataset cache — {disk.root}", rows,
+        headers=("fingerprint", "seed", "duration", "size", "content hash"),
+    ))
     return 0
 
 
@@ -263,6 +410,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "figures": _cmd_figures,
         "ablations": _cmd_ablations,
+        "campaign": _cmd_campaign,
+        "cache": _cmd_cache,
         "telemetry-report": _cmd_telemetry_report,
     }
     return handlers[args.command](args)

@@ -1,9 +1,11 @@
 """Experiment harness: one module per paper figure, plus ablations.
 
 Each ``figNN.run(dataset)`` reproduces one figure's analysis from the
-shared, memoised campaign dataset and returns a typed result with a
-``rows()`` paper-vs-measured table.  The benchmark suite and
-EXPERIMENTS.md both consume these.
+shared, cached campaign dataset and returns a typed result with a
+``rows()`` paper-vs-measured table.  Importing this package registers
+every experiment with :mod:`~repro.experiments.registry`, which is how
+the CLI, the viz layer and the multi-seed
+:mod:`~repro.experiments.campaign` runner discover them.
 """
 
 from . import (
@@ -26,14 +28,35 @@ from . import (
     table_s2,
     tomography_study,
 )
+from .cache import (
+    DatasetDiskCache,
+    config_fingerprint,
+    dataset_content_hash,
+)
+from .campaign import (
+    CampaignResult,
+    SeedRun,
+    campaign_manifest,
+    render_campaign_report,
+    run_campaign,
+)
 from .common import (
     DAY_LENGTH,
     NUM_DAYS,
     ExperimentDataset,
     build_dataset,
     clear_dataset_cache,
+    dataset_cache_stats,
+    set_dataset_cache_limit,
     small_config,
     standard_config,
+)
+from .registry import (
+    ExperimentSpec,
+    experiment,
+    experiment_names,
+    experiment_specs,
+    get_experiment,
 )
 from .reporting import Row, format_table
 
@@ -41,12 +64,27 @@ __all__ = [
     "ExperimentDataset",
     "build_dataset",
     "clear_dataset_cache",
+    "set_dataset_cache_limit",
+    "dataset_cache_stats",
     "standard_config",
     "small_config",
     "DAY_LENGTH",
     "NUM_DAYS",
     "Row",
     "format_table",
+    "ExperimentSpec",
+    "experiment",
+    "get_experiment",
+    "experiment_names",
+    "experiment_specs",
+    "DatasetDiskCache",
+    "config_fingerprint",
+    "dataset_content_hash",
+    "CampaignResult",
+    "SeedRun",
+    "run_campaign",
+    "campaign_manifest",
+    "render_campaign_report",
     "fig02",
     "fig03",
     "fig04",

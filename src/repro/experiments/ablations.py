@@ -31,6 +31,7 @@ from ..tomography.gravity import gravity_prior_for_pairs
 from ..tomography.metrics import rmsre
 from ..tomography.tomogravity import tomogravity_estimate
 from .common import small_config
+from .registry import experiment
 from .reporting import Row
 
 __all__ = [
@@ -104,6 +105,8 @@ def _locality_profile(config) -> tuple[float, float, float]:
     return (in_rack / total, (total - in_rack) / total, local_fraction)
 
 
+@experiment("locality", figure="A1", title="work-seeks-bandwidth placement",
+            kind="ablation")
 def run_locality_ablation(seed: int = 11) -> LocalityAblation:
     """Run A1 on the small campaign.
 
@@ -166,6 +169,8 @@ def _arrival_structure(config) -> tuple[int, int]:
     return int(stats.server_modes.size), audit.peak_fan_in
 
 
+@experiment("conncap", figure="A2", title="connection cap and stop-and-go",
+            kind="ablation")
 def run_connection_cap_ablation(seed: int = 12) -> ConnectionCapAblation:
     """Run A2 on the small campaign (connection cap on vs off)."""
     base = small_config(seed=seed)
@@ -218,6 +223,8 @@ class GravityRegimeAblation:
         ]
 
 
+@experiment("gravity", figure="A3", title="gravity prior regime",
+            kind="ablation")
 def run_gravity_regime_ablation(
     racks: int = 12, trials: int = 12, seed: int = 13
 ) -> GravityRegimeAblation:

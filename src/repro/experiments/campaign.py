@@ -1,0 +1,318 @@
+"""Multi-seed campaign runner: confidence intervals, in parallel.
+
+The paper's headline statistics come from one two-month campaign on one
+cluster; a reproduction can do better by repeating the campaign over
+many seeds and reporting the distribution.  :func:`run_campaign` builds
+the dataset and runs a selected set of registered experiments for each
+seed — serially, or fanned across a ``spawn`` :class:`ProcessPoolExecutor`
+with ``jobs`` workers — then aggregates every numeric summary metric
+into mean / sample stdev / normal-approximation 95% CI rows.
+
+Workers share nothing in memory but everything on disk: each builds (or
+loads) its dataset through the content-addressed disk cache, so a warm
+campaign re-run touches no simulator code at all.  The campaign's
+provenance — per-seed content hashes, timings, cache behaviour and the
+aggregate table — lands in a :class:`~repro.telemetry.RunManifest` that
+``repro campaign report`` renders back into tables.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from multiprocessing import get_context
+from typing import Callable, Iterable, Sequence
+
+from ..config import SimulationConfig
+from ..telemetry import NULL_TELEMETRY, RunManifest, Telemetry
+from .cache import config_fingerprint, dataset_content_hash
+from .common import build_dataset, small_config
+from .registry import experiment_names, get_experiment
+from .reporting import format_table
+
+__all__ = [
+    "SeedRun",
+    "CampaignResult",
+    "run_campaign",
+    "aggregate_summaries",
+    "campaign_manifest",
+    "render_campaign_report",
+]
+
+#: Normal-approximation z for a two-sided 95% confidence interval.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SeedRun:
+    """One seed's completed campaign: provenance, timings, summaries."""
+
+    seed: int
+    fingerprint: str
+    content_hash: str
+    wall_seconds: float
+    build_seconds: float
+    from_disk_cache: bool
+    #: ``{experiment name: {metric: value}}`` numeric summary rows.
+    summaries: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record (manifest ``per_seed`` rows)."""
+        return asdict(self)
+
+
+@dataclass
+class CampaignResult:
+    """A finished multi-seed campaign and its aggregate statistics."""
+
+    base_config: SimulationConfig
+    seeds: list[int]
+    experiments: list[str]
+    jobs: int
+    wall_seconds: float
+    seed_runs: list[SeedRun]
+    #: ``{experiment: {metric: {mean, stdev, ci95, n, min, max}}}``.
+    aggregates: dict
+
+    def extra(self) -> dict:
+        """The manifest ``extra['campaign']`` payload."""
+        return {
+            "seeds": list(self.seeds),
+            "experiments": list(self.experiments),
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "per_seed": [run.to_dict() for run in self.seed_runs],
+            "aggregates": self.aggregates,
+        }
+
+
+def aggregate_summaries(
+    seed_runs: Sequence[SeedRun], experiments: Iterable[str]
+) -> dict:
+    """Per-experiment, per-metric mean / stdev / 95% CI across seeds.
+
+    The CI half-width uses the normal approximation
+    ``1.96 * stdev / sqrt(n)`` (stdev is the ``ddof=1`` sample estimate;
+    both are 0 for a single seed) — adequate for the handful-of-seeds
+    regime this runner targets, and dependency-free.
+    """
+    aggregates: dict = {}
+    for name in experiments:
+        metrics: dict = {}
+        keys: list[str] = []
+        for run in seed_runs:
+            for key in run.summaries.get(name, {}):
+                if key not in keys:
+                    keys.append(key)
+        for key in keys:
+            values = [
+                run.summaries[name][key]
+                for run in seed_runs
+                if key in run.summaries.get(name, {})
+            ]
+            n = len(values)
+            mean = sum(values) / n
+            if n > 1:
+                variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+                stdev = math.sqrt(variance)
+            else:
+                stdev = 0.0
+            metrics[key] = {
+                "mean": mean,
+                "stdev": stdev,
+                "ci95": _Z95 * stdev / math.sqrt(n),
+                "n": n,
+                "min": min(values),
+                "max": max(values),
+            }
+        aggregates[name] = metrics
+    return aggregates
+
+
+def _run_one_seed(payload: tuple) -> dict:
+    """Build one seed's dataset and run the experiment set (worker body).
+
+    Top-level so :class:`ProcessPoolExecutor` can pickle it; importing
+    this module pulls in :mod:`repro.experiments`, which registers every
+    experiment in the worker process.
+    """
+    config, names, cache_dir, disk_cache = payload
+    tele = Telemetry()
+    started = time.perf_counter()
+    with tele.span("campaign.seed", seed=config.seed):
+        dataset = build_dataset(
+            config, telemetry=tele, disk_cache=disk_cache, cache_dir=cache_dir,
+        )
+        build_seconds = time.perf_counter() - started
+        summaries = {}
+        for name in names:
+            spec = get_experiment(name)
+            with tele.span("campaign.experiment", experiment=name):
+                if spec.kind == "ablation":
+                    result = spec.run(seed=config.seed)
+                else:
+                    result = spec.run(dataset)
+            summaries[name] = spec.summary(result)
+    snapshot = tele.metrics.snapshot()
+    counters = {
+        name: state["value"]
+        for name, state in snapshot.items()
+        if state.get("type") == "counter"
+    }
+    return {
+        "seed": config.seed,
+        "fingerprint": config_fingerprint(config),
+        "content_hash": dataset_content_hash(dataset),
+        "wall_seconds": time.perf_counter() - started,
+        "build_seconds": build_seconds,
+        "from_disk_cache": counters.get("dataset.disk_cache_hits", 0.0) > 0,
+        "summaries": summaries,
+        "counters": counters,
+    }
+
+
+def run_campaign(
+    base_config: SimulationConfig | None = None,
+    *,
+    seeds: int | Sequence[int] = 4,
+    experiments: Sequence[str] | None = None,
+    jobs: int = 1,
+    telemetry: Telemetry | None = None,
+    cache_dir=None,
+    disk_cache: bool | None = True,
+    progress: Callable[[dict, int, int], None] | None = None,
+) -> CampaignResult:
+    """Run the campaign over multiple seeds, optionally in parallel.
+
+    ``seeds`` is either a count (seeds ``base.seed .. base.seed+N-1``) or
+    an explicit sequence.  ``experiments`` defaults to every registered
+    figure experiment.  ``jobs <= 1`` runs in-process (sharing the
+    in-memory dataset cache); ``jobs > 1`` fans seeds across fresh
+    ``spawn`` worker processes, which is also what makes the
+    serial-vs-parallel determinism tests meaningful.  ``progress`` (if
+    given) is called with ``(record, completed, total)`` per seed.
+    """
+    tele = telemetry or NULL_TELEMETRY
+    if base_config is None:
+        base_config = small_config()
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        seed_list = [base_config.seed + i for i in range(seeds)]
+    else:
+        seed_list = list(seeds)
+        if not seed_list:
+            raise ValueError("seeds must not be empty")
+    if len(set(seed_list)) != len(seed_list):
+        raise ValueError("seeds must be distinct")
+    names = list(experiments) if experiments else experiment_names(kind="figure")
+    for name in names:
+        get_experiment(name)  # fail fast on unknown experiments
+    payloads = [
+        (base_config.with_seed(seed), tuple(names), cache_dir, disk_cache)
+        for seed in seed_list
+    ]
+
+    records: dict[int, dict] = {}
+    started = time.perf_counter()
+    with tele.span("campaign.run", seeds=len(seed_list), jobs=jobs):
+        if jobs <= 1:
+            for payload in payloads:
+                record = _run_one_seed(payload)
+                records[record["seed"]] = record
+                if progress is not None:
+                    progress(record, len(records), len(payloads))
+        else:
+            context = get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(payloads)), mp_context=context
+            ) as pool:
+                pending = {pool.submit(_run_one_seed, p) for p in payloads}
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        record = future.result()
+                        records[record["seed"]] = record
+                        if progress is not None:
+                            progress(record, len(records), len(payloads))
+    wall_seconds = time.perf_counter() - started
+
+    ordered = [records[seed] for seed in seed_list]
+    # Fold worker-side counters into the campaign session so the manifest
+    # reports dataset/cache traffic across every seed.
+    for record in ordered:
+        for name, value in record.pop("counters", {}).items():
+            if value:
+                tele.counter(name).inc(value)
+    tele.counter("campaign.seeds_completed").inc(len(ordered))
+    seed_runs = [SeedRun(**record) for record in ordered]
+    return CampaignResult(
+        base_config=base_config,
+        seeds=seed_list,
+        experiments=names,
+        jobs=jobs,
+        wall_seconds=wall_seconds,
+        seed_runs=seed_runs,
+        aggregates=aggregate_summaries(seed_runs, names),
+    )
+
+
+def campaign_manifest(
+    result: CampaignResult, telemetry: Telemetry
+) -> RunManifest:
+    """A provenance manifest for a finished campaign."""
+    return RunManifest.capture(
+        "campaign run",
+        result.base_config,
+        telemetry,
+        extra={"campaign": result.extra()},
+    )
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def render_campaign_report(campaign: dict) -> str:
+    """Human-readable tables from a manifest's ``extra['campaign']``."""
+    sections = []
+    per_seed = campaign.get("per_seed", [])
+    rows = [
+        (
+            str(run["seed"]),
+            run["content_hash"][:12],
+            f"{run['build_seconds']:.2f}",
+            f"{run['wall_seconds']:.2f}",
+            "disk" if run.get("from_disk_cache") else "built",
+        )
+        for run in per_seed
+    ]
+    title = (
+        f"campaign — {len(per_seed)} seeds, jobs={campaign.get('jobs', '?')}, "
+        f"{campaign.get('wall_seconds', 0.0):.2f}s wall"
+    )
+    sections.append(format_table(
+        title, rows,
+        headers=("seed", "content hash", "build s", "total s", "dataset"),
+    ))
+    for name in campaign.get("experiments", []):
+        metrics = campaign.get("aggregates", {}).get(name, {})
+        rows = [
+            (
+                metric,
+                f"{_format_value(agg['mean'])} ± {_format_value(agg['ci95'])}",
+                _format_value(agg["stdev"]),
+                _format_value(agg["min"]),
+                _format_value(agg["max"]),
+                str(agg["n"]),
+            )
+            for metric, agg in metrics.items()
+        ]
+        sections.append(format_table(
+            f"{name} — across seeds",
+            rows,
+            headers=("metric", "mean ± 95% CI", "stdev", "min", "max", "n"),
+        ))
+    return "\n\n".join(sections)

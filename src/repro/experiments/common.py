@@ -16,6 +16,7 @@ tails, churn, estimator orderings) are preserved.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,7 @@ from ..simulation.simulator import SimulationResult, simulate
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..util.units import GBPS
 from ..workload.generator import WorkloadConfig
+from .cache import DatasetDiskCache, LRUCache, config_fingerprint
 
 __all__ = [
     "ExperimentDataset",
@@ -36,6 +38,8 @@ __all__ = [
     "small_config",
     "build_dataset",
     "clear_dataset_cache",
+    "set_dataset_cache_limit",
+    "dataset_cache_stats",
     "DAY_LENGTH",
     "NUM_DAYS",
 ]
@@ -129,28 +133,39 @@ class ExperimentDataset:
         return self.config.workload.day_length
 
 
-_CACHE: dict[tuple, ExperimentDataset] = {}
+#: In-memory dataset cache: content-addressed, bounded, LRU-evicted so
+#: parameter sweeps and ablations do not grow memory without limit.
+#: ``REPRO_DATASET_CACHE_SIZE`` overrides the default bound.
+_CACHE: LRUCache = LRUCache(
+    limit=max(1, int(os.environ.get("REPRO_DATASET_CACHE_SIZE", "8")))
+)
+
+#: Environment switch for the default disk-cache behaviour.
+_DISK_CACHE_ENV = "REPRO_DISK_CACHE"
 
 
-def _cache_key(config: SimulationConfig) -> tuple:
-    workload = config.workload
-    return (
-        config.cluster,
-        config.duration,
-        config.seed,
-        config.fairness,
-        config.congestion_threshold,
-        workload.job_arrival_rate,
-        workload.evacuation_rate,
-        workload.ingestion_rate,
-        workload.day_load_factors,
-        workload.day_length,
-        workload.slots_per_server,
-        workload.locality_bias,
-        workload.max_connections,
-        workload.connection_quantum,
-        workload.input_home_bias,
-    )
+def set_dataset_cache_limit(limit: int) -> int:
+    """Bound the in-memory dataset cache; returns the previous limit."""
+    previous = _CACHE.limit
+    _CACHE.set_limit(limit)
+    return previous
+
+
+def dataset_cache_stats() -> dict:
+    """Size, bound and lifetime eviction count of the in-memory cache."""
+    return {
+        "size": len(_CACHE),
+        "limit": _CACHE.limit,
+        "evictions": _CACHE.evictions,
+    }
+
+
+def _disk_cache_enabled(disk_cache: bool | None, cache_dir) -> bool:
+    if disk_cache is not None:
+        return disk_cache
+    if cache_dir is not None:
+        return True
+    return os.environ.get(_DISK_CACHE_ENV, "0").lower() in ("1", "true", "yes", "on")
 
 
 def build_dataset(
@@ -158,14 +173,26 @@ def build_dataset(
     telemetry: Telemetry | None = None,
     heartbeat=None,
     heartbeat_interval: float | None = None,
+    *,
+    disk_cache: bool | None = None,
+    cache_dir=None,
 ) -> ExperimentDataset:
-    """Run (or fetch the memoised) campaign for a configuration.
+    """Run (or fetch the cached) campaign for a configuration.
+
+    Lookups go memory first (a bounded LRU keyed by
+    :func:`~repro.experiments.cache.config_fingerprint`, a content hash
+    of the full config tree), then — when ``disk_cache`` is enabled — the
+    persistent :class:`~repro.experiments.cache.DatasetDiskCache`, so a
+    cold process reuses a prior campaign instead of re-simulating it.
+    ``disk_cache=None`` defers to the ``REPRO_DISK_CACHE`` environment
+    switch unless ``cache_dir`` is given (which implies the disk layer).
 
     With a :class:`~repro.telemetry.Telemetry` session attached, each
-    build stage gets its own span and cache lookups are counted
-    (``dataset.cache_hits`` / ``dataset.cache_misses``), so a figure
-    sweep shows exactly how often it paid for a campaign.  ``heartbeat``
-    and ``heartbeat_interval`` are forwarded to
+    build stage gets its own span and cache traffic is counted
+    (``dataset.cache_hits`` / ``dataset.cache_misses`` for the memory
+    layer, ``dataset.disk_cache_hits`` / ``dataset.disk_cache_misses``
+    for the disk layer, ``dataset.cache_evictions`` for LRU pressure).
+    ``heartbeat`` and ``heartbeat_interval`` are forwarded to
     :func:`~repro.simulation.simulator.simulate` for progress reporting.
     """
     tele = telemetry or NULL_TELEMETRY
@@ -173,14 +200,32 @@ def build_dataset(
     # zeros included.
     cache_hits = tele.counter("dataset.cache_hits")
     cache_misses = tele.counter("dataset.cache_misses")
+    evictions = tele.counter("dataset.cache_evictions")
     if config is None:
         config = standard_config()
-    key = _cache_key(config)
+    key = config_fingerprint(config)
+    disk = (
+        DatasetDiskCache(cache_dir)
+        if _disk_cache_enabled(disk_cache, cache_dir)
+        else None
+    )
     cached = _CACHE.get(key)
     if cached is not None:
         cache_hits.inc()
+        if disk is not None and not disk.entry_dir(key).exists():
+            # Backfill: the campaign predates this disk layer, but later
+            # cold processes should still find it.
+            with tele.span("build_dataset.disk_store"):
+                disk.store(key, cached)
         return cached
     cache_misses.inc()
+    if disk is not None:
+        loaded = disk.load(key)
+        if loaded is not None:
+            tele.counter("dataset.disk_cache_hits").inc()
+            _cache_insert(key, loaded, evictions)
+            return loaded
+        tele.counter("dataset.disk_cache_misses").inc()
     with tele.span("build_dataset", seed=config.seed, duration=config.duration):
         with tele.span("build_dataset.simulate"):
             result = simulate(
@@ -211,10 +256,21 @@ def build_dataset(
         observed_links=observed,
         bisection=bisection_bandwidth(result.topology),
     )
-    _CACHE[key] = dataset
+    if disk is not None:
+        with tele.span("build_dataset.disk_store"):
+            disk.store(key, dataset)
+    _cache_insert(key, dataset, evictions)
     return dataset
 
 
+def _cache_insert(key: str, dataset: ExperimentDataset, eviction_counter) -> None:
+    before = _CACHE.evictions
+    _CACHE.put(key, dataset)
+    evicted = _CACHE.evictions - before
+    if evicted:
+        eviction_counter.inc(evicted)
+
+
 def clear_dataset_cache() -> None:
-    """Drop all memoised datasets (tests use this to bound memory)."""
+    """Drop all in-memory datasets (the disk layer is untouched)."""
     _CACHE.clear()

@@ -22,6 +22,7 @@ from ..tomography.metrics import rmsre
 from ..tomography.roleprior import role_affinity_matrix, role_aware_prior
 from ..tomography.tomogravity import tomogravity_estimate
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["RolePriorStudy", "run"]
@@ -66,6 +67,7 @@ class RolePriorStudy:
         ]
 
 
+@experiment("ext_roleprior", figure="ext", title="role-aware tomography prior")
 def run(
     dataset: ExperimentDataset | None = None,
     window: float = 100.0,

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..instrumentation.sampling import sampling_bias_report
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["SamplingStudy", "run", "DEFAULT_RATES"]
@@ -62,6 +63,20 @@ class SamplingStudy:
         return rows
 
 
+def _summarise(study: SamplingStudy) -> dict[str, float]:
+    # One row per swept rate: flatten the per-rate report dicts.
+    out: dict[str, float] = {}
+    for report in study.reports:
+        denominator = round(1.0 / report["sampling_rate"])
+        for key in ("detected_fraction", "seen_flows", "seen_frac_under_10s"):
+            value = float(report[key])
+            if np.isfinite(value):
+                out[f"{key}@1in{denominator}"] = value
+    return out
+
+
+@experiment("ext_sampling", figure="ext", title="packet-sampling bias",
+            summarise=_summarise)
 def run(
     dataset: ExperimentDataset | None = None,
     rates: tuple[float, ...] = DEFAULT_RATES,

@@ -17,6 +17,7 @@ import numpy as np
 from ..core.patterns import PatternSummary, pattern_summary
 from ..viz.figures import figure2_heatmap
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row, format_table
 
 __all__ = ["Fig02Result", "run"]
@@ -61,6 +62,7 @@ class Fig02Result:
         return f"{heatmap}\n\n{table}"
 
 
+@experiment("fig02", figure="Fig 2", title="work-seeks-bandwidth / scatter-gather TM")
 def run(dataset: ExperimentDataset | None = None) -> Fig02Result:
     """Reproduce Fig 2 from a (memoised) campaign dataset."""
     if dataset is None:

@@ -19,6 +19,7 @@ import numpy as np
 from ..core.patterns import pair_byte_stats
 from ..util.stats import Ecdf, ecdf
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig03Result", "run"]
@@ -76,6 +77,7 @@ class Fig03Result:
         ]
 
 
+@experiment("fig03", figure="Fig 3", title="bytes exchanged between server pairs")
 def run(dataset: ExperimentDataset | None = None) -> Fig03Result:
     """Reproduce Fig 3 from a (memoised) campaign dataset."""
     if dataset is None:

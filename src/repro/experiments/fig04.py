@@ -20,6 +20,7 @@ import numpy as np
 from ..core.patterns import correspondent_stats
 from ..util.stats import Ecdf, ecdf
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig04Result", "run"]
@@ -82,6 +83,7 @@ class Fig04Result:
         ]
 
 
+@experiment("fig04", figure="Fig 4", title="correspondent counts")
 def run(dataset: ExperimentDataset | None = None) -> Fig04Result:
     """Reproduce Fig 4 from a (memoised) campaign dataset.
 

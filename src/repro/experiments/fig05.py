@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.congestion import CongestionSummary, congestion_summary, simultaneous_hot_links
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig05Result", "run"]
@@ -63,6 +64,7 @@ class Fig05Result:
         ]
 
 
+@experiment("fig05", figure="Fig 5", title="when and where congestion happens")
 def run(
     dataset: ExperimentDataset | None = None, threshold: float | None = None
 ) -> Fig05Result:

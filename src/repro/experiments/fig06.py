@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..core.congestion import CongestionSummary, congestion_summary
 from ..util.stats import Ecdf
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig06Result", "run"]
@@ -66,6 +67,7 @@ class Fig06Result:
         ]
 
 
+@experiment("fig06", figure="Fig 6", title="congestion episode lengths")
 def run(dataset: ExperimentDataset | None = None) -> Fig06Result:
     """Reproduce Fig 6 from a (memoised) campaign dataset."""
     if dataset is None:

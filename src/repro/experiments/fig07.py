@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.congestion import VictimFlowComparison, victim_flow_comparison
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig07Result", "run"]
@@ -61,6 +62,7 @@ class Fig07Result:
         ]
 
 
+@experiment("fig07", figure="Fig 7", title="victim flows")
 def run(dataset: ExperimentDataset | None = None) -> Fig07Result:
     """Reproduce Fig 7 from a (memoised) campaign dataset."""
     if dataset is None:

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.impact import ImpactStudy, read_failure_impact
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig08Result", "run", "WEEKEND_DAYS"]
@@ -72,6 +73,7 @@ class Fig08Result:
         ]
 
 
+@experiment("fig08", figure="Fig 8", title="read-failure uplift")
 def run(dataset: ExperimentDataset | None = None) -> Fig08Result:
     """Reproduce Fig 8 from a (memoised) campaign dataset."""
     if dataset is None:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..core.flow_stats import DurationStats, duration_stats
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig09Result", "run"]
@@ -38,6 +39,7 @@ class Fig09Result:
         ]
 
 
+@experiment("fig09", figure="Fig 9", title="flow durations")
 def run(dataset: ExperimentDataset | None = None) -> Fig09Result:
     """Reproduce Fig 9 from a (memoised) campaign dataset."""
     if dataset is None:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.change import ChurnStats, churn_stats
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig10Result", "run"]
@@ -63,6 +64,7 @@ class Fig10Result:
         ]
 
 
+@experiment("fig10", figure="Fig 10", title="traffic churn")
 def run(dataset: ExperimentDataset | None = None) -> Fig10Result:
     """Reproduce Fig 10 from a (memoised) campaign dataset."""
     if dataset is None:

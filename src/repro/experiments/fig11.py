@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..core.flow_stats import InterarrivalStats, interarrival_stats
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 
 __all__ = ["Fig11Result", "run"]
@@ -57,6 +58,7 @@ class Fig11Result:
         ]
 
 
+@experiment("fig11", figure="Fig 11", title="flow inter-arrivals")
 def run(dataset: ExperimentDataset | None = None) -> Fig11Result:
     """Reproduce Fig 11 from a (memoised) campaign dataset."""
     if dataset is None:

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..util.stats import Ecdf, ecdf
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 from .tomography_study import TomographyStudy, run_study
 
@@ -74,6 +75,7 @@ class Fig12Result:
         ]
 
 
+@experiment("fig12", figure="Fig 12", title="tomography estimation error")
 def run(
     dataset: ExperimentDataset | None = None, window: float = 100.0
 ) -> Fig12Result:

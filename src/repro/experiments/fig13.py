@@ -14,6 +14,7 @@ import numpy as np
 
 from ..util.stats import logarithmic_fit, pearson_correlation
 from .common import ExperimentDataset, build_dataset
+from .registry import experiment
 from .reporting import Row
 from .tomography_study import TomographyStudy, run_study
 
@@ -60,6 +61,7 @@ class Fig13Result:
         ]
 
 
+@experiment("fig13", figure="Fig 13", title="error vs ground-truth sparsity")
 def run(
     dataset: ExperimentDataset | None = None, window: float = 100.0
 ) -> Fig13Result:

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..util.stats import Ecdf, ecdf
 from .common import ExperimentDataset, build_dataset
+from .registry import default_summary, experiment
 from .reporting import Row
 from .tomography_study import TomographyStudy, run_study
 
@@ -78,6 +79,17 @@ class Fig14Result:
         ]
 
 
+def _summarise(result: Fig14Result) -> dict[str, float]:
+    out = default_summary(result)
+    for method in ("truth", "tomogravity", "job_prior", "sparsity"):
+        value = result.median_fraction(method)
+        if np.isfinite(value):
+            out[f"median_fraction_{method}"] = value
+    return out
+
+
+@experiment("fig14", figure="Fig 14", title="sparsity of estimated TMs",
+            summarise=_summarise)
 def run(
     dataset: ExperimentDataset | None = None, window: float = 100.0
 ) -> Fig14Result:

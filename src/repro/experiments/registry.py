@@ -1,0 +1,164 @@
+"""Experiment registry: one discoverable catalogue of every analysis.
+
+Each figure module decorates its ``run`` function with
+:func:`experiment`; ablations register their runners the same way with
+``kind="ablation"``.  The CLI, the campaign runner and the viz layer all
+resolve experiments through :func:`get_experiment` instead of hard-coded
+import lists, so adding a figure module is the *only* step needed to
+make it runnable everywhere.
+
+The uniform protocol:
+
+* ``spec.run(dataset)`` (figures) / ``spec.run(seed=s)`` (ablations)
+  produces the module's typed result object;
+* ``spec.summary(result)`` reduces that result to a flat
+  ``{metric: float}`` dict — the rows a multi-seed campaign aggregates
+  into mean/stdev/CI.  Modules may register a bespoke ``summarise``;
+  by default every finite scalar field and property of the result
+  dataclass is harvested automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ExperimentSpec",
+    "experiment",
+    "get_experiment",
+    "experiment_names",
+    "experiment_specs",
+    "default_summary",
+]
+
+_REGISTRY: dict[str, "ExperimentSpec"] = {}
+
+
+def default_summary(result: Any) -> dict[str, float]:
+    """Every finite scalar field and property of a result, by name.
+
+    Result objects commonly wrap a stats dataclass (e.g. Fig 9's
+    ``DurationStats``), so dataclass-typed fields are harvested one
+    level deep with dotted names (``stats.frac_flows_under_10s``).
+    """
+    out: dict[str, float] = {}
+
+    def consider(name: str, value: Any) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float, np.integer, np.floating)):
+            value = float(value)
+            if math.isfinite(value):
+                out[name] = value
+
+    def harvest(obj: Any, prefix: str, depth: int) -> None:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            for field in dataclasses.fields(obj):
+                value = getattr(obj, field.name)
+                name = f"{prefix}{field.name}"
+                consider(name, value)
+                if depth > 0 and dataclasses.is_dataclass(value) \
+                        and not isinstance(value, type):
+                    harvest(value, f"{name}.", depth - 1)
+        for name in dir(type(obj)):
+            if name.startswith("_"):
+                continue
+            if not isinstance(getattr(type(obj), name, None), property):
+                continue
+            try:
+                value = getattr(obj, name)
+            except Exception:
+                continue
+            consider(f"{prefix}{name}", value)
+
+    harvest(result, "", 1)
+    return dict(sorted(out.items()))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: identity, runner and summariser."""
+
+    name: str
+    figure: str
+    title: str
+    kind: str  # "figure" (needs a dataset) or "ablation" (self-contained)
+    runner: Callable
+    summarise: Callable[[Any], dict[str, float]] | None = None
+
+    def run(self, dataset=None, *, seed: int | None = None) -> Any:
+        """Execute the experiment with its uniform calling convention."""
+        if self.kind == "ablation":
+            return self.runner() if seed is None else self.runner(seed=seed)
+        return self.runner(dataset)
+
+    def summary(self, result: Any) -> dict[str, float]:
+        """Flat numeric summary of a result (campaign aggregation rows)."""
+        summarise = self.summarise or default_summary
+        return {str(key): float(value) for key, value in summarise(result).items()}
+
+
+def experiment(
+    name: str,
+    *,
+    figure: str = "",
+    title: str = "",
+    kind: str = "figure",
+    summarise: Callable[[Any], dict[str, float]] | None = None,
+) -> Callable:
+    """Decorator registering a runner under ``name``; returns it unchanged."""
+    if kind not in ("figure", "ablation"):
+        raise ValueError(f"unknown experiment kind {kind!r}")
+
+    def register(runner: Callable) -> Callable:
+        existing = _REGISTRY.get(name)
+        if existing is not None and (
+            existing.runner.__module__ != runner.__module__
+            or existing.runner.__qualname__ != runner.__qualname__
+        ):
+            raise ValueError(
+                f"experiment {name!r} already registered by "
+                f"{existing.runner.__module__}.{existing.runner.__qualname__}"
+            )
+        _REGISTRY[name] = ExperimentSpec(
+            name=name, figure=figure, title=title, kind=kind,
+            runner=runner, summarise=summarise,
+        )
+        return runner
+
+    return register
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered experiment; KeyError lists what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: "
+            f"{', '.join(experiment_names())}"
+        ) from None
+
+
+def _sort_key(name: str) -> tuple:
+    # Figures first in paper order, extensions last.
+    return (name.startswith("ext_"), name)
+
+
+def experiment_specs(kind: str | None = None) -> list[ExperimentSpec]:
+    """All registered specs (optionally one kind), in stable name order."""
+    specs = [
+        spec for spec in _REGISTRY.values()
+        if kind is None or spec.kind == kind
+    ]
+    return sorted(specs, key=lambda spec: _sort_key(spec.name))
+
+
+def experiment_names(kind: str | None = None) -> list[str]:
+    """Names of registered experiments (optionally one kind)."""
+    return [spec.name for spec in experiment_specs(kind)]

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..instrumentation.overhead import OverheadReport, estimate_overhead
 from ..instrumentation.storage import compression_report
 from .common import ExperimentDataset, build_dataset
+from .registry import default_summary, experiment
 from .reporting import Row
 
 __all__ = ["TableS2Result", "run"]
@@ -51,6 +52,13 @@ class TableS2Result:
         ]
 
 
+def _summarise(result: TableS2Result) -> dict[str, float]:
+    # The numeric content lives on the nested OverheadReport.
+    return default_summary(result.report)
+
+
+@experiment("table_s2", figure="Table S2", title="instrumentation overhead",
+            summarise=_summarise)
 def run(dataset: ExperimentDataset | None = None) -> TableS2Result:
     """Measure instrumentation overhead on a (memoised) campaign."""
     if dataset is None:

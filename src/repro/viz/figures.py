@@ -17,6 +17,7 @@ from ..core.traffic_matrix import log_matrix
 from ..util.ascii import render_bars, render_cdf, render_heatmap, render_series
 
 __all__ = [
+    "render_figure",
     "figure2_heatmap",
     "figure6_episode_cdf",
     "figure7_victim_cdf",
@@ -25,6 +26,26 @@ __all__ = [
     "figure10_series",
     "figure11_interarrival_cdfs",
 ]
+
+
+def render_figure(name: str, dataset=None) -> str:
+    """Run a registered experiment by name and render it for a terminal.
+
+    Resolution goes through :mod:`repro.experiments.registry` — any
+    module that registered itself is renderable here with no wiring.
+    Results that define ``render()`` (e.g. Fig 2's heatmap) use it;
+    everything else gets its paper-vs-measured ``rows()`` table.
+    """
+    # Imported lazily: this module is itself imported by figure modules
+    # during experiment registration.
+    from ..experiments.registry import get_experiment
+    from ..experiments.reporting import format_table
+
+    spec = get_experiment(name)
+    result = spec.run(dataset) if spec.kind == "figure" else spec.run()
+    if hasattr(result, "render"):
+        return result.render()
+    return format_table(f"{name} — paper vs this reproduction", result.rows())
 
 
 def figure2_heatmap(tm: np.ndarray, title: str = "Fig 2: ln(bytes) between server pairs") -> str:

@@ -117,3 +117,71 @@ class TestAblations:
         code = main(["ablations", "gravity", "--seed", "5"])
         assert code == 0
         assert "ISP regime" in capsys.readouterr().out
+
+
+class TestFiguresList:
+    def test_lists_the_whole_registry(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment registry" in out
+        for name in ("fig02", "fig14", "table_s2", "ext_sampling", "gravity"):
+            assert name in out
+
+
+class TestCampaign:
+    def test_run_then_report(self, capsys, tmp_path, dataset):
+        # The session dataset fixture pre-warms the in-memory cache for
+        # the default small config, so a 1-seed campaign is instant.
+        manifest_path = tmp_path / "campaign.json"
+        code = main([
+            "campaign", "run", "--seeds", "1", "--jobs", "1",
+            "--experiments", "fig09",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest-out", str(manifest_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "mean ± 95% CI" in captured.out
+        assert "[campaign] seed" in captured.err
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert len(manifest["extra"]["campaign"]["per_seed"]) == 1
+
+        assert main(["campaign", "report", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+        assert "mean ± 95% CI" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["campaign", "run", "--seeds", "1",
+                     "--experiments", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_report_rejects_non_campaign_manifest(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["simulate", "--racks", "3", "--servers-per-rack", "4",
+              "--duration", "20", "--seed", "9", "--trace-out", str(trace)])
+        capsys.readouterr()
+        manifest = tmp_path / "t.jsonl.manifest.json"
+        assert main(["campaign", "report", str(manifest)]) == 2
+        assert "no campaign record" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_ls_and_clear(self, capsys, tmp_path, dataset):
+        cache_dir = tmp_path / "cache"
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        assert "no cached datasets" in capsys.readouterr().out
+
+        main(["campaign", "run", "--seeds", "1", "--experiments", "fig09",
+              "--cache-dir", str(cache_dir),
+              "--manifest-out", str(tmp_path / "m.json")])
+        capsys.readouterr()
+
+        assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset cache" in out
+        assert str(dataset.config.seed) in out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1 cached dataset(s)" in capsys.readouterr().out

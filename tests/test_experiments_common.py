@@ -46,25 +46,31 @@ class TestDatasetCache:
         assert again is dataset
 
     def test_cache_key_distinguishes_seeds(self):
-        from repro.experiments.common import _cache_key
+        from repro.experiments.cache import config_fingerprint
 
-        assert _cache_key(small_config(seed=1)) != _cache_key(small_config(seed=2))
+        assert config_fingerprint(small_config(seed=1)) != config_fingerprint(
+            small_config(seed=2)
+        )
 
     def test_cache_key_stable(self):
-        from repro.experiments.common import _cache_key
+        from repro.experiments.cache import config_fingerprint
 
-        assert _cache_key(small_config()) == _cache_key(small_config())
+        assert config_fingerprint(small_config()) == config_fingerprint(
+            small_config()
+        )
 
-    def test_clear_cache_forgets(self):
+    def test_clear_cache_forgets(self, dataset):
+        from repro.experiments.cache import config_fingerprint
         from repro.experiments.common import _CACHE
 
         # Only inspect bookkeeping; never rebuild a campaign here.
-        before = dict(_CACHE)
+        key = config_fingerprint(dataset.config)
+        assert _CACHE.get(key) is dataset
         try:
             clear_dataset_cache()
-            assert not _CACHE
+            assert len(_CACHE) == 0
         finally:
-            _CACHE.update(before)
+            _CACHE.put(key, dataset)
 
     def test_observed_utilization_shape(self, dataset):
         observed = dataset.observed_utilization

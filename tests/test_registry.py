@@ -1,0 +1,116 @@
+"""Experiment registry: discovery, the uniform protocol, summaries."""
+
+import numpy as np
+import pytest
+
+import repro.experiments  # noqa: F401  (importing registers everything)
+from repro.experiments import fig02, fig09
+from repro.experiments.registry import (
+    default_summary,
+    experiment,
+    experiment_names,
+    experiment_specs,
+    get_experiment,
+)
+
+EXPECTED_FIGURES = {
+    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table_s2",
+    "ext_roleprior", "ext_sampling",
+}
+EXPECTED_ABLATIONS = {"locality", "conncap", "gravity"}
+
+
+class TestDiscovery:
+    def test_every_figure_module_registered(self):
+        assert set(experiment_names(kind="figure")) == EXPECTED_FIGURES
+
+    def test_every_ablation_registered(self):
+        assert set(experiment_names(kind="ablation")) == EXPECTED_ABLATIONS
+
+    def test_all_names_is_union(self):
+        assert set(experiment_names()) == EXPECTED_FIGURES | EXPECTED_ABLATIONS
+
+    def test_figures_listed_in_paper_order_extensions_last(self):
+        names = experiment_names(kind="figure")
+        assert names[0] == "fig02"
+        assert names[-2:] == ["ext_roleprior", "ext_sampling"]
+
+    def test_specs_carry_metadata(self):
+        for spec in experiment_specs():
+            assert spec.name
+            assert spec.kind in ("figure", "ablation")
+            assert spec.title
+            assert callable(spec.runner)
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="fig02"):
+            get_experiment("fig99")
+
+
+class TestDecorator:
+    def test_returns_runner_unchanged(self):
+        assert get_experiment("fig02").runner is fig02.run
+        assert get_experiment("fig09").runner is fig09.run
+
+    def test_rejects_conflicting_reregistration(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @experiment("fig02", title="impostor")
+            def run():  # pragma: no cover - registration must fail first
+                pass
+
+    def test_reregistration_of_same_runner_is_idempotent(self):
+        spec = get_experiment("fig02")
+        experiment("fig02", figure=spec.figure, title=spec.title)(fig02.run)
+        assert get_experiment("fig02").runner is fig02.run
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            experiment("whatever", kind="mystery")
+
+
+class TestProtocol:
+    def test_spec_run_matches_module_run(self, dataset):
+        via_registry = get_experiment("fig09").run(dataset)
+        direct = fig09.run(dataset)
+        assert type(via_registry) is type(direct)
+        assert via_registry.stats.total_flows == direct.stats.total_flows
+
+    def test_summary_is_flat_finite_floats(self, dataset):
+        for name in ("fig02", "fig09", "table_s2", "ext_sampling"):
+            spec = get_experiment(name)
+            summary = spec.summary(spec.run(dataset))
+            assert summary, name
+            for key, value in summary.items():
+                assert isinstance(key, str)
+                assert isinstance(value, float)
+                assert np.isfinite(value), (name, key)
+
+    def test_rows_render_for_every_figure(self, dataset):
+        # The registry's contract: every figure result exposes rows().
+        for name in ("fig02", "fig04", "fig09", "fig11"):
+            result = get_experiment(name).run(dataset)
+            rows = result.rows()
+            assert rows and all(len(row.as_tuple()) == 3 for row in rows)
+
+
+class TestDefaultSummary:
+    def test_harvests_fields_properties_and_nested_stats(self, dataset):
+        result = fig09.run(dataset)
+        summary = default_summary(result)
+        assert "stats.frac_flows_under_10s" in summary
+        assert "stats.total_flows" in summary
+
+    def test_skips_non_finite_and_bools(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Mixed:
+            good: float = 1.5
+            count: int = 3
+            flag: bool = True
+            bad: float = float("nan")
+            text: str = "no"
+
+        summary = default_summary(Mixed())
+        assert summary == {"good": 1.5, "count": 3.0}
