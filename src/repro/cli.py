@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's workflow:
+Seven commands cover the library's workflow:
 
 * ``simulate`` — run a measurement campaign and print its statistics,
   optionally dumping the compressed socket-event log; with
   ``--telemetry`` it also prints progress heartbeats, writes a JSONL
   span trace (``--trace-out``) and records a run manifest
   (``--manifest-out``) pinning config, seed, git version and metrics;
+* ``trace`` — record a campaign's socket events to a chunked on-disk
+  ``.reprotrace`` store (``record``), list/inspect traces (``ls``,
+  ``info``), and run the streaming analyses over one (``analyze``,
+  with ``--jobs`` fanning chunks across processes and ``--check``
+  asserting exact agreement with the in-memory pipeline);
 * ``figures`` — reproduce any subset of the paper's figures against a
   campaign (``--list`` enumerates the experiment registry);
 * ``ablations`` — run the registered design-choice ablations;
@@ -28,7 +33,7 @@ import sys
 
 from .cluster.topology import ClusterSpec
 from .config import SimulationConfig
-from .util.units import GBPS, format_bytes
+from .util.units import GBPS, format_bytes, format_bytes_binary
 from .workload.generator import WorkloadConfig
 
 
@@ -62,6 +67,61 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
                      help="simulated seconds between progress heartbeats "
                           "(default: duration/5)")
+
+    trace = sub.add_parser(
+        "trace", help="record and analyze chunked on-disk socket-event traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", help="simulate a campaign, streaming events to a trace")
+    trace_record.add_argument("--racks", type=int, default=6)
+    trace_record.add_argument("--servers-per-rack", type=int, default=8)
+    trace_record.add_argument("--racks-per-vlan", type=int, default=3)
+    trace_record.add_argument("--external-hosts", type=int, default=2)
+    trace_record.add_argument("--uplink-gbps", type=float, default=2.5)
+    trace_record.add_argument("--duration", type=float, default=120.0)
+    trace_record.add_argument("--arrival-rate", type=float, default=0.3,
+                              help="job arrivals per second")
+    trace_record.add_argument("--seed", type=int, default=7)
+    trace_record.add_argument("--out", default="campaign.reprotrace",
+                              metavar="DIR", help="trace directory to create")
+    trace_record.add_argument("--chunk-size", type=int, default=None,
+                              metavar="ROWS",
+                              help="event rows per on-disk chunk")
+    trace_record.add_argument("--flush-interval", type=float, default=None,
+                              metavar="SECONDS",
+                              help="simulated seconds between stream flushes")
+    trace_record.add_argument("--overwrite", action="store_true",
+                              help="replace an existing trace at --out")
+    trace_record.add_argument("--heartbeat", type=float, default=None,
+                              metavar="SECONDS",
+                              help="simulated seconds between progress "
+                                   "heartbeats (default: off)")
+    trace_ls = trace_sub.add_parser("ls", help="list traces in a directory")
+    trace_ls.add_argument("root", nargs="?", default=".",
+                          help="a trace directory or a directory of traces")
+    trace_info = trace_sub.add_parser(
+        "info", help="show a trace's manifest: chunks, spans, provenance")
+    trace_info.add_argument("trace", help="trace directory")
+    trace_info.add_argument("--chunks", action="store_true",
+                            help="also list the per-chunk table")
+    trace_info.add_argument("--verify", action="store_true",
+                            help="re-hash every chunk against the manifest")
+    trace_analyze = trace_sub.add_parser(
+        "analyze", help="run the streaming analyses over a trace")
+    trace_analyze.add_argument("trace", help="trace directory")
+    trace_analyze.add_argument("--jobs", type=int, default=1,
+                               help="worker processes (1 = in-process)")
+    trace_analyze.add_argument("--window", type=float, default=10.0,
+                               help="traffic-matrix window, seconds")
+    trace_analyze.add_argument("--threshold", type=float, default=None,
+                               help="congestion threshold (default: the "
+                                    "recorded config's)")
+    trace_analyze.add_argument("--timeout", type=float, default=None,
+                               metavar="SECONDS",
+                               help="flow inactivity timeout (default 60)")
+    trace_analyze.add_argument("--check", action="store_true",
+                               help="also verify streamed results equal the "
+                                    "in-memory pipeline exactly")
 
     figures = sub.add_parser("figures", help="reproduce paper figures")
     figures.add_argument("names", nargs="*", default=[],
@@ -373,6 +433,172 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "record": _cmd_trace_record,
+        "ls": _cmd_trace_ls,
+        "info": _cmd_trace_info,
+        "analyze": _cmd_trace_analyze,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .telemetry import Telemetry
+    from .trace import DEFAULT_CHUNK_SIZE, record_trace
+    from .trace.record import DEFAULT_FLUSH_INTERVAL
+
+    config = SimulationConfig(
+        cluster=ClusterSpec(
+            racks=args.racks,
+            servers_per_rack=args.servers_per_rack,
+            racks_per_vlan=args.racks_per_vlan,
+            external_hosts=args.external_hosts,
+            tor_uplink_capacity=args.uplink_gbps * GBPS,
+        ),
+        workload=WorkloadConfig(job_arrival_rate=args.arrival_rate),
+        duration=args.duration,
+        seed=args.seed,
+    )
+    tele = Telemetry()
+    try:
+        record = record_trace(
+            config,
+            args.out,
+            chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+            flush_interval=args.flush_interval or DEFAULT_FLUSH_INTERVAL,
+            telemetry=tele,
+            overwrite=args.overwrite,
+            heartbeat=_print_heartbeat if args.heartbeat else None,
+            heartbeat_interval=args.heartbeat,
+        )
+    except FileExistsError as error:
+        print(f"{error} (use --overwrite to replace it)", file=sys.stderr)
+        return 2
+    manifest = record.manifest
+    metrics = tele.metrics.snapshot()
+    written = int(metrics.get("trace.bytes_written", {}).get("value", 0))
+    print(f"recorded {manifest['total_rows']} events in "
+          f"{len(manifest['chunks'])} chunk(s) to {record.path}")
+    print(f"  chunk size: {manifest['chunk_size']} rows")
+    print(f"  event bytes written: {format_bytes_binary(written)}")
+    span = manifest["time_span"]
+    if span:
+        print(f"  time span: {span[0]:.3f}s .. {span[1]:.3f}s")
+    print(f"  config fingerprint: {manifest['meta']['config_fingerprint'][:12]}")
+    return 0
+
+
+def _cmd_trace_ls(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .trace import TraceReader, find_traces
+
+    traces = find_traces(args.root)
+    if not traces:
+        print(f"no traces under {args.root}")
+        return 0
+    rows = []
+    for path in traces:
+        reader = TraceReader(path)
+        first, last = reader.time_span()
+        rows.append((
+            str(path),
+            str(reader.num_chunks),
+            str(reader.total_rows),
+            format_bytes_binary(reader.bytes_on_disk()),
+            f"{last - first:.0f}s",
+            str(reader.meta.get("seed", "?")),
+        ))
+    print(format_table(
+        f"traces — {args.root}", rows,
+        headers=("trace", "chunks", "rows", "size", "span", "seed"),
+    ))
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .trace import TraceReader
+
+    reader = TraceReader(args.trace)
+    manifest = reader.manifest
+    print(f"trace: {args.trace}")
+    print(f"  format: {manifest['format']} v{manifest['schema_version']}")
+    print(f"  rows: {reader.total_rows} in {reader.num_chunks} chunk(s) "
+          f"(chunk size {reader.chunk_size})")
+    print(f"  on disk: {format_bytes_binary(reader.bytes_on_disk())}")
+    first, last = reader.time_span()
+    print(f"  time span: {first:.3f}s .. {last:.3f}s")
+    loads = manifest.get("linkloads")
+    if loads:
+        print(f"  linkloads: {loads['num_links']} links x {loads['num_bins']} "
+              f"bins @ {loads['bin_width']:.0f}s")
+    for key in sorted(reader.meta):
+        if key != "cluster_spec":
+            print(f"  meta.{key}: {reader.meta[key]}")
+    if args.chunks and reader.num_chunks:
+        rows = [
+            (entry["file"], str(entry["rows"]),
+             f"{entry['t_min']:.3f}", f"{entry['t_max']:.3f}",
+             entry["sha256"][:12])
+            for entry in reader.chunks
+        ]
+        print()
+        print(format_table("chunks", rows,
+                           headers=("file", "rows", "t_min", "t_max", "sha256")))
+    if args.verify:
+        bad = reader.verify()
+        if bad:
+            print(f"CORRUPT: {len(bad)} file(s) fail verification: "
+                  f"{', '.join(bad)}", file=sys.stderr)
+            return 1
+        print(f"  verified: all {reader.num_chunks} chunk hash(es) match")
+    return 0
+
+
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    from .core.flows import DEFAULT_INACTIVITY_TIMEOUT
+    from .telemetry import Telemetry
+    from .trace import analyze_trace, check_against_inmemory
+
+    timeout = (
+        args.timeout if args.timeout is not None else DEFAULT_INACTIVITY_TIMEOUT
+    )
+    tele = Telemetry()
+    analysis = analyze_trace(
+        args.trace,
+        jobs=args.jobs,
+        window=args.window,
+        inactivity_timeout=timeout,
+        threshold=args.threshold,
+        telemetry=tele,
+    )
+    print(f"analyzed {analysis.rows} events in {analysis.chunks} chunk(s) "
+          f"with {analysis.jobs} job(s)")
+    for key, value in analysis.summary().items():
+        if isinstance(value, float):
+            print(f"  {key}: {value:.6g}")
+        else:
+            print(f"  {key}: {value}")
+    stats = analysis.flow_stats
+    if stats.get("flows"):
+        print(f"  median flow bytes: "
+              f"{format_bytes(stats['median_bytes'])} "
+              f"(max {format_bytes(stats['max_bytes'])})")
+        print(f"  median flow duration: {stats['median_durations']:.3g}s "
+              f"(max {stats['max_duration']:.3g}s)")
+    if args.check:
+        checks = check_against_inmemory(
+            args.trace, window=args.window,
+            inactivity_timeout=timeout, threshold=args.threshold,
+        )
+        for name, passed in checks.items():
+            print(f"  check {name}: {'OK' if passed else 'MISMATCH'}")
+        if not checks["all_equal"]:
+            return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .experiments import format_table
     from .experiments.cache import DatasetDiskCache
@@ -391,7 +617,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             entry.get("fingerprint", "?")[:12],
             str(entry.get("seed", "?")),
             f"{entry.get('duration', 0.0):.0f}s",
-            format_bytes(entry.get("size_bytes", 0)),
+            format_bytes_binary(entry.get("size_bytes", 0)),
             entry.get("content_hash", "?")[:12],
         )
         for entry in entries
@@ -411,6 +637,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "ablations": _cmd_ablations,
         "campaign": _cmd_campaign,
+        "trace": _cmd_trace,
         "cache": _cmd_cache,
         "telemetry-report": _cmd_telemetry_report,
     }

@@ -29,6 +29,7 @@ __all__ = [
     "hot_matrix",
     "find_episodes",
     "congestion_summary",
+    "summarize_episodes",
     "simultaneous_hot_links",
     "VictimFlowComparison",
     "victim_flow_comparison",
@@ -125,7 +126,18 @@ def congestion_summary(
     """
     hot = hot_matrix(utilization, threshold)
     episodes = find_episodes(hot, bin_width=bin_width, link_ids=link_ids)
-    num_links = hot.shape[0]
+    return summarize_episodes(episodes, hot.shape[0])
+
+
+def summarize_episodes(
+    episodes: list[CongestionEpisode], num_links: int
+) -> CongestionSummary:
+    """Fold an episode list into the Fig 5/6 headline statistics.
+
+    Shared by :func:`congestion_summary` and the streaming accumulator
+    (:class:`~repro.core.streaming.StreamingCongestion`), so both paths
+    compute the summary fields identically.
+    """
     longest_by_link: dict[int, float] = {}
     for episode in episodes:
         longest_by_link[episode.link_id] = max(

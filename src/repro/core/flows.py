@@ -112,22 +112,31 @@ def _tuple_ids(log: SocketEventLog) -> np.ndarray:
 
 
 def reconstruct_flows(
-    log: SocketEventLog,
+    log,
     inactivity_timeout: float = DEFAULT_INACTIVITY_TIMEOUT,
 ) -> FlowTable:
     """Rebuild flows from a finalized socket event log.
+
+    ``log`` is a finalized :class:`SocketEventLog`, a trace path, or a
+    :class:`~repro.trace.reader.TraceReader` (trace sources are loaded in
+    full; use :class:`~repro.core.streaming.StreamingFlows` for
+    constant-memory reconstruction).
 
     Events of each five-tuple are ordered in time; a silence longer than
     ``inactivity_timeout`` ends the current flow and begins a new one.
     """
     if inactivity_timeout <= 0:
         raise ValueError("inactivity_timeout must be positive")
+    if not isinstance(log, SocketEventLog):
+        from ..trace.reader import as_event_log  # lazy: core must not need trace
+
+        log = as_event_log(log)
     if len(log) == 0:
         empty_f = np.empty(0, dtype=float)
         empty_i = np.empty(0, dtype=np.int64)
         return FlowTable(
             src=empty_i, src_port=empty_i.copy(), dst=empty_i.copy(),
-            dst_port=empty_i.copy(), protocol=empty_i.copy(),
+            dst_port=empty_i.copy(), protocol=np.empty(0, dtype=np.int16),
             start_time=empty_f, end_time=empty_f.copy(),
             num_bytes=empty_f.copy(), num_events=empty_i.copy(),
             job_id=empty_i.copy(), phase_index=empty_i.copy(),

@@ -1,0 +1,653 @@
+"""Streaming, mergeable counterparts of the core analyses.
+
+The paper's pipeline digested two months of socket logs that could never
+fit in memory; this module gives the reproduction the same property.
+Each accumulator consumes a chunked trace one piece at a time under a
+small protocol:
+
+* ``update(chunk)`` — fold in the next *time-contiguous* chunk;
+* ``merge(other)`` — absorb an accumulator that processed the chunks
+  immediately following this one's (fan-out across processes, then a
+  left-to-right merge);
+* ``finalize()`` — produce the same result object as the in-memory
+  analysis.
+
+Exactness, not approximation
+----------------------------
+The accumulators are engineered so that streaming — sequential or
+parallel — reproduces the in-memory results *bit for bit*, which is what
+lets the test suite assert exact array equality instead of tolerances:
+
+* **Traffic matrix** — the in-memory path accumulates with a single
+  ``np.add.at``, which applies additions in event order.  Per-chunk
+  ``np.add.at`` calls compose to the same per-cell addition order,
+  except in the one time window a chunk boundary can split.  Each
+  accumulator therefore keeps its *first* populated window's events raw
+  (unaggregated) until merge/finalize, so no cell sum is ever started
+  from zero twice.
+* **Flows** — per-flow byte totals come from ``np.add.reduceat`` over
+  the flow's complete event-byte segment on both paths (the reduction
+  depends only on the segment's contents), so chunked reconstruction
+  cannot drift.  Open flows and each accumulator's first flow per tuple
+  stay raw so merges can re-join flows split at chunk boundaries, and
+  the send-side-preference rule — a global property of the log — is
+  resolved at finalize from per-direction sub-accumulators.
+* **Congestion** — hot runs are tracked as absolute integer bin indices
+  and stitched across boundaries; times and durations are produced by
+  the same ``int * bin_width`` multiplications as
+  :func:`~repro.core.congestion.find_episodes`.
+
+:class:`FlowStatsSketch` aggregates integer histograms, exact under any
+merge order by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.topology import ClusterTopology
+from ..instrumentation.events import DIRECTION_SEND, SocketEventLog
+from .congestion import (
+    DEFAULT_THRESHOLD,
+    CongestionSummary,
+    hot_matrix,
+    summarize_episodes,
+)
+from .congestion import CongestionEpisode
+from .flows import DEFAULT_INACTIVITY_TIMEOUT, FlowTable
+from .traffic_matrix import (
+    TrafficMatrixSeries,
+    _endpoint_index,
+    _event_contributions,
+    _resolve_event_log,
+)
+
+__all__ = [
+    "StreamingTrafficMatrix",
+    "StreamingFlows",
+    "StreamingCongestion",
+    "FlowStatsSketch",
+]
+
+
+# --------------------------------------------------------------------- TM
+
+
+class StreamingTrafficMatrix:
+    """Chunk-at-a-time accumulation of :func:`tm_series_from_events`.
+
+    Feed time-contiguous chunks through :meth:`update`; :meth:`merge`
+    combines with an accumulator covering the immediately following
+    chunk range.  ``finalize()`` returns a
+    :class:`~repro.core.traffic_matrix.TrafficMatrixSeries` exactly equal
+    to the in-memory one.
+    """
+
+    def __init__(
+        self, topology: ClusterTopology, window: float, duration: float
+    ) -> None:
+        if window <= 0 or duration <= 0:
+            raise ValueError("window and duration must be positive")
+        self.topology = topology
+        self.window = window
+        self.duration = duration
+        self._index, self._endpoints = _endpoint_index(topology)
+        self.num_windows = int(np.ceil(duration / window))
+        n = self._endpoints.size
+        self._matrices = np.zeros((self.num_windows, n, n))
+        #: First populated window: its events stay raw until finalize so
+        #: a merge never restarts a cell sum mid-window (see module doc).
+        self._head_window: int | None = None
+        self._head_parts: list[tuple[np.ndarray, ...]] = []
+        self.rows_processed = 0
+
+    def update(self, chunk) -> "StreamingTrafficMatrix":
+        """Fold in the next time-contiguous chunk of events."""
+        log = _resolve_event_log(chunk)
+        if len(log) == 0:
+            return self
+        self.rows_processed += len(log)
+        window_ids, rows, cols, num_bytes = _event_contributions(
+            log, self.topology, self._index, self.window, self.num_windows
+        )
+        if window_ids.size == 0:
+            return self
+        if self._head_window is None:
+            self._head_window = int(window_ids[0])
+        # Chunks are time-sorted, so head-window events form a prefix.
+        head = window_ids == self._head_window
+        if head.any():
+            self._head_parts.append(
+                (window_ids[head], rows[head], cols[head], num_bytes[head])
+            )
+        rest = ~head
+        if rest.any():
+            np.add.at(
+                self._matrices,
+                (window_ids[rest], rows[rest], cols[rest]),
+                num_bytes[rest],
+            )
+        return self
+
+    def merge(self, other: "StreamingTrafficMatrix") -> "StreamingTrafficMatrix":
+        """Absorb an accumulator covering the following chunk range."""
+        if (
+            self.window != other.window
+            or self.num_windows != other.num_windows
+            or not np.array_equal(self._endpoints, other._endpoints)
+        ):
+            raise ValueError("cannot merge traffic matrices with different shapes")
+        self.rows_processed += other.rows_processed
+        if other._head_window is None:
+            return self
+        if self._head_window is None:
+            self._matrices += other._matrices
+            self._head_window = other._head_window
+            self._head_parts = list(other._head_parts)
+            return self
+        # ``other`` covers strictly later events: its flushed windows are
+        # disjoint from ours, so element-wise addition is exact (x + 0).
+        self._matrices += other._matrices
+        if other._head_window == self._head_window:
+            self._head_parts.extend(other._head_parts)
+        else:
+            for window_ids, rows, cols, num_bytes in other._head_parts:
+                np.add.at(self._matrices, (window_ids, rows, cols), num_bytes)
+        return self
+
+    def finalize(self) -> TrafficMatrixSeries:
+        """The completed series; the accumulator must not be reused."""
+        for window_ids, rows, cols, num_bytes in self._head_parts:
+            np.add.at(self._matrices, (window_ids, rows, cols), num_bytes)
+        self._head_parts = []
+        self._head_window = None
+        return TrafficMatrixSeries(self._matrices, self.window, self._endpoints)
+
+
+# ------------------------------------------------------------------- flows
+
+
+class _FlowState:
+    """One (possibly still open) flow of a single five-tuple stream."""
+
+    __slots__ = (
+        "start", "end", "events", "job_id", "phase_index", "parts", "closed_bytes",
+    )
+
+    def __init__(
+        self,
+        start: float,
+        end: float,
+        events: int,
+        job_id: int,
+        phase_index: int,
+        parts: list,
+    ) -> None:
+        self.start = start
+        self.end = end
+        self.events = events
+        self.job_id = job_id
+        self.phase_index = phase_index
+        #: Raw per-event byte arrays while the flow may still grow.
+        self.parts = parts
+        self.closed_bytes: float | None = None
+
+    def collapse(self) -> None:
+        """Reduce the raw byte segment to its total (flow can no longer grow)."""
+        if self.parts is not None:
+            self.closed_bytes = _segment_sum(self.parts)
+            self.parts = None
+
+    def byte_total(self) -> float:
+        """Total bytes, via the same reduction the in-memory path uses."""
+        if self.parts is not None:
+            return _segment_sum(self.parts)
+        return self.closed_bytes
+
+
+def _segment_sum(parts: list) -> float:
+    """``np.add.reduceat`` over the flow's full event-byte segment.
+
+    ``np.add.reduceat(big, starts)`` reduces each segment from its own
+    contents alone, so reducing the concatenated segment standalone gives
+    the identical float — this is what makes streamed byte totals equal
+    the in-memory ones exactly (plain ``sum``/``np.sum`` would not).
+    """
+    segment = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return float(np.add.reduceat(segment, [0])[0])
+
+
+class _TupleStream:
+    """Ordered flows of one five-tuple, one direction.
+
+    ``flows[0]`` (the accumulator's first flow for this tuple) and
+    ``flows[-1]`` (the still-open flow) keep raw byte parts; interior
+    flows are collapsed to totals as soon as a later flow begins.
+    """
+
+    __slots__ = ("flows",)
+
+    def __init__(self) -> None:
+        self.flows: list[_FlowState] = []
+
+    def _append(self, flow: _FlowState) -> None:
+        if len(self.flows) >= 2:
+            self.flows[-1].collapse()
+        self.flows.append(flow)
+
+    def add_segment(
+        self,
+        times: np.ndarray,
+        num_bytes: np.ndarray,
+        job_ids: np.ndarray,
+        phases: np.ndarray,
+        timeout: float,
+    ) -> None:
+        """Fold in this tuple's kept events from one chunk (time order)."""
+        breaks = np.flatnonzero(np.diff(times) > timeout) + 1
+        bounds = np.concatenate(([0], breaks, [times.size]))
+        joins_open = (
+            bool(self.flows) and float(times[0]) - self.flows[-1].end <= timeout
+        )
+        for k in range(bounds.size - 1):
+            s, e = int(bounds[k]), int(bounds[k + 1])
+            if k == 0 and joins_open:
+                open_flow = self.flows[-1]
+                open_flow.parts.append(num_bytes[s:e].copy())
+                open_flow.end = float(times[e - 1])
+                open_flow.events += e - s
+            else:
+                self._append(
+                    _FlowState(
+                        start=float(times[s]),
+                        end=float(times[e - 1]),
+                        events=e - s,
+                        job_id=int(job_ids[s]),
+                        phase_index=int(phases[s]),
+                        parts=[num_bytes[s:e].copy()],
+                    )
+                )
+
+    def merge(self, other: "_TupleStream", timeout: float) -> None:
+        """Absorb the stream covering the following chunk range."""
+        if not other.flows:
+            return
+        if not self.flows:
+            self.flows = other.flows
+            return
+        first = other.flows[0]  # raw by construction (other's head flow)
+        open_flow = self.flows[-1]  # raw (our open flow)
+        rest = other.flows
+        if first.start - open_flow.end <= timeout:
+            open_flow.parts.extend(first.parts)
+            open_flow.end = first.end
+            open_flow.events += first.events
+            rest = other.flows[1:]
+        for flow in rest:
+            self._append(flow)
+
+
+class _TupleEntry:
+    """Both direction streams of one five-tuple."""
+
+    __slots__ = ("send", "recv")
+
+    def __init__(self) -> None:
+        self.send = _TupleStream()
+        self.recv = _TupleStream()
+
+
+class StreamingFlows:
+    """Chunk-at-a-time flow reconstruction (see :func:`reconstruct_flows`).
+
+    The send-side-preference rule — receive events count only for tuples
+    with *no* send events anywhere in the log — is global, so both
+    direction streams accumulate independently and finalize picks the
+    winner per tuple.
+    """
+
+    def __init__(
+        self, inactivity_timeout: float = DEFAULT_INACTIVITY_TIMEOUT
+    ) -> None:
+        if inactivity_timeout <= 0:
+            raise ValueError("inactivity_timeout must be positive")
+        self.inactivity_timeout = inactivity_timeout
+        self._tuples: dict[tuple, _TupleEntry] = {}
+        self.rows_processed = 0
+
+    def update(self, chunk) -> "StreamingFlows":
+        """Fold in the next time-contiguous chunk of events."""
+        log = _resolve_event_log(chunk)
+        if len(log) == 0:
+            return self
+        self.rows_processed += len(log)
+        src = log.column("src")
+        src_port = log.column("src_port")
+        dst = log.column("dst")
+        dst_port = log.column("dst_port")
+        protocol = log.column("protocol")
+        # Group by five-tuple; lexsort is stable, so each tuple's events
+        # keep their time order (ties included).
+        order = np.lexsort((protocol, dst_port, dst, src_port, src))
+        src, src_port = src[order], src_port[order]
+        dst, dst_port = dst[order], dst_port[order]
+        protocol = protocol[order]
+        times = log.column("timestamp")[order]
+        num_bytes = log.column("num_bytes")[order]
+        direction = log.column("direction")[order]
+        job_ids = log.column("job_id")[order]
+        phases = log.column("phase_index")[order]
+
+        change = (
+            (src[1:] != src[:-1])
+            | (src_port[1:] != src_port[:-1])
+            | (dst[1:] != dst[:-1])
+            | (dst_port[1:] != dst_port[:-1])
+            | (protocol[1:] != protocol[:-1])
+        )
+        bounds = np.concatenate(
+            ([0], np.flatnonzero(change) + 1, [src.size])
+        )
+        timeout = self.inactivity_timeout
+        for k in range(bounds.size - 1):
+            s, e = int(bounds[k]), int(bounds[k + 1])
+            key = (
+                int(src[s]), int(src_port[s]),
+                int(dst[s]), int(dst_port[s]), int(protocol[s]),
+            )
+            entry = self._tuples.get(key)
+            if entry is None:
+                entry = self._tuples[key] = _TupleEntry()
+            sends = direction[s:e] == DIRECTION_SEND
+            for stream, mask in ((entry.send, sends), (entry.recv, ~sends)):
+                if mask.any():
+                    idx = np.flatnonzero(mask) + s
+                    stream.add_segment(
+                        times[idx], num_bytes[idx], job_ids[idx], phases[idx],
+                        timeout,
+                    )
+        return self
+
+    def merge(self, other: "StreamingFlows") -> "StreamingFlows":
+        """Absorb an accumulator covering the following chunk range."""
+        if self.inactivity_timeout != other.inactivity_timeout:
+            raise ValueError("cannot merge flows with different timeouts")
+        self.rows_processed += other.rows_processed
+        timeout = self.inactivity_timeout
+        for key, other_entry in other._tuples.items():
+            entry = self._tuples.get(key)
+            if entry is None:
+                self._tuples[key] = other_entry
+            else:
+                entry.send.merge(other_entry.send, timeout)
+                entry.recv.merge(other_entry.recv, timeout)
+        return self
+
+    def finalize(self) -> FlowTable:
+        """The completed flow table; the accumulator must not be reused."""
+        src, src_port, dst, dst_port, protocol = [], [], [], [], []
+        start, end, num_bytes, num_events, job_id, phase = [], [], [], [], [], []
+        # Tuple-lexicographic order matches np.unique's row ordering in
+        # the in-memory path; flows within a tuple are in time order.
+        for key in sorted(self._tuples):
+            entry = self._tuples[key]
+            stream = entry.send if entry.send.flows else entry.recv
+            for flow in stream.flows:
+                src.append(key[0])
+                src_port.append(key[1])
+                dst.append(key[2])
+                dst_port.append(key[3])
+                protocol.append(key[4])
+                start.append(flow.start)
+                end.append(flow.end)
+                num_bytes.append(flow.byte_total())
+                num_events.append(flow.events)
+                job_id.append(flow.job_id)
+                phase.append(flow.phase_index)
+        return FlowTable(
+            src=np.array(src, dtype=np.int64),
+            src_port=np.array(src_port, dtype=np.int64),
+            dst=np.array(dst, dtype=np.int64),
+            dst_port=np.array(dst_port, dtype=np.int64),
+            protocol=np.array(protocol, dtype=np.int16),
+            start_time=np.array(start, dtype=float),
+            end_time=np.array(end, dtype=float),
+            num_bytes=np.array(num_bytes, dtype=float),
+            num_events=np.array(num_events, dtype=np.int64),
+            job_id=np.array(job_id, dtype=np.int64),
+            phase_index=np.array(phase, dtype=np.int64),
+        )
+
+
+# -------------------------------------------------------------- congestion
+
+
+class StreamingCongestion:
+    """Chunk-at-a-time congestion episodes over utilisation bin columns.
+
+    ``update`` takes a ``(num_links, bins)`` slab of consecutive
+    utilisation bins; runs of hot bins are tracked as absolute integer
+    bin indices and stitched across slab (and merge) boundaries, so
+    ``finalize()`` equals :func:`~repro.core.congestion.congestion_summary`
+    on the full matrix exactly.
+    """
+
+    def __init__(
+        self,
+        num_links: int,
+        threshold: float = DEFAULT_THRESHOLD,
+        bin_width: float = 1.0,
+        link_ids: np.ndarray | None = None,
+    ) -> None:
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must lie in (0, 1]")
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.num_links = num_links
+        self.threshold = threshold
+        self.bin_width = bin_width
+        ids = link_ids if link_ids is not None else np.arange(num_links)
+        self.link_ids = np.asarray(ids)
+        #: Per link: half-open ``[start, end)`` runs in absolute bins.
+        self._runs: list[list[list[int]]] = [[] for _ in range(num_links)]
+        self._first_bin: int | None = None
+        self._next_bin: int | None = None
+
+    def update(self, utilization: np.ndarray, start_bin: int | None = None):
+        """Fold in the next consecutive block of utilisation bins."""
+        util = np.asarray(utilization, dtype=float)
+        if util.ndim != 2 or util.shape[0] != self.num_links:
+            raise ValueError(
+                f"expected a ({self.num_links}, bins) matrix, got {util.shape}"
+            )
+        if start_bin is None:
+            start_bin = self._next_bin if self._next_bin is not None else 0
+        if self._next_bin is not None and start_bin != self._next_bin:
+            raise ValueError(
+                f"non-contiguous update: expected bin {self._next_bin}, "
+                f"got {start_bin}"
+            )
+        if self._next_bin is None:
+            self._first_bin = start_bin
+        hot = hot_matrix(util, self.threshold)
+        for row in range(self.num_links):
+            series = hot[row]
+            if not series.any():
+                continue
+            padded = np.concatenate(([False], series, [False]))
+            changes = np.diff(padded.astype(np.int8))
+            starts = np.flatnonzero(changes == 1) + start_bin
+            ends = np.flatnonzero(changes == -1) + start_bin
+            runs = self._runs[row]
+            for s, e in zip(starts, ends):
+                if runs and runs[-1][1] == s:
+                    runs[-1][1] = int(e)  # hot across the slab boundary
+                else:
+                    runs.append([int(s), int(e)])
+        self._next_bin = start_bin + util.shape[1]
+        return self
+
+    def merge(self, other: "StreamingCongestion") -> "StreamingCongestion":
+        """Absorb an accumulator covering the following bin range."""
+        if (
+            self.num_links != other.num_links
+            or self.threshold != other.threshold
+            or self.bin_width != other.bin_width
+            or not np.array_equal(self.link_ids, other.link_ids)
+        ):
+            raise ValueError("cannot merge congestion trackers with different setups")
+        if other._next_bin is None:
+            return self
+        if self._next_bin is None:
+            self._runs = other._runs
+            self._first_bin = other._first_bin
+            self._next_bin = other._next_bin
+            return self
+        if other._first_bin != self._next_bin:
+            raise ValueError(
+                f"non-contiguous merge: expected bin {self._next_bin}, "
+                f"got {other._first_bin}"
+            )
+        for row in range(self.num_links):
+            theirs = other._runs[row]
+            if not theirs:
+                continue
+            runs = self._runs[row]
+            if runs and runs[-1][1] == theirs[0][0]:
+                runs[-1][1] = theirs[0][1]
+                theirs = theirs[1:]
+            runs.extend(theirs)
+        self._next_bin = other._next_bin
+        return self
+
+    def finalize(self) -> CongestionSummary:
+        """The Fig 5/6 summary; equals the in-memory one exactly."""
+        episodes = [
+            CongestionEpisode(
+                link_id=int(self.link_ids[row]),
+                start=s * self.bin_width,
+                duration=(e - s) * self.bin_width,
+            )
+            for row in range(self.num_links)
+            for s, e in self._runs[row]
+        ]
+        return summarize_episodes(episodes, self.num_links)
+
+
+# ----------------------------------------------------------------- sketch
+
+
+class FlowStatsSketch:
+    """Mergeable histograms of flow sizes, durations and event counts.
+
+    Counts are integers over fixed log-spaced bin edges, so any update
+    and merge order yields identical histograms; ``total_bytes`` is a
+    float running sum and therefore exact only up to addition order.
+    """
+
+    def __init__(
+        self,
+        byte_edges: np.ndarray | None = None,
+        duration_edges: np.ndarray | None = None,
+        event_edges: np.ndarray | None = None,
+    ) -> None:
+        #: Four bins per decade from 1 B to 1 TB.
+        self.byte_edges = (
+            np.asarray(byte_edges, dtype=float)
+            if byte_edges is not None
+            else np.logspace(0, 12, 49)
+        )
+        #: Four bins per decade from 1 ms to ~28 h.
+        self.duration_edges = (
+            np.asarray(duration_edges, dtype=float)
+            if duration_edges is not None
+            else np.logspace(-3, 5, 33)
+        )
+        self.event_edges = (
+            np.asarray(event_edges, dtype=float)
+            if event_edges is not None
+            else np.logspace(0, 6, 25)
+        )
+        self.byte_counts = np.zeros(self.byte_edges.size + 1, dtype=np.int64)
+        self.duration_counts = np.zeros(
+            self.duration_edges.size + 1, dtype=np.int64
+        )
+        self.event_counts = np.zeros(self.event_edges.size + 1, dtype=np.int64)
+        self.flows = 0
+        self.total_bytes = 0.0
+        self.max_bytes = 0.0
+        self.max_duration = 0.0
+
+    def _dimensions(self):
+        return (
+            ("bytes", self.byte_edges, self.byte_counts),
+            ("durations", self.duration_edges, self.duration_counts),
+            ("events", self.event_edges, self.event_counts),
+        )
+
+    def update(self, flows: FlowTable) -> "FlowStatsSketch":
+        """Fold in a table of reconstructed flows."""
+        if len(flows) == 0:
+            return self
+        self.flows += len(flows)
+        self.total_bytes += float(flows.num_bytes.sum())
+        self.max_bytes = max(self.max_bytes, float(flows.num_bytes.max()))
+        durations = flows.durations
+        self.max_duration = max(self.max_duration, float(durations.max()))
+        for values, edges, counts in (
+            (flows.num_bytes, self.byte_edges, self.byte_counts),
+            (durations, self.duration_edges, self.duration_counts),
+            (flows.num_events, self.event_edges, self.event_counts),
+        ):
+            bins = np.searchsorted(edges, values, side="right")
+            counts += np.bincount(bins, minlength=counts.size)
+        return self
+
+    def merge(self, other: "FlowStatsSketch") -> "FlowStatsSketch":
+        """Add another sketch's counts (bin edges must match)."""
+        for (name, edges, counts), (_, other_edges, other_counts) in zip(
+            self._dimensions(), other._dimensions()
+        ):
+            if not np.array_equal(edges, other_edges):
+                raise ValueError(f"cannot merge sketches: {name} edges differ")
+            counts += other_counts
+        self.flows += other.flows
+        self.total_bytes += other.total_bytes
+        self.max_bytes = max(self.max_bytes, other.max_bytes)
+        self.max_duration = max(self.max_duration, other.max_duration)
+        return self
+
+    def approx_quantile(self, dimension: str, q: float) -> float:
+        """Upper bin edge at quantile ``q`` for one dimension.
+
+        Accurate to one log-spaced bin — the resolution the paper's
+        distribution figures need.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must lie in [0, 1]")
+        for name, edges, counts in self._dimensions():
+            if name == dimension:
+                break
+        else:
+            raise KeyError(f"unknown dimension {dimension!r}")
+        total = int(counts.sum())
+        if total == 0:
+            return float("nan")
+        cumulative = np.cumsum(counts)
+        bin_index = int(np.searchsorted(cumulative, q * total))
+        return float(edges[min(bin_index, edges.size - 1)])
+
+    def finalize(self) -> dict:
+        """Histogram arrays plus headline scalars, JSON-friendly."""
+        out: dict = {
+            "flows": self.flows,
+            "total_bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "max_duration": self.max_duration,
+        }
+        for name, edges, counts in self._dimensions():
+            out[name] = {"edges": edges.tolist(), "counts": counts.tolist()}
+        if self.flows:
+            for name in ("bytes", "durations", "events"):
+                out[f"median_{name}"] = self.approx_quantile(name, 0.5)
+        return out

@@ -102,29 +102,21 @@ def _endpoint_index(topology: ClusterTopology) -> tuple[np.ndarray, np.ndarray]:
     return index, endpoints
 
 
-def tm_series_from_events(
+def _event_contributions(
     log: SocketEventLog,
     topology: ClusterTopology,
+    index: np.ndarray,
     window: float,
-    duration: float,
-) -> TrafficMatrixSeries:
-    """Server-level TM series from socket events.
+    num_windows: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-event TM contributions ``(window_ids, rows, cols, bytes)``.
 
-    Send-side events are used where available; tuples seen only on the
-    receive side (external senders) contribute through their receive
-    events.  Event timestamps carry per-server clock skew, so a window
-    boundary may misattribute a skew's worth of bytes — the same error a
-    real campaign accepts (§3).
+    Event order is preserved, so a single ``np.add.at`` over these arrays
+    reproduces the in-memory accumulation exactly; the streaming TM
+    accumulator reuses this per chunk.  The keep rule is a per-event
+    property (send side, or receive side of an external sender), so
+    chunk-local evaluation matches the global one.
     """
-    if window <= 0 or duration <= 0:
-        raise ValueError("window and duration must be positive")
-    index, endpoints = _endpoint_index(topology)
-    num_windows = int(np.ceil(duration / window))
-    n = endpoints.size
-    matrices = np.zeros((num_windows, n, n))
-    if len(log) == 0:
-        return TrafficMatrixSeries(matrices, window, endpoints)
-
     direction = log.column("direction")
     src = log.column("src")
     # Prefer send side; external sources are only visible at receivers.
@@ -139,8 +131,51 @@ def tm_series_from_events(
     rows = index[src[keep]]
     cols = index[log.column("dst")[keep]]
     window_ids = np.clip((times / window).astype(int), 0, num_windows - 1)
-    np.add.at(matrices, (window_ids, rows, cols), log.column("num_bytes")[keep])
+    return window_ids, rows, cols, log.column("num_bytes")[keep]
+
+
+def tm_series_from_events(
+    log,
+    topology: ClusterTopology,
+    window: float,
+    duration: float,
+) -> TrafficMatrixSeries:
+    """Server-level TM series from socket events.
+
+    ``log`` is a finalized :class:`SocketEventLog`, a trace path, or a
+    :class:`~repro.trace.reader.TraceReader` (trace sources are loaded in
+    full; use :class:`~repro.core.streaming.StreamingTrafficMatrix` for
+    constant-memory accumulation).
+
+    Send-side events are used where available; tuples seen only on the
+    receive side (external senders) contribute through their receive
+    events.  Event timestamps carry per-server clock skew, so a window
+    boundary may misattribute a skew's worth of bytes — the same error a
+    real campaign accepts (§3).
+    """
+    if window <= 0 or duration <= 0:
+        raise ValueError("window and duration must be positive")
+    log = _resolve_event_log(log)
+    index, endpoints = _endpoint_index(topology)
+    num_windows = int(np.ceil(duration / window))
+    n = endpoints.size
+    matrices = np.zeros((num_windows, n, n))
+    if len(log) == 0:
+        return TrafficMatrixSeries(matrices, window, endpoints)
+    window_ids, rows, cols, num_bytes = _event_contributions(
+        log, topology, index, window, num_windows
+    )
+    np.add.at(matrices, (window_ids, rows, cols), num_bytes)
     return TrafficMatrixSeries(matrices, window, endpoints)
+
+
+def _resolve_event_log(log) -> SocketEventLog:
+    """Accept a finalized log, a trace path, or a trace reader."""
+    if isinstance(log, SocketEventLog):
+        return log
+    from ..trace.reader import as_event_log  # lazy: core must not need trace
+
+    return as_event_log(log)
 
 
 def tm_series_from_transfers(

@@ -47,6 +47,7 @@ from .common import (
     build_dataset,
     clear_dataset_cache,
     dataset_cache_stats,
+    dataset_from_trace,
     set_dataset_cache_limit,
     small_config,
     standard_config,
@@ -63,6 +64,7 @@ from .reporting import Row, format_table
 __all__ = [
     "ExperimentDataset",
     "build_dataset",
+    "dataset_from_trace",
     "clear_dataset_cache",
     "set_dataset_cache_limit",
     "dataset_cache_stats",

@@ -37,6 +37,7 @@ __all__ = [
     "standard_config",
     "small_config",
     "build_dataset",
+    "dataset_from_trace",
     "clear_dataset_cache",
     "set_dataset_cache_limit",
     "dataset_cache_stats",
@@ -261,6 +262,74 @@ def build_dataset(
             disk.store(key, dataset)
     _cache_insert(key, dataset, evictions)
     return dataset
+
+
+def dataset_from_trace(
+    path,
+    telemetry: Telemetry | None = None,
+    jobs: int = 1,
+) -> ExperimentDataset:
+    """Build an :class:`ExperimentDataset` from a recorded trace.
+
+    The flows, TM series and utilisation come from one streaming pass
+    (:func:`~repro.trace.analyze.analyze_trace`; ``jobs > 1`` fans the
+    chunks across processes), so they equal what :func:`build_dataset`
+    computes for the same campaign — without ever materialising the
+    event log.  The embedded :class:`SimulationResult` is a shell: the
+    socket log is empty (it lives on disk), the transfer list and
+    application log were not persisted, and the workload config carries
+    only the recorded ``day_length`` — the manifest's
+    ``config_fingerprint`` is the full-config provenance.
+    """
+    from ..cluster.routing import Router
+    from ..cluster.topology import ClusterTopology
+    from ..instrumentation.applog import ApplicationLog
+    from ..instrumentation.events import SocketEventLog
+    from ..trace.analyze import analyze_trace
+    from ..trace.reader import TraceReader
+
+    tele = telemetry or NULL_TELEMETRY
+    reader = TraceReader(path)
+    meta = reader.meta
+    spec = ClusterSpec(**meta["cluster_spec"])
+    topology = ClusterTopology(spec)
+    duration = float(meta.get("duration", reader.time_span()[1]))
+    config = SimulationConfig(
+        cluster=spec,
+        workload=WorkloadConfig(day_length=float(meta.get("day_length", 300.0))),
+        duration=duration,
+        seed=int(meta.get("seed", 0)),
+    )
+    with tele.span("dataset_from_trace", path=str(path), rows=reader.total_rows):
+        analysis = analyze_trace(path, jobs=jobs, window=10.0, telemetry=telemetry)
+        loads = reader.linkloads()
+        if loads is None:
+            raise ValueError(f"trace has no recorded link loads: {path}")
+        utilization = loads.utilization_matrix()
+    empty_log = SocketEventLog()
+    empty_log.finalize()
+    result = SimulationResult(
+        config=config,
+        topology=topology,
+        router=Router(topology),
+        socket_log=empty_log,
+        applog=ApplicationLog(),
+        link_loads=loads,
+        transfers=[],
+        jobs={},
+        duration=duration,
+        stats={"socket_events": float(reader.total_rows)},
+    )
+    return ExperimentDataset(
+        config=config,
+        result=result,
+        flows=analysis.flows,
+        tm10=analysis.tm,
+        utilization=utilization,
+        observed_links=np.asarray(loads.observed_links, dtype=int),
+        bisection=bisection_bandwidth(topology),
+        extras={"trace_path": str(path), "flow_stats": analysis.flow_stats},
+    )
 
 
 def _cache_insert(key: str, dataset: ExperimentDataset, eviction_counter) -> None:

@@ -71,6 +71,37 @@ class SocketEventLog:
         self._buffers: dict[str, list] = {name: [] for name, _ in self._COLUMNS}
         self._arrays: dict[str, np.ndarray] | None = None
 
+    @classmethod
+    def column_spec(cls) -> tuple[tuple[str, type], ...]:
+        """The ``(name, dtype)`` schema, in canonical column order."""
+        return cls._COLUMNS
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, np.ndarray]) -> "SocketEventLog":
+        """Build a finalized log from a full set of column arrays.
+
+        The inverse of :meth:`to_columns`; the trace reader uses it to
+        rehydrate chunks.  Columns are coerced to the canonical dtypes
+        and the result is time-sorted (stable), so already-sorted input
+        round-trips unchanged.
+        """
+        names = {name for name, _ in cls._COLUMNS}
+        if set(columns) != names:
+            missing = sorted(names - set(columns))
+            extra = sorted(set(columns) - names)
+            raise ValueError(f"column mismatch: missing {missing}, extra {extra}")
+        arrays = {
+            name: np.asarray(columns[name], dtype=dtype)
+            for name, dtype in cls._COLUMNS
+        }
+        sizes = {column.size for column in arrays.values()}
+        if len(sizes) > 1:
+            raise ValueError(f"columns have unequal lengths: {sorted(sizes)}")
+        order = np.argsort(arrays["timestamp"], kind="stable")
+        log = cls()
+        log._arrays = {name: column[order] for name, column in arrays.items()}
+        return log
+
     # ------------------------------------------------------------ appending
 
     def append(
@@ -103,6 +134,33 @@ class SocketEventLog:
         buffers["job_id"].append(job_id)
         buffers["phase_index"].append(phase_index)
 
+    def drain_until(self, watermark: float = float("inf")) -> dict[str, np.ndarray]:
+        """Remove and return buffered events with ``timestamp < watermark``.
+
+        The returned columns are time-sorted with the same stable tie
+        ordering :meth:`finalize` would have produced; events at or past
+        the watermark stay buffered in append order.  This is the
+        streaming counterpart of :meth:`finalize`: as long as the caller
+        only drains up to a watermark no future event can precede (see
+        ``Simulator.attach_event_stream``), concatenating the drained
+        batches reproduces the finalized log exactly.
+        """
+        if self._arrays is not None:
+            raise RuntimeError("cannot drain a finalized log")
+        arrays = {
+            name: np.asarray(self._buffers[name], dtype=dtype)
+            for name, dtype in self._COLUMNS
+        }
+        times = arrays["timestamp"]
+        emit = times < watermark
+        order = np.argsort(times[emit], kind="stable")
+        drained = {name: column[emit][order] for name, column in arrays.items()}
+        keep = ~emit
+        self._buffers = {
+            name: column[keep].tolist() for name, column in arrays.items()
+        }
+        return drained
+
     def finalize(self) -> None:
         """Freeze the log: convert to numpy columns sorted by timestamp."""
         if self._arrays is not None:
@@ -131,6 +189,10 @@ class SocketEventLog:
         if self._arrays is not None:
             return int(self._arrays["timestamp"].size)
         return len(self._buffers["timestamp"])
+
+    def to_columns(self) -> dict[str, np.ndarray]:
+        """All columns as a name → array dict (finalized logs only)."""
+        return dict(self._require_finalized())
 
     def column(self, name: str) -> np.ndarray:
         """One full column by name (finalized logs only)."""

@@ -96,6 +96,10 @@ class Simulator:
         self._batch_size_hist = self.telemetry.histogram("engine.batch_size")
         self._events_at_last_batch = 0
         self._wall_start: float | None = None
+        self._event_sink = None
+        self._stream_flush_interval = 0.0
+        self._last_stream_flush = 0.0
+        self.events_streamed = 0
 
     # ------------------------------------------------- SimulationServices
 
@@ -156,6 +160,12 @@ class Simulator:
             self._batch_size_hist.observe(processed - self._events_at_last_batch)
             self._events_at_last_batch = processed
         self._dispatch_completions()
+        if (
+            self._event_sink is not None
+            and self.engine.now - self._last_stream_flush >= self._stream_flush_interval
+        ):
+            self._stream_flush()
+            self._last_stream_flush = self.engine.now
         if not self.transport.rates_dirty:
             return
         now = self.engine.now
@@ -181,6 +191,47 @@ class Simulator:
         next_time = self.transport.next_completion_time()
         if next_time is not None:
             self._completion_event = self.engine.schedule(next_time, lambda: None)
+
+    # ------------------------------------------------------------ streaming
+
+    def attach_event_stream(self, sink, flush_interval: float = 5.0) -> None:
+        """Stream collector events into ``sink`` during the run.
+
+        ``sink`` needs one method, ``append_columns(columns)``, taking a
+        full set of time-sorted event columns (a
+        :class:`~repro.instrumentation.trace writer<repro.trace.writer.TraceWriter>`
+        qualifies).  Roughly every ``flush_interval`` simulated seconds
+        the collector's buffer is drained up to a *safe watermark* — the
+        oldest active transfer's start time minus the maximum clock skew
+        — below which no future completion can emit an event, so the
+        concatenation of flushed batches is exactly the time-sorted log
+        :meth:`~repro.instrumentation.collector.ClusterCollector.finalize`
+        would have produced.
+
+        The flush piggybacks on the engine's batch hook rather than
+        scheduling its own events, so a streamed run is *bit-identical*
+        to an unstreamed one: no extra timestamps ever split the fluid
+        integration intervals.  Call before :meth:`run`.
+        """
+        if flush_interval <= 0:
+            raise ValueError("flush interval must be positive")
+        self._event_sink = sink
+        self._stream_flush_interval = flush_interval
+        self._last_stream_flush = 0.0
+        self.events_streamed = 0
+
+    def _stream_flush(self, final: bool = False) -> None:
+        if final:
+            watermark = float("inf")
+        else:
+            start = self.transport.earliest_active_start()
+            base = self.engine.now if start is None else min(start, self.engine.now)
+            watermark = base - self.collector.config.clock_skew_max
+        batch = self.collector.log.drain_until(watermark)
+        rows = int(batch["timestamp"].size)
+        if rows:
+            self._event_sink.append_columns(batch)
+            self.events_streamed += rows
 
     # ------------------------------------------------------------ telemetry
 
@@ -242,7 +293,11 @@ class Simulator:
             self.link_loads.intervals_integrated
         )
         tele.counter("sim.transfers_completed").inc(len(self.transfers))
-        tele.counter("collector.socket_events").inc(len(socket_log))
+        tele.counter("collector.socket_events").inc(
+            len(socket_log) + self.events_streamed
+        )
+        if self.events_streamed:
+            tele.counter("sim.events_streamed").inc(self.events_streamed)
         tele.counter("workload.transfers_requested").inc(
             self.executor.transfers_requested
         )
@@ -283,6 +338,8 @@ class Simulator:
                 self.transport.advance_to(config.duration)
                 self._dispatch_completions()
             with tele.span("simulate.collector_finalize"):
+                if self._event_sink is not None:
+                    self._stream_flush(final=True)
                 socket_log = self.collector.finalize()
             campaign.set(
                 events_processed=self.engine.events_processed,
@@ -295,7 +352,8 @@ class Simulator:
             "rate_recomputes": float(self.transport.rate_recomputes),
             "transfers_completed": float(len(self.transfers)),
             "transfers_started": float(self.transport.transfers_started),
-            "socket_events": float(len(socket_log)),
+            "socket_events": float(len(socket_log) + self.events_streamed),
+            "socket_events_streamed": float(self.events_streamed),
             "jobs_submitted": float(len(schedule.jobs)),
             "jobs_finished": float(len(self.applog.job_ends)),
             "evacuations": float(len(self.applog.evacuations)),

@@ -348,6 +348,19 @@ class FluidTransport:
 
     # ------------------------------------------------------------- inspection
 
+    def earliest_active_start(self) -> float | None:
+        """Start time of the oldest in-flight flow, or ``None`` if idle.
+
+        The streaming recorder uses this as its emission watermark: the
+        collector timestamps a transfer's events across its lifetime, so
+        no future completion can emit an event before the oldest active
+        flow's start time (minus clock skew).
+        """
+        active_idx = np.flatnonzero(self._active)
+        if active_idx.size == 0:
+            return None
+        return float(self._start_times[active_idx].min())
+
     def utilization_snapshot(self) -> np.ndarray:
         """Instantaneous per-link utilisation under current rates."""
         active_idx = np.flatnonzero(self._active)

@@ -1,0 +1,100 @@
+"""The ``.reprotrace`` on-disk trace format.
+
+A trace is a directory (conventionally named ``*.reprotrace``) holding
+
+* ``events-NNNNN.npz`` — consecutive, time-sorted chunks of socket-event
+  columns (the :class:`~repro.instrumentation.events.SocketEventLog`
+  schema), each at most ``chunk_size`` rows;
+* optionally ``linkloads.npz`` — the campaign's per-link byte matrix
+  (small next to the events, so stored whole);
+* ``manifest.json`` — schema version, column schema, per-chunk row
+  counts, time ranges and content hashes, plus free-form ``meta``
+  provenance (seed, duration, config fingerprint, cluster spec).
+
+Chunk hashes cover the *column contents* (name, dtype, shape, raw
+bytes), not the npz file bytes: zip containers embed timestamps, so
+file-level hashes would never be reproducible.  Two recordings of the
+same seed therefore yield byte-identical manifest hashes — the
+determinism contract ``repro trace record`` is tested against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_SUFFIX",
+    "MANIFEST_NAME",
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_file_name",
+    "content_hash",
+    "write_manifest",
+    "read_manifest",
+    "is_trace_dir",
+]
+
+TRACE_FORMAT = "reprotrace"
+TRACE_SCHEMA_VERSION = 1
+TRACE_SUFFIX = ".reprotrace"
+MANIFEST_NAME = "manifest.json"
+LINKLOADS_NAME = "linkloads.npz"
+
+#: Default rows per chunk: ~6 MB of event columns, small enough that a
+#: streaming pass holds only a sliver of a long campaign in memory.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+def chunk_file_name(index: int) -> str:
+    """Canonical file name of chunk ``index``."""
+    return f"events-{index:05d}.npz"
+
+
+def content_hash(columns: dict[str, np.ndarray], order: list[str]) -> str:
+    """SHA-256 over column contents in schema order (not file bytes)."""
+    digest = hashlib.sha256()
+    for name in order:
+        column = np.ascontiguousarray(columns[name])
+        digest.update(name.encode())
+        digest.update(str(column.dtype).encode())
+        digest.update(str(column.shape).encode())
+        digest.update(column.tobytes())
+    return digest.hexdigest()
+
+
+def write_manifest(trace_dir: pathlib.Path, manifest: dict) -> pathlib.Path:
+    """Write ``manifest.json`` (stable key order, trailing newline)."""
+    path = trace_dir / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(trace_dir: pathlib.Path) -> dict:
+    """Load and validate a trace manifest; raises on wrong format/version."""
+    path = trace_dir / MANIFEST_NAME
+    if not path.is_file():
+        raise FileNotFoundError(f"not a trace directory (no {MANIFEST_NAME}): {trace_dir}")
+    manifest = json.loads(path.read_text())
+    if manifest.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path}: not a {TRACE_FORMAT} manifest")
+    version = manifest.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema version {version} unsupported "
+            f"(this build reads version {TRACE_SCHEMA_VERSION})"
+        )
+    return manifest
+
+
+def is_trace_dir(path: pathlib.Path) -> bool:
+    """True when ``path`` holds a readable trace manifest."""
+    try:
+        read_manifest(pathlib.Path(path))
+    except (FileNotFoundError, ValueError, NotADirectoryError, json.JSONDecodeError):
+        return False
+    return True

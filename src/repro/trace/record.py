@@ -1,0 +1,101 @@
+"""Record a simulated campaign straight to a ``.reprotrace`` directory.
+
+``record_trace`` wires :class:`~repro.trace.writer.TraceWriter` into the
+simulator's streaming hook
+(:meth:`~repro.simulation.simulator.Simulator.attach_event_stream`), so
+socket events hit the disk as the campaign runs and the in-process
+buffer stays bounded by the watermark window.  The manifest's ``meta``
+records provenance: seed, duration, the config fingerprint, and the
+cluster spec (flat and JSON-round-trippable) from which analyses rebuild
+the topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..simulation.simulator import SimulationResult, Simulator
+from ..telemetry import Telemetry
+from .format import DEFAULT_CHUNK_SIZE
+from .writer import TraceWriter
+
+__all__ = ["RecordResult", "record_trace"]
+
+#: Default simulated seconds between watermark flushes.
+DEFAULT_FLUSH_INTERVAL = 5.0
+
+
+@dataclass
+class RecordResult:
+    """What a recording run produced."""
+
+    path: str
+    manifest: dict
+    #: The run's artefacts.  ``result.socket_log`` is *empty* — every
+    #: event was streamed to the trace — but link loads, transfers and
+    #: the application log are intact.
+    result: SimulationResult
+
+
+def trace_meta(config: SimulationConfig) -> dict:
+    """The provenance block stored in a recorded trace's manifest."""
+    from ..experiments.cache import config_fingerprint
+
+    return {
+        "kind": "socket-events",
+        "seed": config.seed,
+        "duration": config.duration,
+        "day_length": config.workload.day_length,
+        "cluster_spec": asdict(config.cluster),
+        "clock_skew_max": config.collector.clock_skew_max,
+        "congestion_threshold": config.congestion_threshold,
+        "config_fingerprint": config_fingerprint(config),
+    }
+
+
+def record_trace(
+    config: SimulationConfig,
+    path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+    telemetry: Telemetry | None = None,
+    overwrite: bool = False,
+    heartbeat=None,
+    heartbeat_interval: float | None = None,
+) -> RecordResult:
+    """Simulate ``config`` while streaming its socket events to ``path``.
+
+    The streamed run is bit-identical to an unstreamed one (the flush
+    rides the engine's batch hook and never schedules events), and two
+    recordings of the same config produce identical chunk content hashes.
+    """
+    simulator = Simulator(config, telemetry=telemetry)
+    writer = TraceWriter(
+        path,
+        chunk_size=chunk_size,
+        meta=trace_meta(config),
+        telemetry=telemetry,
+        overwrite=overwrite,
+    )
+    simulator.attach_event_stream(writer, flush_interval=flush_interval)
+    if heartbeat is not None:
+        interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else config.duration / 5.0
+        )
+        simulator.attach_heartbeat(interval, heartbeat)
+    result = simulator.run()
+    loads = result.link_loads
+    observed = np.array(
+        [link.link_id for link in result.topology.inter_switch_links()],
+        dtype=np.int64,
+    )
+    writer.set_linkloads(
+        loads.byte_matrix(), loads.capacities, loads.bin_width, observed
+    )
+    manifest = writer.close()
+    return RecordResult(path=str(writer.path), manifest=manifest, result=result)

@@ -1,0 +1,208 @@
+"""Append-only writer for ``.reprotrace`` directories.
+
+``TraceWriter`` buffers incoming event columns and spills a compressed
+npz chunk every ``chunk_size`` rows, so the simulator can stream an
+arbitrarily long campaign to disk under constant memory.  It satisfies
+the ``append_columns`` sink protocol of
+:meth:`~repro.simulation.simulator.Simulator.attach_event_stream`.
+
+Telemetry: one span per chunk (``trace.write_chunk``) and the counters
+``trace.chunks_written`` / ``trace.rows_written`` / ``trace.bytes_written``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+
+import numpy as np
+
+from ..instrumentation.events import SocketEventLog
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .format import (
+    DEFAULT_CHUNK_SIZE,
+    LINKLOADS_NAME,
+    TRACE_FORMAT,
+    TRACE_SCHEMA_VERSION,
+    chunk_file_name,
+    content_hash,
+    write_manifest,
+)
+
+__all__ = ["TraceWriter"]
+
+
+class TraceWriter:
+    """Stream time-sorted socket-event columns into a chunked trace.
+
+    Append batches with :meth:`append_columns` (or a whole finalized log
+    with :meth:`append_log`); batches must arrive in time order, which
+    the simulator's watermark flushing guarantees.  :meth:`close` spills
+    the final partial chunk and writes the manifest — a trace directory
+    without a manifest is unreadable, so an interrupted recording is
+    never mistaken for a complete one.
+    """
+
+    def __init__(
+        self,
+        path,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        meta: dict | None = None,
+        telemetry: Telemetry | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.path = pathlib.Path(path)
+        self.chunk_size = int(chunk_size)
+        self.meta = dict(meta) if meta else {}
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._columns = SocketEventLog.column_spec()
+        self._names = [name for name, _ in self._columns]
+        if self.path.exists():
+            if not overwrite:
+                raise FileExistsError(f"trace path already exists: {self.path}")
+            shutil.rmtree(self.path)
+        self.path.mkdir(parents=True)
+        self._buffers: dict[str, list[np.ndarray]] = {n: [] for n in self._names}
+        self._buffered_rows = 0
+        self._chunks: list[dict] = []
+        self._linkloads: dict | None = None
+        self.total_rows = 0
+        self._closed = False
+        self._chunk_counter = self.telemetry.counter("trace.chunks_written")
+        self._row_counter = self.telemetry.counter("trace.rows_written")
+        self._byte_counter = self.telemetry.counter("trace.bytes_written")
+
+    # ------------------------------------------------------------ appending
+
+    def append_columns(self, columns: dict[str, np.ndarray]) -> None:
+        """Append one batch of time-sorted event columns."""
+        if self._closed:
+            raise RuntimeError("cannot append to a closed trace writer")
+        if set(columns) != set(self._names):
+            missing = sorted(set(self._names) - set(columns))
+            extra = sorted(set(columns) - set(self._names))
+            raise ValueError(f"column mismatch: missing {missing}, extra {extra}")
+        arrays = {
+            name: np.asarray(columns[name], dtype=dtype)
+            for name, dtype in self._columns
+        }
+        sizes = {a.size for a in arrays.values()}
+        if len(sizes) > 1:
+            raise ValueError(f"columns have unequal lengths: {sorted(sizes)}")
+        rows = arrays[self._names[0]].size
+        if rows == 0:
+            return
+        for name in self._names:
+            self._buffers[name].append(arrays[name])
+        self._buffered_rows += rows
+        while self._buffered_rows >= self.chunk_size:
+            self._write_chunk(self._take(self.chunk_size))
+
+    def append_log(self, log: SocketEventLog) -> None:
+        """Append a whole finalized log (batched through the chunker)."""
+        self.append_columns(log.to_columns())
+
+    def _take(self, rows: int) -> dict[str, np.ndarray]:
+        taken: dict[str, np.ndarray] = {}
+        for name in self._names:
+            parts = self._buffers[name]
+            merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            taken[name] = merged[:rows]
+            remainder = merged[rows:]
+            self._buffers[name] = [remainder] if remainder.size else []
+        self._buffered_rows -= rows
+        return taken
+
+    def _write_chunk(self, columns: dict[str, np.ndarray]) -> None:
+        index = len(self._chunks)
+        file_name = chunk_file_name(index)
+        times = columns["timestamp"]
+        with self.telemetry.span("trace.write_chunk", index=index, rows=times.size):
+            np.savez_compressed(self.path / file_name, **columns)
+        entry = {
+            "file": file_name,
+            "rows": int(times.size),
+            "t_min": float(times[0]),
+            "t_max": float(times[-1]),
+            "sha256": content_hash(columns, self._names),
+        }
+        self._chunks.append(entry)
+        self.total_rows += entry["rows"]
+        self._chunk_counter.inc()
+        self._row_counter.inc(entry["rows"])
+        self._byte_counter.inc(
+            int(sum(c.nbytes for c in columns.values()))
+        )
+
+    # ------------------------------------------------------------ linkloads
+
+    def set_linkloads(
+        self,
+        byte_matrix: np.ndarray,
+        capacities: np.ndarray,
+        bin_width: float,
+        observed_links: np.ndarray,
+    ) -> None:
+        """Attach the campaign's SNMP-grade link byte counters.
+
+        Stored whole (a link-loads matrix is tiny next to the events);
+        the congestion analyses read it back through
+        :class:`~repro.trace.reader.TraceLinkLoads`.
+        """
+        if self._closed:
+            raise RuntimeError("cannot attach linkloads to a closed trace writer")
+        self._linkloads = {
+            "bytes": np.asarray(byte_matrix, dtype=float),
+            "capacities": np.asarray(capacities, dtype=float),
+            "bin_width": np.float64(bin_width),
+            "observed_links": np.asarray(observed_links, dtype=np.int64),
+        }
+
+    # -------------------------------------------------------------- closing
+
+    def close(self) -> dict:
+        """Spill the final chunk, write the manifest, return it."""
+        if self._closed:
+            raise RuntimeError("trace writer already closed")
+        if self._buffered_rows:
+            self._write_chunk(self._take(self._buffered_rows))
+        manifest = {
+            "format": TRACE_FORMAT,
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "chunk_size": self.chunk_size,
+            "columns": [[name, np.dtype(dtype).name] for name, dtype in self._columns],
+            "chunks": self._chunks,
+            "total_rows": self.total_rows,
+            "time_span": (
+                [self._chunks[0]["t_min"], self._chunks[-1]["t_max"]]
+                if self._chunks
+                else None
+            ),
+            "meta": self.meta,
+        }
+        if self._linkloads is not None:
+            arrays = self._linkloads
+            np.savez_compressed(self.path / LINKLOADS_NAME, **arrays)
+            manifest["linkloads"] = {
+                "file": LINKLOADS_NAME,
+                "num_links": int(arrays["bytes"].shape[0]),
+                "num_bins": int(arrays["bytes"].shape[1]),
+                "bin_width": float(arrays["bin_width"]),
+                "sha256": content_hash(
+                    arrays, ["bytes", "capacities", "bin_width", "observed_links"]
+                ),
+            }
+        write_manifest(self.path, manifest)
+        self._closed = True
+        return manifest
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Only a clean exit gets a manifest; a failed recording leaves an
+        # unreadable directory rather than a plausible-looking trace.
+        if exc_type is None and not self._closed:
+            self.close()

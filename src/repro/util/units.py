@@ -53,6 +53,32 @@ def format_bytes(num_bytes: float) -> str:
     return f"{num_bytes:.0f} B"
 
 
+#: Binary data-size multipliers (bytes).  Storage footprints are binary.
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+TIB = 1024.0**4
+
+
+def format_bytes_binary(num_bytes: float) -> str:
+    """Render a byte count with a binary (KiB/MiB/GiB) suffix.
+
+    Use this for on-disk footprints (caches, traces), where sizes are
+    compared against filesystem tools that report powers of 1024;
+    :func:`format_bytes` stays decimal for network payload sizes.
+
+    >>> format_bytes_binary(1536)
+    '1.50 KiB'
+    >>> format_bytes_binary(3 * 1024**3)
+    '3.00 GiB'
+    """
+    magnitude = abs(num_bytes)
+    for limit, suffix in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if magnitude >= limit:
+            return f"{num_bytes / limit:.2f} {suffix}"
+    return f"{num_bytes:.0f} B"
+
+
 def format_rate(bytes_per_second: float) -> str:
     """Render a bandwidth (bytes/s) in bit-rate units.
 

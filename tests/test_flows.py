@@ -64,6 +64,16 @@ class TestGrouping:
         assert len(flows) == 0
         assert flows.total_bytes() == 0.0
 
+    def test_empty_log_dtypes_match_nonempty(self):
+        # Regression: the empty path must hand back the same dtypes as a
+        # populated one, so downstream concatenation never upcasts.
+        empty = reconstruct_flows(build_log([]))
+        full = reconstruct_flows(build_log([{"timestamp": 0.0}]))
+        for name in ("src", "src_port", "dst", "dst_port", "protocol",
+                     "start_time", "end_time", "num_bytes", "num_events",
+                     "job_id", "phase_index"):
+            assert getattr(empty, name).dtype == getattr(full, name).dtype, name
+
 
 class TestSendSidePreference:
     def test_recv_duplicates_dropped(self):

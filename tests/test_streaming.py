@@ -1,0 +1,277 @@
+"""Streaming/mergeable analyses equal their in-memory counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.core.congestion import congestion_summary
+from repro.core.flows import DEFAULT_INACTIVITY_TIMEOUT, reconstruct_flows
+from repro.core.streaming import (
+    FlowStatsSketch,
+    StreamingCongestion,
+    StreamingFlows,
+    StreamingTrafficMatrix,
+)
+from repro.core.traffic_matrix import tm_series_from_events
+from repro.instrumentation.events import (
+    DIRECTION_RECV,
+    DIRECTION_SEND,
+    SocketEventLog,
+)
+
+FLOW_FIELDS = (
+    "src", "src_port", "dst", "dst_port", "protocol",
+    "start_time", "end_time", "num_bytes", "num_events",
+    "job_id", "phase_index",
+)
+
+
+def small_topology():
+    return ClusterTopology(ClusterSpec(racks=2, servers_per_rack=4))
+
+
+def build_log(events):
+    log = SocketEventLog()
+    for event in events:
+        defaults = dict(
+            server=0, direction=DIRECTION_SEND, src=0, src_port=8400,
+            dst=1, dst_port=50000, protocol=6, num_bytes=100.0,
+            job_id=1, phase_index=0,
+        )
+        defaults.update(event)
+        log.append(**defaults)
+    log.finalize()
+    return log
+
+
+def synthetic_log(num_events=400, seed=3, num_servers=8):
+    """A messy, realistic log: many tuples, both directions, skewed ties."""
+    rng = np.random.default_rng(seed)
+    log = SocketEventLog()
+    times = np.sort(rng.uniform(0.0, 120.0, size=num_events))
+    for t in times:
+        src = int(rng.integers(0, num_servers))
+        dst = int((src + 1 + rng.integers(0, num_servers - 1)) % num_servers)
+        direction = DIRECTION_SEND if rng.random() < 0.7 else DIRECTION_RECV
+        log.append(
+            timestamp=float(t),
+            server=src if direction == DIRECTION_SEND else dst,
+            direction=direction,
+            src=src, src_port=int(8400 + rng.integers(0, 3)),
+            dst=dst, dst_port=int(50000 + rng.integers(0, 4)),
+            protocol=6, num_bytes=float(rng.integers(1, 10_000)),
+            job_id=int(rng.integers(-1, 4)), phase_index=0,
+        )
+    log.finalize()
+    return log
+
+
+def split_log(log, boundaries):
+    """Cut a finalized log into chunks at the given row boundaries."""
+    columns = log.to_columns()
+    edges = [0, *boundaries, len(log)]
+    chunks = []
+    for start, stop in zip(edges[:-1], edges[1:]):
+        chunks.append(
+            SocketEventLog.from_columns(
+                {name: col[start:stop] for name, col in columns.items()}
+            )
+        )
+    return chunks
+
+
+def assert_flow_tables_equal(a, b):
+    for name in FLOW_FIELDS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+class TestStreamingTrafficMatrix:
+    @pytest.mark.parametrize("boundaries", [[], [1], [200], [50, 51, 300]])
+    def test_chunked_equals_inmemory(self, boundaries):
+        log = synthetic_log()
+        topology = small_topology()
+        expected = tm_series_from_events(log, topology, 10.0, 120.0)
+        acc = StreamingTrafficMatrix(topology, 10.0, 120.0)
+        for chunk in split_log(log, boundaries):
+            acc.update(chunk)
+        got = acc.finalize()
+        assert np.array_equal(got.matrices, expected.matrices)
+        assert np.array_equal(got.endpoint_ids, expected.endpoint_ids)
+
+    def test_merge_equals_inmemory(self):
+        log = synthetic_log()
+        topology = small_topology()
+        expected = tm_series_from_events(log, topology, 10.0, 120.0)
+        chunks = split_log(log, [90, 180, 300])
+        partials = []
+        for chunk in chunks:
+            partials.append(StreamingTrafficMatrix(topology, 10.0, 120.0).update(chunk))
+        merged = partials[0]
+        for other in partials[1:]:
+            merged.merge(other)
+        got = merged.finalize()
+        assert np.array_equal(got.matrices, expected.matrices)
+
+    def test_empty_chunks_are_noops(self):
+        topology = small_topology()
+        acc = StreamingTrafficMatrix(topology, 10.0, 60.0)
+        acc.update(build_log([]))
+        series = acc.finalize()
+        assert series.matrices.sum() == 0.0
+        assert series.num_windows == 6
+
+
+class TestStreamingFlows:
+    @pytest.mark.parametrize("boundaries", [[], [1], [199], [100, 101, 250]])
+    def test_chunked_equals_inmemory(self, boundaries):
+        log = synthetic_log()
+        expected = reconstruct_flows(log)
+        acc = StreamingFlows()
+        for chunk in split_log(log, boundaries):
+            acc.update(chunk)
+        assert_flow_tables_equal(acc.finalize(), expected)
+
+    def test_merge_equals_inmemory(self):
+        log = synthetic_log(num_events=600, seed=9)
+        expected = reconstruct_flows(log)
+        chunks = split_log(log, [150, 300, 450])
+        partials = [StreamingFlows().update(chunk) for chunk in chunks]
+        merged = partials[0]
+        for other in partials[1:]:
+            merged.merge(other)
+        assert_flow_tables_equal(merged.finalize(), expected)
+
+    def test_send_preference_resolved_across_chunks(self):
+        # Tuple seen only as RECV in chunk 1, then as SEND in chunk 2:
+        # the recv events must be dropped globally, not per chunk.
+        log = build_log([
+            {"timestamp": 0.0, "direction": DIRECTION_RECV, "server": 1},
+            {"timestamp": 1.0, "direction": DIRECTION_SEND, "server": 0},
+        ])
+        expected = reconstruct_flows(log)
+        acc = StreamingFlows()
+        for chunk in split_log(log, [1]):
+            acc.update(chunk)
+        assert_flow_tables_equal(acc.finalize(), expected)
+
+    def test_empty_finalize(self):
+        table = StreamingFlows().finalize()
+        assert len(table) == 0
+        assert table.protocol.dtype == np.int16
+
+
+class TestInactivityTimeoutBoundary:
+    """Flow splitting at the inactivity timeout (satellite: boundary tests)."""
+
+    def _log_with_gap(self, gap):
+        return build_log([
+            {"timestamp": 0.0},
+            {"timestamp": 0.0 + gap},
+            {"timestamp": 0.0 + gap + 1.0},
+        ])
+
+    def test_gap_exactly_at_timeout_does_not_split(self):
+        log = self._log_with_gap(DEFAULT_INACTIVITY_TIMEOUT)
+        assert len(reconstruct_flows(log)) == 1
+
+    def test_gap_just_under_timeout_does_not_split(self):
+        log = self._log_with_gap(DEFAULT_INACTIVITY_TIMEOUT - 1e-6)
+        assert len(reconstruct_flows(log)) == 1
+
+    def test_gap_just_over_timeout_splits(self):
+        log = self._log_with_gap(np.nextafter(DEFAULT_INACTIVITY_TIMEOUT, np.inf))
+        assert len(reconstruct_flows(log)) == 2
+
+    @pytest.mark.parametrize("gap", [
+        DEFAULT_INACTIVITY_TIMEOUT,
+        DEFAULT_INACTIVITY_TIMEOUT - 1e-6,
+        np.nextafter(DEFAULT_INACTIVITY_TIMEOUT, np.inf),
+        DEFAULT_INACTIVITY_TIMEOUT + 0.5,
+    ])
+    def test_streamed_matches_inmemory_at_boundary(self, gap):
+        log = self._log_with_gap(gap)
+        expected = reconstruct_flows(log)
+        for boundaries in ([], [1], [2], [1, 2]):
+            acc = StreamingFlows()
+            for chunk in split_log(log, boundaries):
+                acc.update(chunk)
+            assert_flow_tables_equal(acc.finalize(), expected)
+
+    def test_merge_joins_flows_across_boundary_gap(self):
+        # Two accumulators whose boundary flows are within the timeout
+        # must produce ONE flow after merge, matching the in-memory run.
+        log = self._log_with_gap(1.0)
+        expected = reconstruct_flows(log)
+        left, right = split_log(log, [2])
+        merged = StreamingFlows().update(left)
+        merged.merge(StreamingFlows().update(right))
+        assert_flow_tables_equal(merged.finalize(), expected)
+        assert len(merged.finalize()) == 1
+
+
+class TestStreamingCongestion:
+    def _utilization(self, seed=5, links=6, bins=40):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0.0, 1.0, size=(links, bins))
+
+    @pytest.mark.parametrize("cuts", [[], [1], [20], [13, 14, 31]])
+    def test_chunked_equals_inmemory(self, cuts):
+        util = self._utilization()
+        expected = congestion_summary(util, threshold=0.7)
+        acc = StreamingCongestion(num_links=util.shape[0], threshold=0.7)
+        edges = [0, *cuts, util.shape[1]]
+        for start, stop in zip(edges[:-1], edges[1:]):
+            acc.update(util[:, start:stop])
+        got = acc.finalize()
+        assert got.episodes == expected.episodes
+        assert got.longest_episode == expected.longest_episode
+        assert got.links_with_any_congestion == expected.links_with_any_congestion
+
+    def test_merge_stitches_runs_across_boundary(self):
+        util = np.ones((2, 10))  # every bin hot: one long run per link
+        expected = congestion_summary(util, threshold=0.7)
+        left = StreamingCongestion(num_links=2, threshold=0.7)
+        left.update(util[:, :5])
+        right = StreamingCongestion(num_links=2, threshold=0.7)
+        right.update(util[:, 5:], start_bin=5)
+        got = left.merge(right).finalize()
+        assert got.episodes == expected.episodes
+        assert got.longest_episode == expected.longest_episode
+
+    def test_non_contiguous_update_rejected(self):
+        acc = StreamingCongestion(num_links=1)
+        acc.update(np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            acc.update(np.zeros((1, 4)), start_bin=9)
+
+
+class TestFlowStatsSketch:
+    def test_merge_order_invariant(self):
+        log = synthetic_log(num_events=500, seed=21)
+        flows = reconstruct_flows(log)
+        whole = FlowStatsSketch().update(flows)
+
+        half = len(flows) // 2
+        import dataclasses
+        first = dataclasses.replace(
+            flows, **{f: getattr(flows, f)[:half] for f in FLOW_FIELDS}
+        )
+        second = dataclasses.replace(
+            flows, **{f: getattr(flows, f)[half:] for f in FLOW_FIELDS}
+        )
+        a = FlowStatsSketch().update(first).merge(FlowStatsSketch().update(second))
+        b = FlowStatsSketch().update(second).merge(FlowStatsSketch().update(first))
+        assert a.finalize() == b.finalize() == whole.finalize()
+
+    def test_quantiles_reasonable(self):
+        log = synthetic_log(num_events=500, seed=22)
+        flows = reconstruct_flows(log)
+        sketch = FlowStatsSketch().update(flows)
+        median = sketch.approx_quantile("bytes", 0.5)
+        exact = float(np.median(flows.num_bytes))
+        # Log-spaced bins: the approximation lands within one decade.
+        assert median / 10 <= exact <= median * 10
+
+    def test_empty_sketch(self):
+        stats = FlowStatsSketch().finalize()
+        assert stats["flows"] == 0

@@ -69,6 +69,16 @@ class TestEventSeries:
         with pytest.raises(ValueError):
             tm_series_from_events(event_log([]), tiny_topology, window=0, duration=10)
 
+    def test_empty_log_yields_zero_series(self, tiny_topology):
+        # Regression: an empty (or fully idle) trace must produce the
+        # full zero-filled window series, not fail or shrink.
+        series = tm_series_from_events(
+            event_log([]), tiny_topology, window=10.0, duration=35.0
+        )
+        assert series.num_windows == 4
+        assert series.matrices.shape[1] == series.num_endpoints
+        assert series.matrices.sum() == 0.0
+
 
 class TestTransferSeries:
     def test_bytes_spread_over_lifetime(self, tiny_topology):

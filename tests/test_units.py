@@ -44,6 +44,31 @@ class TestFormatBytes:
         assert units.format_bytes(-2e6) == "-2.00 MB"
 
 
+class TestFormatBytesBinary:
+    def test_plain_bytes(self):
+        assert units.format_bytes_binary(512) == "512 B"
+
+    def test_kibibytes(self):
+        assert units.format_bytes_binary(1536) == "1.50 KiB"
+
+    def test_mebibytes(self):
+        assert units.format_bytes_binary(5 * 1024**2) == "5.00 MiB"
+
+    def test_gibibytes(self):
+        assert units.format_bytes_binary(3 * 1024**3) == "3.00 GiB"
+
+    def test_tebibytes(self):
+        assert units.format_bytes_binary(2 * 1024**4) == "2.00 TiB"
+
+    def test_just_below_boundary_stays_in_lower_unit(self):
+        assert units.format_bytes_binary(1023) == "1023 B"
+
+    def test_binary_not_decimal(self):
+        # 1000 bytes is still under one KiB — the whole point of the
+        # binary helper for on-disk sizes.
+        assert units.format_bytes_binary(1000) == "1000 B"
+
+
 class TestFormatRate:
     def test_gigabit(self):
         assert units.format_rate(125e6) == "1.00 Gbps"
