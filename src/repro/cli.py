@@ -20,7 +20,10 @@ Seven commands cover the library's workflow:
   summary rows into a campaign manifest, or report a prior one;
 * ``cache`` — inspect or clear the on-disk dataset cache;
 * ``telemetry-report`` — render a previously written trace/manifest as
-  human-readable tables.
+  human-readable tables;
+* ``validate`` — run the cross-layer invariant checkers
+  (:mod:`repro.validate`) over a recorded trace or a freshly built
+  campaign, exiting non-zero on any violation.
 
 Figure and ablation names resolve through
 :mod:`repro.experiments.registry`; nothing here hard-codes the catalog.
@@ -181,6 +184,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="JSONL span trace written by simulate --trace-out")
     report.add_argument("--manifest", metavar="PATH",
                         help="run manifest written by simulate --telemetry")
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the cross-layer invariant checkers over a trace or config")
+    validate.add_argument(
+        "target", nargs="?", default="small",
+        help="a .reprotrace directory, or 'small'/'standard' to build "
+             "that campaign dataset and validate it (default: small)")
+    validate.add_argument("--checkers", default=None, metavar="NAMES",
+                          help="comma-separated checker names (default: all "
+                               "non-inline checkers; see --list)")
+    validate.add_argument("--list", action="store_true", dest="list_checkers",
+                          help="enumerate the checker registry and exit")
+    validate.add_argument("--seed", type=int, default=None,
+                          help="seed for the built campaign (config targets "
+                               "only)")
+    validate.add_argument("--manifest-out", default=None, metavar="PATH",
+                          help="also write a run manifest with the "
+                               "validation telemetry")
     return parser
 
 
@@ -254,7 +276,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 if args.trace_out
                 else "repro-manifest.json"
             )
-        manifest = RunManifest.capture("simulate", config, tele)
+        from .experiments.cache import dataset_content_hash
+
+        manifest = RunManifest.capture(
+            "simulate", config, tele,
+            extra={"dataset_content_hash": dataset_content_hash(dataset)},
+        )
         manifest.write(manifest_path)
         print(f"wrote run manifest ({len(manifest.metrics)} metrics) "
               f"to {manifest_path}")
@@ -599,6 +626,69 @@ def _cmd_trace_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .telemetry import RunManifest, Telemetry
+    from .trace.format import is_trace_dir
+    from .validate import checker_specs, get_checker, validate
+
+    if args.list_checkers:
+        rows = [
+            (spec.name, ",".join(sorted(spec.tags)) or "-", spec.description)
+            for spec in checker_specs()
+        ]
+        print(format_table("invariant checkers", rows,
+                           headers=("name", "tags", "description")))
+        return 0
+    names = None
+    if args.checkers:
+        names = [n.strip() for n in args.checkers.split(",") if n.strip()]
+        try:
+            for name in names:
+                get_checker(name)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+    if is_trace_dir(args.target):
+        if args.seed is not None:
+            print("--seed applies to config targets, not traces",
+                  file=sys.stderr)
+            return 2
+        source = args.target
+        config = None
+        print(f"validating trace {args.target}")
+    elif args.target in ("small", "standard"):
+        from .experiments import build_dataset, small_config, standard_config
+
+        config = (
+            small_config() if args.target == "small" else standard_config()
+        )
+        if args.seed is not None:
+            config = config.with_seed(args.seed)
+        print(f"building the {args.target} campaign dataset "
+              f"(seed {config.seed})...")
+        source = build_dataset(config)
+    else:
+        print(f"{args.target!r} is neither a trace directory nor "
+              "'small'/'standard'", file=sys.stderr)
+        return 2
+    tele = Telemetry()
+    with tele.span("cli.validate", target=str(args.target)):
+        report = validate(source, names=names, telemetry=tele)
+    print(report.render())
+    if args.manifest_out:
+        manifest = RunManifest.capture(
+            "validate", config, tele,
+            extra={
+                "target": str(args.target),
+                "violations": len(report.violations),
+            },
+        )
+        manifest.write(args.manifest_out)
+        print(f"wrote run manifest to {args.manifest_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .experiments import format_table
     from .experiments.cache import DatasetDiskCache
@@ -640,6 +730,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "cache": _cmd_cache,
         "telemetry-report": _cmd_telemetry_report,
+        "validate": _cmd_validate,
     }
     return handlers[args.command](args)
 

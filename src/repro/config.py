@@ -37,6 +37,11 @@ class SimulationConfig:
     #: flows idle at ~zero rate until it runs, so links are never
     #: oversubscribed.  0 recomputes on every event (exact fluid model).
     rate_update_interval: float = 0.01
+    #: Run the cheap ``inline``-tagged invariant checkers every N engine
+    #: batches during simulation (see :mod:`repro.validate`).  0 (the
+    #: default) disables inline validation.  A violation aborts the run
+    #: with a :class:`~repro.validate.violations.ValidationError`.
+    validate_every_n_batches: int = 0
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -47,6 +52,8 @@ class SimulationConfig:
             raise ValueError("congestion_threshold must lie in (0, 1]")
         if self.rate_update_interval < 0:
             raise ValueError("rate_update_interval must be non-negative")
+        if self.validate_every_n_batches < 0:
+            raise ValueError("validate_every_n_batches must be non-negative")
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """The same campaign with a different random seed."""

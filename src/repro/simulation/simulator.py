@@ -100,6 +100,8 @@ class Simulator:
         self._stream_flush_interval = 0.0
         self._last_stream_flush = 0.0
         self.events_streamed = 0
+        self._batches_since_validation = 0
+        self.inline_validations = 0
 
     # ------------------------------------------------- SimulationServices
 
@@ -166,6 +168,11 @@ class Simulator:
         ):
             self._stream_flush()
             self._last_stream_flush = self.engine.now
+        if self.config.validate_every_n_batches:
+            self._batches_since_validation += 1
+            if self._batches_since_validation >= self.config.validate_every_n_batches:
+                self._batches_since_validation = 0
+                self._run_inline_validation()
         if not self.transport.rates_dirty:
             return
         now = self.engine.now
@@ -183,6 +190,25 @@ class Simulator:
             self._recompute_wakeup = self.engine.schedule(
                 max(self._last_recompute + interval, now + 1e-9), lambda: None
             )
+
+    def _run_inline_validation(self) -> None:
+        """Run the cheap inline checkers against the live state.
+
+        Sampled every ``validate_every_n_batches`` engine batches; a
+        violation aborts the run so a corrupted campaign fails loudly at
+        the first observable inconsistency instead of producing figures.
+        """
+        from ..validate import run_inline_checks
+
+        report = run_inline_checks(self, telemetry=self.telemetry)
+        self.inline_validations += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter("validate.inline_runs").inc()
+            if not report.ok:
+                self.telemetry.counter("validate.inline_violations").inc(
+                    len(report.violations)
+                )
+        report.raise_if_violations()
 
     def _reschedule_completion(self) -> None:
         if self._completion_event is not None:

@@ -361,6 +361,10 @@ class FluidTransport:
             return None
         return float(self._start_times[active_idx].min())
 
+    def active_rates(self) -> np.ndarray:
+        """Current allocated rates (bytes/s) of the in-flight flows."""
+        return self._rates[np.flatnonzero(self._active)].copy()
+
     def utilization_snapshot(self) -> np.ndarray:
         """Instantaneous per-link utilisation under current rates."""
         active_idx = np.flatnonzero(self._active)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import os
 import pathlib
+import zipfile
+import zlib
 from typing import Iterator
 
 import numpy as np
@@ -26,6 +28,18 @@ from .format import (
 )
 
 __all__ = ["TraceReader", "TraceLinkLoads", "as_event_log", "find_traces"]
+
+#: Failure modes a damaged npz produces: truncated/garbled zip containers,
+#: bad compressed streams, missing files or archive members, and numpy
+#: refusing a mangled array header.
+_CORRUPTION_ERRORS = (
+    OSError,
+    EOFError,
+    KeyError,
+    ValueError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 
 class TraceLinkLoads:
@@ -113,10 +127,23 @@ class TraceReader:
     # ------------------------------------------------------------- chunks
 
     def chunk_columns(self, index: int) -> dict[str, np.ndarray]:
-        """Raw column arrays of one chunk."""
+        """Raw column arrays of one chunk.
+
+        Raises :class:`~repro.validate.violations.TraceCorruptionError`
+        when the chunk file is missing, truncated or otherwise
+        unreadable, instead of leaking ``zipfile``/``numpy`` internals.
+        """
+        from ..validate.violations import TraceCorruptionError
+
         entry = self.chunks[index]
-        with np.load(self.path / entry["file"]) as archive:
-            return {name: archive[name] for name in self.column_names}
+        try:
+            with np.load(self.path / entry["file"]) as archive:
+                return {name: archive[name] for name in self.column_names}
+        except _CORRUPTION_ERRORS as error:
+            raise TraceCorruptionError(
+                f"trace chunk {entry['file']!r} in {self.path} is missing "
+                f"or corrupt: {error}"
+            ) from error
 
     def read_chunk(self, index: int) -> SocketEventLog:
         """One chunk as a finalized event log."""
@@ -157,35 +184,62 @@ class TraceReader:
     # ------------------------------------------------------------ validate
 
     def verify(self) -> list[str]:
-        """Re-hash every chunk; returns the files that do not match."""
+        """Re-hash every chunk; returns the files that do not match.
+
+        Unreadable files count as mismatches rather than aborting the
+        sweep, so one corrupt chunk cannot mask damage elsewhere.
+        """
+        from ..validate.violations import TraceCorruptionError
+
         bad = []
         for index, entry in enumerate(self.chunks):
-            if content_hash(self.chunk_columns(index), self.column_names) != entry["sha256"]:
+            try:
+                columns = self.chunk_columns(index)
+            except TraceCorruptionError:
+                bad.append(entry["file"])
+                continue
+            if content_hash(columns, self.column_names) != entry["sha256"]:
                 bad.append(entry["file"])
         loads_entry = self.manifest.get("linkloads")
         if loads_entry is not None:
-            with np.load(self.path / loads_entry["file"]) as archive:
-                arrays = {name: archive[name] for name in archive.files}
-            digest = content_hash(
-                arrays, ["bytes", "capacities", "bin_width", "observed_links"]
-            )
-            if digest != loads_entry["sha256"]:
+            try:
+                with np.load(self.path / loads_entry["file"]) as archive:
+                    arrays = {name: archive[name] for name in archive.files}
+            except _CORRUPTION_ERRORS:
                 bad.append(loads_entry["file"])
+            else:
+                digest = content_hash(
+                    arrays, ["bytes", "capacities", "bin_width", "observed_links"]
+                )
+                if digest != loads_entry["sha256"]:
+                    bad.append(loads_entry["file"])
         return bad
 
     # ------------------------------------------------------------ linkloads
 
     def linkloads(self) -> TraceLinkLoads | None:
-        """The stored link byte counters, or ``None`` if not recorded."""
+        """The stored link byte counters, or ``None`` if not recorded.
+
+        Raises :class:`~repro.validate.violations.TraceCorruptionError`
+        when the manifest declares a sidecar that is missing or damaged.
+        """
+        from ..validate.violations import TraceCorruptionError
+
         if self.manifest.get("linkloads") is None:
             return None
-        with np.load(self.path / LINKLOADS_NAME) as archive:
-            return TraceLinkLoads(
-                byte_counts=archive["bytes"],
-                capacities=archive["capacities"],
-                bin_width=float(archive["bin_width"]),
-                observed_links=archive["observed_links"],
-            )
+        try:
+            with np.load(self.path / LINKLOADS_NAME) as archive:
+                return TraceLinkLoads(
+                    byte_counts=archive["bytes"],
+                    capacities=archive["capacities"],
+                    bin_width=float(archive["bin_width"]),
+                    observed_links=archive["observed_links"],
+                )
+        except _CORRUPTION_ERRORS as error:
+            raise TraceCorruptionError(
+                f"trace sidecar {LINKLOADS_NAME!r} in {self.path} is "
+                f"declared in the manifest but missing or corrupt: {error}"
+            ) from error
 
 
 def as_event_log(source) -> SocketEventLog:

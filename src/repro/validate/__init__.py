@@ -1,0 +1,84 @@
+"""Cross-layer invariant validation.
+
+The pipeline derives one campaign four ways — in-memory, streaming,
+trace-backed, campaign-cached — and this package makes their agreement a
+machine-checked invariant instead of an incidental test assertion.  It
+ships a registry of named checkers (``repro validate --list`` prints
+them), a :class:`ValidationContext` façade over any artefact, and an
+inline mode the simulator samples mid-run
+(``SimulationConfig.validate_every_n_batches``).
+
+Typical use::
+
+    from repro.validate import validate
+    report = validate("runs/smoke.reprotrace")
+    report.raise_if_violations()
+"""
+
+from __future__ import annotations
+
+from .context import ValidationContext
+from .registry import (
+    CheckerSpec,
+    checker,
+    checker_names,
+    checker_specs,
+    get_checker,
+    run_checkers,
+)
+from .violations import (
+    CheckerResult,
+    TraceCorruptionError,
+    ValidationError,
+    ValidationReport,
+    Violation,
+)
+
+# Importing the module registers the built-in checkers.
+from . import checkers as _builtin_checkers  # noqa: F401  (side effects)
+
+__all__ = [
+    "CheckerResult",
+    "CheckerSpec",
+    "TraceCorruptionError",
+    "ValidationContext",
+    "ValidationError",
+    "ValidationReport",
+    "Violation",
+    "checker",
+    "checker_names",
+    "checker_specs",
+    "get_checker",
+    "run_checkers",
+    "run_inline_checks",
+    "validate",
+]
+
+
+def validate(
+    source,
+    names: list[str] | None = None,
+    tags: tuple | None = None,
+    telemetry=None,
+) -> ValidationReport:
+    """Run invariant checkers against any campaign artefact.
+
+    ``source`` may be an :class:`~repro.experiments.common
+    .ExperimentDataset`, a :class:`~repro.simulation.simulator
+    .SimulationResult`, a live simulator, a
+    :class:`~repro.trace.reader.TraceReader` or a trace path.
+    """
+    ctx = ValidationContext.coerce(source)
+    return run_checkers(ctx, names=names, tags=tags, telemetry=telemetry)
+
+
+def run_inline_checks(simulator, telemetry=None) -> ValidationReport:
+    """Run the cheap ``inline``-tagged checkers against a live simulator.
+
+    Called by the engine batch hook when
+    ``SimulationConfig.validate_every_n_batches`` is set.
+    """
+    ctx = ValidationContext.from_simulator(simulator)
+    return run_checkers(
+        ctx, names=checker_names(tag="inline"), telemetry=telemetry
+    )

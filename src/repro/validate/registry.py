@@ -1,0 +1,173 @@
+"""The invariant-checker registry.
+
+A checker is a function ``check(ctx) -> list[Violation]`` registered
+under a dotted name with a set of tags (``cheap``, ``trace``,
+``analysis``, ``inline``, ...) and a set of *requirements* — context
+capabilities (``log``, ``trace``, ``linkloads``, ``topology``,
+``simulator``) the checker needs.  :func:`run_checkers` resolves a
+selection by name or tag, skips checkers whose requirements the context
+cannot satisfy (recording the reason), and returns a
+:class:`~repro.validate.violations.ValidationReport`.
+
+Names are the contract: tests and the CLI refer to checkers by name, so
+renaming one is a breaking change in the same way renaming an
+experiment in :mod:`repro.experiments.registry` is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .violations import (
+    CheckerResult,
+    ValidationError,
+    ValidationReport,
+    Violation,
+)
+
+__all__ = [
+    "CheckerSpec",
+    "checker",
+    "get_checker",
+    "checker_names",
+    "checker_specs",
+    "run_checkers",
+]
+
+
+@dataclass(frozen=True)
+class CheckerSpec:
+    """One registered invariant checker."""
+
+    name: str
+    func: Callable
+    tags: frozenset
+    requires: frozenset
+    description: str
+
+
+_REGISTRY: dict[str, CheckerSpec] = {}
+
+
+def checker(name: str, tags: tuple = (), requires: tuple = ()) -> Callable:
+    """Register an invariant checker under a dotted name.
+
+    The wrapped function receives a
+    :class:`~repro.validate.context.ValidationContext` and returns a
+    (possibly empty) list of :class:`Violation`.
+    """
+
+    def register(func: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate checker name {name!r}")
+        doc = (func.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = CheckerSpec(
+            name=name,
+            func=func,
+            tags=frozenset(tags),
+            requires=frozenset(requires),
+            description=doc[0] if doc else "",
+        )
+        return func
+
+    return register
+
+
+def get_checker(name: str) -> CheckerSpec:
+    """Look a checker up by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown checker {name!r}; known: {known}") from None
+
+
+def checker_names(tag: str | None = None) -> list[str]:
+    """Registered names, optionally restricted to one tag."""
+    return [
+        spec.name
+        for spec in checker_specs()
+        if tag is None or tag in spec.tags
+    ]
+
+
+def checker_specs() -> list[CheckerSpec]:
+    """All registered checkers, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run_checkers(
+    ctx,
+    names: list[str] | None = None,
+    tags: tuple | None = None,
+    telemetry=None,
+) -> ValidationReport:
+    """Run a selection of checkers against a context.
+
+    ``names`` selects explicitly (unknown names raise); ``tags`` keeps
+    only checkers carrying at least one of the given tags.  With neither,
+    every non-``inline`` checker is eligible.  Checkers whose
+    requirements the context cannot satisfy are recorded as skipped, so
+    a report always accounts for the full selection.
+    """
+    if names is not None:
+        selection = [get_checker(name) for name in names]
+    else:
+        selection = [
+            spec for spec in checker_specs() if "inline" not in spec.tags
+        ]
+    if tags is not None:
+        wanted = set(tags)
+        selection = [spec for spec in selection if spec.tags & wanted]
+    report = ValidationReport()
+    for spec in selection:
+        missing = sorted(
+            requirement
+            for requirement in spec.requires
+            if not ctx.provides(requirement)
+        )
+        if missing:
+            report.results.append(
+                CheckerResult(
+                    name=spec.name,
+                    status="skipped",
+                    detail=f"context lacks: {', '.join(missing)}",
+                )
+            )
+            if telemetry is not None:
+                telemetry.counter("validate.checkers_skipped").inc()
+            continue
+        start = time.perf_counter()
+        try:
+            if telemetry is not None:
+                with telemetry.span("validate.checker", checker=spec.name):
+                    violations = list(spec.func(ctx))
+            else:
+                violations = list(spec.func(ctx))
+        except ValidationError as error:
+            # A lazily-resolved context artefact (e.g. reading a corrupt
+            # trace chunk) is itself a broken invariant, not a crash.
+            violations = list(error.violations) or [
+                Violation(checker=spec.name, message=str(error))
+            ]
+        elapsed = time.perf_counter() - start
+        report.results.append(
+            CheckerResult(
+                name=spec.name,
+                status="violation" if violations else "ok",
+                violations=violations,
+                seconds=elapsed,
+            )
+        )
+        if telemetry is not None:
+            telemetry.counter("validate.checkers_run").inc()
+            if violations:
+                telemetry.counter("validate.violations").inc(len(violations))
+    return report
+
+
+def make_violation(checker_name: str, message: str, **context) -> Violation:
+    """Convenience constructor used by the built-in checkers."""
+    return Violation(checker=checker_name, message=message, context=context)

@@ -1,0 +1,134 @@
+"""Violation records, typed validation errors, and the report object.
+
+This module is a leaf on purpose: it imports nothing from ``repro``, so
+low-level packages (the trace reader, the simulator) can raise the typed
+:class:`ValidationError` family without creating import cycles with the
+checker registry, which in turn imports the analysis layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Violation",
+    "ValidationError",
+    "TraceCorruptionError",
+    "CheckerResult",
+    "ValidationReport",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, as reported by a named checker."""
+
+    checker: str
+    message: str
+    #: Free-form structured detail (counts, offending ids, deltas).
+    context: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One-line human rendering."""
+        if not self.context:
+            return f"[{self.checker}] {self.message}"
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+        return f"[{self.checker}] {self.message} ({detail})"
+
+
+class ValidationError(Exception):
+    """An invariant the pipeline depends on does not hold.
+
+    Raised by the inline validation hook and by
+    :meth:`ValidationReport.raise_if_violations`; carries the violation
+    list so callers can render or count them without parsing the message.
+    """
+
+    def __init__(self, message: str, violations: list[Violation] | tuple = ()):
+        super().__init__(message)
+        self.violations = list(violations)
+
+
+class TraceCorruptionError(ValidationError):
+    """A ``.reprotrace`` directory is unreadable or internally inconsistent.
+
+    The trace layer raises this instead of leaking ``zipfile``/``numpy``
+    internals when a chunk fails to decompress, a file is truncated or a
+    recorded sidecar has gone missing.
+    """
+
+
+@dataclass
+class CheckerResult:
+    """Outcome of running one checker against a validation context."""
+
+    name: str
+    #: "ok", "violation" or "skipped".
+    status: str
+    violations: list[Violation] = field(default_factory=list)
+    #: Skip reason (missing context requirements), empty otherwise.
+    detail: str = ""
+    seconds: float = 0.0
+
+
+@dataclass
+class ValidationReport:
+    """Everything one validation pass produced, checker by checker."""
+
+    results: list[CheckerResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no checker reported a violation."""
+        return all(result.status != "violation" for result in self.results)
+
+    @property
+    def violations(self) -> list[Violation]:
+        """All violations across checkers, in checker order."""
+        return [v for result in self.results for v in result.violations]
+
+    @property
+    def checkers_run(self) -> int:
+        """Number of checkers that actually executed (not skipped)."""
+        return sum(1 for result in self.results if result.status != "skipped")
+
+    @property
+    def checkers_skipped(self) -> int:
+        """Number of checkers skipped for missing context."""
+        return sum(1 for result in self.results if result.status == "skipped")
+
+    def result_for(self, name: str) -> CheckerResult:
+        """The result of one checker by name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no checker named {name!r} in this report")
+
+    def render(self) -> str:
+        """A fixed-width table of checker outcomes plus violation lines."""
+        width = max((len(r.name) for r in self.results), default=10)
+        lines = []
+        for result in self.results:
+            mark = {"ok": "ok", "violation": "FAIL", "skipped": "skip"}[result.status]
+            suffix = f"  ({result.detail})" if result.detail else ""
+            lines.append(
+                f"  {result.name:<{width}}  {mark:<4}  "
+                f"{result.seconds:.3f}s{suffix}"
+            )
+            for violation in result.violations:
+                lines.append(f"    - {violation.render()}")
+        summary = (
+            f"{self.checkers_run} checker(s) run, "
+            f"{self.checkers_skipped} skipped, "
+            f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join([summary, *lines])
+
+    def raise_if_violations(self) -> None:
+        """Raise :class:`ValidationError` when any invariant is broken."""
+        if not self.ok:
+            raise ValidationError(
+                f"{len(self.violations)} invariant violation(s):\n"
+                + self.render(),
+                self.violations,
+            )

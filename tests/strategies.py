@@ -1,0 +1,128 @@
+"""Hypothesis strategies for the repro domain objects.
+
+Shared across test modules so property tests describe *one* notion of a
+valid cluster spec, event log or simulation config.  The generated logs
+satisfy the collector's structural guarantees (finalized, time-sorted,
+src != dst, both-sided events for completed transfers) without running a
+simulation, which keeps property tests fast; checkers that assert
+*pipeline* invariants (byte conservation against link loads) are tested
+against real simulations instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.config import SimulationConfig
+from repro.instrumentation.events import (
+    DIRECTION_RECV,
+    DIRECTION_SEND,
+    SocketEventLog,
+)
+from repro.workload.generator import WorkloadConfig
+
+__all__ = ["cluster_specs", "event_logs", "simulation_configs", "topologies"]
+
+
+def cluster_specs(max_racks: int = 4) -> st.SearchStrategy[ClusterSpec]:
+    """Small but structurally diverse cluster specs."""
+
+    def build(racks: int, servers: int, per_vlan: int, external: int):
+        return ClusterSpec(
+            racks=racks,
+            servers_per_rack=servers,
+            racks_per_vlan=min(per_vlan, racks),
+            external_hosts=external,
+        )
+
+    return st.builds(
+        build,
+        racks=st.integers(min_value=2, max_value=max_racks),
+        servers=st.integers(min_value=2, max_value=4),
+        per_vlan=st.integers(min_value=1, max_value=2),
+        external=st.integers(min_value=0, max_value=2),
+    )
+
+
+def topologies(max_racks: int = 4) -> st.SearchStrategy[ClusterTopology]:
+    """Built topologies over :func:`cluster_specs`."""
+    return cluster_specs(max_racks).map(ClusterTopology)
+
+
+@st.composite
+def event_logs(
+    draw,
+    topology: ClusterTopology | None = None,
+    max_transfers: int = 20,
+    duration: float = 100.0,
+) -> SocketEventLog:
+    """A finalized, time-sorted log of completed internal transfers.
+
+    Each transfer emits 1–4 send events at its source and the matching
+    receive events at its destination, with identical per-event byte
+    splits — the collector's shape for a completed transfer.
+    """
+    if topology is None:
+        topology = draw(topologies())
+    servers = topology.num_servers
+    log = SocketEventLog()
+    num_transfers = draw(st.integers(min_value=0, max_value=max_transfers))
+    for _ in range(num_transfers):
+        src = draw(st.integers(min_value=0, max_value=servers - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=servers - 2).map(
+                lambda n, src=src: n if n < src else n + 1
+            )
+        )
+        size = draw(st.floats(min_value=1.0, max_value=1e8))
+        start = draw(st.floats(min_value=0.0, max_value=duration * 0.9))
+        span = draw(st.floats(min_value=0.0, max_value=duration - start))
+        count = draw(st.integers(min_value=1, max_value=4))
+        src_port = draw(st.integers(min_value=1024, max_value=65535))
+        dst_port = draw(st.integers(min_value=1, max_value=1023))
+        job_id = draw(st.integers(min_value=0, max_value=5))
+        phase = draw(st.integers(min_value=0, max_value=2))
+        times = np.linspace(start, start + span, count)
+        per_event = size / count
+        for timestamp in times:
+            for direction, server in (
+                (DIRECTION_SEND, src),
+                (DIRECTION_RECV, dst),
+            ):
+                log.append(
+                    timestamp=float(timestamp),
+                    server=server,
+                    direction=direction,
+                    src=src,
+                    src_port=src_port,
+                    dst=dst,
+                    dst_port=dst_port,
+                    protocol=0,
+                    num_bytes=per_event,
+                    job_id=job_id,
+                    phase_index=phase,
+                )
+    log.finalize()
+    return log
+
+
+def simulation_configs(max_racks: int = 3) -> st.SearchStrategy[SimulationConfig]:
+    """Tiny full campaign configs (seconds to simulate, not minutes)."""
+
+    def build(spec: ClusterSpec, duration: float, seed: int, rate: float):
+        return SimulationConfig(
+            cluster=spec,
+            workload=WorkloadConfig(job_arrival_rate=rate),
+            duration=duration,
+            seed=seed,
+        )
+
+    return st.builds(
+        build,
+        spec=cluster_specs(max_racks),
+        duration=st.floats(min_value=5.0, max_value=30.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.05, max_value=0.5),
+    )

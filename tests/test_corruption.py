@@ -1,0 +1,156 @@
+"""Corruption injection against the on-disk trace store.
+
+Each test copies the session's recorded trace, damages it one way
+(flipped bytes mid-chunk, truncated last chunk, deleted sidecar,
+doctored manifest) and asserts the failure surfaces as the typed
+:class:`TraceCorruptionError` / a named checker violation — never a raw
+``zipfile``/``numpy``/``KeyError`` leaking out of the reader.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.trace.format import LINKLOADS_NAME, MANIFEST_NAME
+from repro.trace.reader import TraceReader
+from repro.validate import TraceCorruptionError, ValidationError, validate
+
+
+@pytest.fixture()
+def trace_copy(recorded_trace, tmp_path):
+    """A private mutable copy of the session trace."""
+    target = tmp_path / "copy.reprotrace"
+    shutil.copytree(recorded_trace, target)
+    return target
+
+
+def _chunk_files(path):
+    return sorted(path.glob("events-*.npz"))
+
+
+def _flip_byte(path, offset_fraction=0.5):
+    data = bytearray(path.read_bytes())
+    data[int(len(data) * offset_fraction)] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestFlippedChunkBytes:
+    def test_reader_raises_typed_error(self, trace_copy):
+        _flip_byte(_chunk_files(trace_copy)[0])
+        reader = TraceReader(trace_copy)
+        with pytest.raises(TraceCorruptionError) as exc_info:
+            reader.read_all()
+        message = str(exc_info.value)
+        assert "events-00000.npz" in message
+        assert isinstance(exc_info.value, ValidationError)
+
+    def test_named_checker_detects(self, trace_copy):
+        _flip_byte(_chunk_files(trace_copy)[0])
+        report = validate(str(trace_copy), names=["trace.chunk_hashes"])
+        assert not report.ok
+        assert report.violations[0].checker == "trace.chunk_hashes"
+
+    def test_cli_exits_nonzero(self, trace_copy, capsys):
+        _flip_byte(_chunk_files(trace_copy)[0])
+        assert main(["validate", str(trace_copy)]) == 1
+        assert "trace.chunk_hashes" in capsys.readouterr().out
+
+    def test_undetectable_by_zip_still_caught_by_hash(self, trace_copy):
+        # Rewrite a chunk with VALID npz content but different data: the
+        # container parses fine, only the content hash can tell.
+        reader = TraceReader(trace_copy)
+        columns = reader.chunk_columns(0)
+        columns["num_bytes"] = columns["num_bytes"] * 2.0
+        target = trace_copy / reader.chunks[0]["file"]
+        np.savez(target.with_suffix(""), **columns)
+        report = validate(str(trace_copy), names=["trace.chunk_hashes"])
+        assert not report.ok
+        assert any(
+            "hash mismatch" in violation.message
+            for violation in report.violations
+        )
+
+
+class TestTruncatedChunk:
+    def test_reader_raises_typed_error(self, trace_copy):
+        last = _chunk_files(trace_copy)[-1]
+        data = last.read_bytes()
+        last.write_bytes(data[: len(data) // 3])
+        reader = TraceReader(trace_copy)
+        with pytest.raises(TraceCorruptionError):
+            reader.read_chunk(reader.num_chunks - 1)
+
+    def test_checker_and_cli(self, trace_copy, capsys):
+        last = _chunk_files(trace_copy)[-1]
+        last.write_bytes(last.read_bytes()[:100])
+        assert main(["validate", str(trace_copy)]) == 1
+        assert "trace.chunk_hashes" in capsys.readouterr().out
+
+    def test_deleted_chunk(self, trace_copy):
+        _chunk_files(trace_copy)[0].unlink()
+        report = validate(
+            str(trace_copy), names=["trace.manifest", "trace.chunk_hashes"]
+        )
+        assert not report.ok
+        manifest_result = report.result_for("trace.manifest")
+        assert any("missing" in v.message for v in manifest_result.violations)
+
+
+class TestMissingSidecar:
+    def test_reader_raises_typed_error(self, trace_copy):
+        (trace_copy / LINKLOADS_NAME).unlink()
+        with pytest.raises(TraceCorruptionError) as exc_info:
+            TraceReader(trace_copy).linkloads()
+        assert LINKLOADS_NAME in str(exc_info.value)
+
+    def test_named_checker_detects(self, trace_copy):
+        (trace_copy / LINKLOADS_NAME).unlink()
+        report = validate(str(trace_copy), names=["trace.sidecar"])
+        assert not report.ok
+        assert any(
+            "sidecar missing" in violation.message
+            for violation in report.violations
+        )
+
+    def test_cli_exits_nonzero(self, trace_copy, capsys):
+        (trace_copy / LINKLOADS_NAME).unlink()
+        assert main(["validate", str(trace_copy)]) == 1
+        assert "trace.sidecar" in capsys.readouterr().out
+
+    def test_corrupt_sidecar_bytes(self, trace_copy):
+        _flip_byte(trace_copy / LINKLOADS_NAME, 0.7)
+        report = validate(str(trace_copy), names=["trace.sidecar"])
+        assert not report.ok
+
+
+class TestManifestTampering:
+    def test_row_count_mismatch(self, trace_copy):
+        manifest_path = trace_copy / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["total_rows"] += 17
+        manifest_path.write_text(json.dumps(manifest))
+        report = validate(str(trace_copy), names=["trace.manifest"])
+        assert any(
+            "total_rows" in violation.message
+            for violation in report.violations
+        )
+
+    def test_overlapping_chunk_spans(self, trace_copy):
+        manifest_path = trace_copy / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        if len(manifest["chunks"]) < 2:
+            pytest.skip("needs at least two chunks")
+        manifest["chunks"][1]["t_min"] = manifest["chunks"][0]["t_max"] - 5.0
+        manifest_path.write_text(json.dumps(manifest))
+        report = validate(str(trace_copy), names=["events.monotone"])
+        assert any("overlap" in v.message for v in report.violations)
+
+
+def test_intact_copy_still_validates(trace_copy, assert_invariants):
+    """The copy machinery itself must not break anything."""
+    assert_invariants(str(trace_copy))

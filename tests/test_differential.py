@@ -1,0 +1,84 @@
+"""Differential fuzzing: in-memory vs streaming vs trace-backed.
+
+Seeded random small configs drive all three derivation paths over the
+same campaign and assert exact agreement, plus a full invariant sweep on
+each. Marked ``slow``: run by CI's trace-smoke job and locally via
+``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.config import SimulationConfig
+from repro.core.flows import reconstruct_flows
+from repro.core.traffic_matrix import tm_series_from_events
+from repro.experiments.common import dataset_from_trace
+from repro.simulation.simulator import simulate
+from repro.trace.analyze import _flow_tables_equal, analyze_trace
+from repro.trace.record import record_trace
+from repro.workload.generator import WorkloadConfig
+
+pytestmark = pytest.mark.slow
+
+#: Fixed fuzz seed: CI failures must reproduce locally byte for byte.
+_FUZZ_SEED = 20260806
+
+
+def _random_configs(count: int) -> list[SimulationConfig]:
+    rng = np.random.default_rng(_FUZZ_SEED)
+    configs = []
+    for _ in range(count):
+        configs.append(SimulationConfig(
+            cluster=ClusterSpec(
+                racks=int(rng.integers(2, 5)),
+                servers_per_rack=int(rng.integers(2, 5)),
+                racks_per_vlan=int(rng.integers(1, 3)),
+                external_hosts=int(rng.integers(0, 3)),
+            ),
+            workload=WorkloadConfig(
+                job_arrival_rate=float(rng.uniform(0.1, 0.4))
+            ),
+            duration=float(rng.uniform(10.0, 25.0)),
+            seed=int(rng.integers(0, 2**31)),
+        ))
+    return configs
+
+
+@pytest.mark.parametrize("index,config", list(enumerate(_random_configs(3))))
+def test_three_paths_agree(index, config, tmp_path, assert_invariants):
+    trace_path = tmp_path / f"fuzz-{index}.reprotrace"
+    record = record_trace(config, trace_path, chunk_size=512)
+
+    # Path 1: classic in-memory pipeline.
+    result = simulate(config)
+    flows_mem = reconstruct_flows(result.socket_log)
+    tm_mem = tm_series_from_events(
+        result.socket_log, result.topology, 10.0, config.duration
+    )
+
+    # Recording must not perturb the simulation.
+    assert record.result.stats["socket_events_streamed"] == len(
+        result.socket_log
+    )
+
+    # Path 2: streaming analysis over the recorded trace (two jobs when
+    # there is more than one chunk, so the merge path runs too).
+    jobs = 2 if len(record.manifest["chunks"]) > 1 else 1
+    analysis = analyze_trace(trace_path, jobs=jobs, window=10.0)
+    assert _flow_tables_equal(analysis.flows, flows_mem)
+    assert np.array_equal(analysis.tm.matrices, tm_mem.matrices)
+
+    # Path 3: trace-backed dataset.
+    dataset = dataset_from_trace(trace_path)
+    assert _flow_tables_equal(dataset.flows, flows_mem)
+    assert np.array_equal(dataset.tm10.matrices, tm_mem.matrices)
+    assert np.array_equal(
+        dataset.utilization, result.link_loads.utilization_matrix()
+    )
+
+    # And every invariant checker passes on both live and trace contexts.
+    assert_invariants(result)
+    assert_invariants(str(trace_path))

@@ -81,6 +81,11 @@ class TestCampaignInvariants:
             if job.servers_used:
                 assert placements.get(job_id) == job.servers_used
 
+    def test_dataset_passes_all_invariants(self, dataset, assert_invariants):
+        """The session campaign survives the full checker registry."""
+        report = assert_invariants(dataset)
+        assert report.checkers_run >= 9
+
     def test_determinism(self):
         """Identical configs produce identical campaigns."""
         config = SimulationConfig(

@@ -216,6 +216,12 @@ class TestRecording:
         second = [e["sha256"] for e in TraceReader(again).chunks]
         assert first == second
 
+    def test_recorded_trace_passes_invariants(self, recorded, assert_invariants):
+        path, record = recorded
+        report = assert_invariants(str(path))
+        assert report.checkers_skipped == 0
+        assert_invariants(record.result)
+
     def test_meta_provenance(self, recorded):
         path, _ = recorded
         meta = TraceReader(path).meta
