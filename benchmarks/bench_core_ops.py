@@ -28,20 +28,43 @@ def test_tm_binning_throughput(benchmark, standard_dataset):
     assert series.total().sum() > 0
 
 
-def test_maxmin_waterfill(benchmark):
-    topo = ClusterTopology(
-        ClusterSpec(racks=12, servers_per_rack=8, racks_per_vlan=4,
-                    external_hosts=0)
-    )
+def _loaded_transport(num_flows: int, spec: ClusterSpec) -> FluidTransport:
+    topo = ClusterTopology(spec)
     router = Router(topo)
     transport = FluidTransport(topo)
     rng = np.random.default_rng(0)
     meta = TransferMeta(kind="fetch")
     endpoints = topo.endpoints()
-    for _ in range(500):
+    for _ in range(num_flows):
         src, dst = rng.choice(endpoints, size=2, replace=False)
         transport.add_flow(int(src), int(dst), 1e9,
                            router.path_links(int(src), int(dst)), meta)
+    return transport
+
+
+def test_maxmin_waterfill(benchmark):
+    transport = _loaded_transport(
+        500,
+        ClusterSpec(racks=12, servers_per_rack=8, racks_per_vlan=4,
+                    external_hosts=0),
+    )
+
+    def recompute():
+        transport.rates_dirty = True
+        transport.recompute_rates()
+
+    benchmark(recompute)
+    assert transport.utilization_snapshot().max() <= 1.05
+
+
+def test_maxmin_waterfill_large(benchmark):
+    """The allocator at scale: 8000 concurrent flows on a 1536-server
+    cluster, where the batched CSR elimination path takes over."""
+    transport = _loaded_transport(
+        8000,
+        ClusterSpec(racks=64, servers_per_rack=24, racks_per_vlan=8,
+                    external_hosts=0),
+    )
 
     def recompute():
         transport.rates_dirty = True

@@ -1,30 +1,41 @@
-"""Benchmark fixtures: one standard campaign per session.
+"""Benchmark fixtures: one standard campaign + standardized timing.
 
 The standard campaign (96 servers, eight scaled days) takes a couple of
 minutes to build and is shared — memoised — by every benchmark.  Each
 benchmark appends its paper-vs-measured table to a session report that is
 printed at the end and written to ``benchmarks/report.txt``.
 
-The session also runs under a telemetry session: the campaign build is
-traced and metered, and ``pytest_sessionfinish`` writes
-``benchmarks/BENCH_core_ops.json`` — per-benchmark wall times plus the
-campaign's metrics snapshot — so benchmark trajectories are
-machine-readable across commits.
+Timing goes through the shared :func:`repro.bench.timing.measure`
+helper, so every benchmark in every file gets identical repeat/min
+semantics — warmup discarded, best-of-rounds reported — instead of each
+file's ad-hoc (and mutually incomparable) treatment of warm-up effects.
+The ``benchmark`` fixture keeps the familiar call styles::
+
+    result = benchmark(fn, *args)                 # repeat/min defaults
+    result = benchmark.pedantic(fn, args=(), rounds=1, iterations=1)
+
+``pytest_sessionfinish`` writes the collected timings as a schema-v2
+``BENCH_*.json`` (see :mod:`repro.bench.results`) — to
+``benchmarks/BENCH_core_ops.json`` by default, or wherever the
+``REPRO_BENCH_OUT`` environment variable points (that is how
+``repro bench run`` collects results from its pytest subprocess).
 """
 
 from __future__ import annotations
 
-import json
+import os
 import pathlib
 
 import pytest
 
+from repro.bench.results import BenchResult, write_results
+from repro.bench.timing import Timing, measure
 from repro.experiments import build_dataset, standard_config
 from repro.experiments.common import ExperimentDataset
 from repro.telemetry import Telemetry
 
 _REPORT: list[str] = []
-_WALL_SECONDS: dict[str, float] = {}
+_TIMINGS: dict[str, Timing] = {}
 _TELEMETRY = Telemetry()
 
 
@@ -44,30 +55,75 @@ def report():
     return add
 
 
-def pytest_runtest_logreport(report):
-    if report.when == "call":
-        _WALL_SECONDS[report.nodeid] = report.duration
+class _Benchmark:
+    """Standardized timing entry point handed to each benchmark."""
+
+    def __init__(self, nodeid: str) -> None:
+        self._nodeid = nodeid
+
+    def _record(self, timing: Timing) -> None:
+        _TIMINGS[self._nodeid] = timing
+
+    def __call__(self, fn, *args, **kwargs):
+        result, timing = measure(
+            fn, *args, rounds=3, iterations=1, warmup=1, **kwargs
+        )
+        self._record(timing)
+        return result
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds: int = 1,
+                 iterations: int = 1, warmup: int = 0):
+        result, timing = measure(
+            fn, *args, rounds=rounds, iterations=iterations, warmup=warmup,
+            **(kwargs or {}),
+        )
+        self._record(timing)
+        return result
+
+
+@pytest.fixture()
+def benchmark(request) -> _Benchmark:
+    """Repeat/min timing for one benchmark (shadows pytest-benchmark)."""
+    return _Benchmark(request.node.nodeid)
+
+
+def pytest_configure(config):
+    # If pytest-benchmark happens to be installed, unregister it: its
+    # makereport hook rejects any `benchmark` fixture that is not its
+    # own, and this suite supplies the standardized one above.
+    plugin = config.pluginmanager.get_plugin("pytest-benchmark")
+    if plugin is not None:
+        config.pluginmanager.unregister(plugin)
 
 
 def _write_bench_json(directory: pathlib.Path) -> None:
     from repro.telemetry.tracing import aggregate_spans
 
-    payload = {
-        "schema_version": 1,
-        "benchmarks": [
-            {"id": nodeid, "wall_seconds": seconds}
-            for nodeid, seconds in sorted(_WALL_SECONDS.items())
-        ],
-        "campaign_timings": aggregate_spans(_TELEMETRY.tracer.spans),
-        "campaign_metrics": _TELEMETRY.metrics.snapshot(),
-    }
-    out = directory / "BENCH_core_ops.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    results = [
+        BenchResult(
+            id=nodeid,
+            wall_seconds=timing.best,
+            mean_seconds=timing.mean,
+            rounds=timing.rounds,
+            iterations=timing.iterations,
+        )
+        for nodeid, timing in _TIMINGS.items()
+    ]
+    out = os.environ.get("REPRO_BENCH_OUT")
+    path = pathlib.Path(out) if out else directory / "BENCH_core_ops.json"
+    write_results(
+        path,
+        results,
+        extra={
+            "campaign_timings": aggregate_spans(_TELEMETRY.tracer.spans),
+            "campaign_metrics": _TELEMETRY.metrics.snapshot(),
+        },
+    )
 
 
 def pytest_sessionfinish(session, exitstatus):
     directory = pathlib.Path(__file__).parent
-    if _WALL_SECONDS:
+    if _TIMINGS:
         _write_bench_json(directory)
     if not _REPORT:
         return

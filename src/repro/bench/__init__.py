@@ -1,0 +1,39 @@
+"""Performance-regression harness.
+
+The repro's north star is running the paper's analyses "as fast as the
+hardware allows" at cluster scales well beyond the original testbed —
+which makes performance a correctness property worth guarding like any
+other.  This package provides the plumbing:
+
+* :mod:`repro.bench.timing` — the shared repeat/min measurement helper
+  every benchmark under ``benchmarks/`` goes through, so numbers from
+  different files (and different machines) mean the same thing.
+* :mod:`repro.bench.results` — the ``BENCH_*.json`` schema: benchmark
+  wall-times plus enough host metadata (platform, Python, NumPy, CPU
+  count) to judge whether two result files are comparable at all.
+* :mod:`repro.bench.compare` — baseline comparison with a configurable
+  relative tolerance, producing the delta table CI prints.
+* :mod:`repro.bench.runner` — subprocess driver behind
+  ``repro bench run``, executing the ``benchmarks/`` suite and
+  collecting its JSON output.
+
+The committed ``benchmarks/BENCH_core_ops.json`` is the baseline;
+``repro bench run --quick`` followed by ``repro bench compare`` is the
+local workflow, and CI runs the same pair as a non-blocking smoke job.
+"""
+
+from .compare import ComparisonRow, compare_results, format_table
+from .results import BenchResult, host_metadata, load_results, write_results
+from .timing import Timing, measure
+
+__all__ = [
+    "BenchResult",
+    "ComparisonRow",
+    "Timing",
+    "compare_results",
+    "format_table",
+    "host_metadata",
+    "load_results",
+    "measure",
+    "write_results",
+]

@@ -1,0 +1,129 @@
+"""Baseline comparison and the CI delta table.
+
+A benchmark **regresses** when its current ``wall_seconds`` exceeds the
+baseline by more than the relative tolerance; it **improves** when it is
+faster by the same margin.  The default tolerance is deliberately wide
+(25%) because benchmark hosts differ — CI runners are noisy and slower
+than developer machines — and the job is to catch order-of-magnitude
+slips, not 5% jitter.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from .results import BenchResult, load_results
+
+__all__ = ["ComparisonRow", "compare_results", "format_table"]
+
+DEFAULT_TOLERANCE = 0.25
+
+#: Row statuses, in the order they sort in the table.
+_STATUS_ORDER = {"regression": 0, "improved": 1, "ok": 2, "new": 3, "missing": 4}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's baseline-vs-current verdict."""
+
+    id: str
+    baseline_seconds: float | None
+    current_seconds: float | None
+    #: current / baseline (None when either side is absent).
+    ratio: float | None
+    #: "ok" | "regression" | "improved" | "new" | "missing"
+    status: str
+
+
+def compare_results(
+    baseline: dict[str, BenchResult] | str | pathlib.Path,
+    current: dict[str, BenchResult] | str | pathlib.Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[ComparisonRow]:
+    """Match benchmarks by id and classify each against ``tolerance``.
+
+    Ids present only in ``current`` are "new"; only in ``baseline``,
+    "missing".  Neither counts as a regression.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if not isinstance(baseline, dict):
+        baseline = load_results(baseline)
+    if not isinstance(current, dict):
+        current = load_results(current)
+    rows: list[ComparisonRow] = []
+    for bench_id in sorted(set(baseline) | set(current)):
+        base = baseline.get(bench_id)
+        cur = current.get(bench_id)
+        if base is None:
+            rows.append(ComparisonRow(bench_id, None, cur.wall_seconds, None, "new"))
+            continue
+        if cur is None:
+            rows.append(
+                ComparisonRow(bench_id, base.wall_seconds, None, None, "missing")
+            )
+            continue
+        ratio = (
+            cur.wall_seconds / base.wall_seconds
+            if base.wall_seconds > 0
+            else float("inf")
+        )
+        if ratio > 1.0 + tolerance:
+            status = "regression"
+        elif ratio < 1.0 - tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            ComparisonRow(bench_id, base.wall_seconds, cur.wall_seconds, ratio, status)
+        )
+    rows.sort(key=lambda row: (_STATUS_ORDER[row.status], row.id))
+    return rows
+
+
+def _fmt_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_table(rows: list[ComparisonRow], tolerance: float = DEFAULT_TOLERANCE) -> str:
+    """Render comparison rows as the aligned delta table CI prints."""
+    header = ("benchmark", "baseline", "current", "delta", "status")
+    body: list[tuple[str, str, str, str, str]] = []
+    for row in rows:
+        if row.ratio is None:
+            delta = "-"
+        else:
+            delta = f"{(row.ratio - 1.0) * 100:+.1f}%"
+        body.append(
+            (
+                row.id,
+                _fmt_seconds(row.baseline_seconds),
+                _fmt_seconds(row.current_seconds),
+                delta,
+                row.status,
+            )
+        )
+    widths = [
+        max(len(header[col]), *(len(line[col]) for line in body)) if body else len(header[col])
+        for col in range(5)
+    ]
+    lines = [
+        "  ".join(header[col].ljust(widths[col]) for col in range(5)),
+        "  ".join("-" * widths[col] for col in range(5)),
+    ]
+    for line in body:
+        lines.append("  ".join(line[col].ljust(widths[col]) for col in range(5)))
+    regressions = sum(1 for row in rows if row.status == "regression")
+    lines.append("")
+    lines.append(
+        f"{len(rows)} benchmark(s), {regressions} regression(s) "
+        f"at ±{tolerance * 100:.0f}% tolerance"
+    )
+    return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's workflow:
+The commands cover the library's workflow:
 
 * ``simulate`` — run a measurement campaign and print its statistics,
   optionally dumping the compressed socket-event log; with
@@ -23,7 +23,11 @@ Seven commands cover the library's workflow:
   human-readable tables;
 * ``validate`` — run the cross-layer invariant checkers
   (:mod:`repro.validate`) over a recorded trace or a freshly built
-  campaign, exiting non-zero on any violation.
+  campaign, exiting non-zero on any violation;
+* ``bench`` — execute the ``benchmarks/`` suite with the standardized
+  repeat/min timing harness (``run``, with ``--quick`` for the fast
+  subset) and diff the resulting ``BENCH_*.json`` against a committed
+  baseline with a configurable tolerance (``compare``).
 
 Figure and ablation names resolve through
 :mod:`repro.experiments.registry`; nothing here hard-codes the catalog.
@@ -203,6 +207,41 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--manifest-out", default=None, metavar="PATH",
                           help="also write a run manifest with the "
                                "validation telemetry")
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite or compare results")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="execute benchmarks/ and write a BENCH_*.json")
+    bench_run.add_argument("--quick", action="store_true",
+                           help="only the fast no-dataset benchmarks "
+                                "(waterfill + small campaign)")
+    bench_run.add_argument("-k", dest="keyword", default=None, metavar="EXPR",
+                           help="pytest -k selection expression "
+                                "(overrides --quick)")
+    bench_run.add_argument("--out", default="BENCH_current.json", metavar="PATH",
+                           help="results file to write "
+                                "(default: BENCH_current.json)")
+    bench_run.add_argument("--benchmarks-dir", default="benchmarks",
+                           metavar="DIR",
+                           help="benchmark suite directory "
+                                "(default: benchmarks)")
+    bench_run.add_argument("--verbose", action="store_true",
+                           help="run pytest with -v")
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff a results file against a baseline")
+    bench_compare.add_argument(
+        "--baseline", default="benchmarks/BENCH_core_ops.json", metavar="PATH",
+        help="baseline results (default: benchmarks/BENCH_core_ops.json)")
+    bench_compare.add_argument(
+        "--current", default="BENCH_current.json", metavar="PATH",
+        help="current results (default: BENCH_current.json)")
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative regression tolerance (default: 0.25)")
+    bench_compare.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 if any benchmark regresses beyond tolerance")
     return parser
 
 
@@ -719,6 +758,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.compare import DEFAULT_TOLERANCE, compare_results, format_table
+
+    if args.bench_command == "run":
+        from .bench.runner import run_benchmarks
+
+        code = run_benchmarks(
+            out=args.out,
+            benchmarks_dir=args.benchmarks_dir,
+            quick=args.quick,
+            keyword=args.keyword,
+            verbose=args.verbose,
+        )
+        if code == 0:
+            print(f"benchmark results written to {args.out}")
+        return code
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    try:
+        rows = compare_results(args.baseline, args.current, tolerance=tolerance)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_table(rows, tolerance=tolerance))
+    regressed = any(row.status == "regression" for row in rows)
+    if regressed and args.fail_on_regression:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -731,6 +800,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _cmd_cache,
         "telemetry-report": _cmd_telemetry_report,
         "validate": _cmd_validate,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

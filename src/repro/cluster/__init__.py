@@ -1,4 +1,20 @@
-"""Cluster substrate: topology (paper Fig 1) and tree routing."""
+"""Cluster substrate: topology (paper Fig 1) and tree routing.
+
+Models the instrumented cluster of Kandula et al.: racks of servers
+under top-of-rack switches, aggregated into VLANs under aggregation
+switches, joined by a core — the canonical 2-level tree of the paper's
+Figure 1, plus optional external hosts reached through the core.
+:class:`ClusterSpec` is the declarative shape (racks, servers per rack,
+racks per VLAN, link speeds); :class:`ClusterTopology` realises it as
+numbered nodes and directed capacitated links.
+
+:class:`~repro.cluster.routing.Router` computes the unique tree path
+between any two endpoints as a tuple of directed link ids — the
+representation every layer above (transport, link loads, tomography's
+A-matrix) shares.  ``bisection_bandwidth`` and ``tor_routing_matrix``
+support the oversubscription arithmetic and the tomography experiments
+(§5).
+"""
 
 from .routing import Router, bisection_bandwidth, tor_routing_matrix
 from .topology import ClusterSpec, ClusterTopology, Link, NodeKind

@@ -29,6 +29,11 @@ class SimulationConfig:
     seed: int = 0
     #: Bandwidth-sharing model: "maxmin" (default) or "bottleneck".
     fairness: str = "maxmin"
+    #: Water-filling implementation: "vectorized" (default, the fast
+    #: production allocator) or "reference" (the original round-based
+    #: loop).  Both produce bit-identical event logs — the switch exists
+    #: so differential tests and ``repro validate`` can prove it.
+    transport_impl: str = "vectorized"
     #: A link is a hot-spot when its one-second average utilisation is at
     #: least this (paper §4.2 uses C = 70%).
     congestion_threshold: float = 0.7
@@ -48,6 +53,8 @@ class SimulationConfig:
             raise ValueError("duration must be positive")
         if self.fairness not in ("maxmin", "bottleneck"):
             raise ValueError(f"unknown fairness mode {self.fairness!r}")
+        if self.transport_impl not in ("vectorized", "reference"):
+            raise ValueError(f"unknown transport impl {self.transport_impl!r}")
         if not 0.0 < self.congestion_threshold <= 1.0:
             raise ValueError("congestion_threshold must lie in (0, 1]")
         if self.rate_update_interval < 0:

@@ -1,4 +1,20 @@
-"""Core analysis pipeline: the paper's measurement analyses (§3-§4)."""
+"""Core analysis pipeline: the paper's measurement analyses (§3-§4).
+
+Everything downstream of the raw socket-event log lives here: flow
+reconstruction with the paper's 60-second inactivity timeout
+(:mod:`~repro.core.flows`), traffic matrices at arbitrary bin widths
+(:mod:`~repro.core.traffic_matrix`), congestion-episode extraction and
+victim-flow analysis for §4.2 (:mod:`~repro.core.congestion`),
+work-vs-network attribution (:mod:`~repro.core.attribution`), TM churn
+statistics for §4.5 (:mod:`~repro.core.change`), and the streaming
+variants of all of the above (:mod:`~repro.core.streaming`) whose
+``update``/``merge``/``finalize`` protocol produces results exactly
+equal to the in-memory pipeline — sequentially or fanned across
+processes.
+
+Each module mirrors one analysis of the paper; the experiments layer
+(:mod:`repro.experiments`) composes them into figures.
+"""
 
 from .attribution import AttributionReport, attribute_traffic, kind_of_flows
 from .change import ChurnStats, churn_stats, normalized_change_series

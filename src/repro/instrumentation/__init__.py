@@ -1,4 +1,20 @@
-"""Instrumentation substrate: socket events, app logs, storage, SNMP."""
+"""Instrumentation substrate: socket events, app logs, storage, SNMP.
+
+The measurement apparatus of the paper, §2-§3: every server runs the
+ETW-style socket-event collector (:mod:`~repro.instrumentation.collector`),
+producing per-transfer send/receive events with clock skew and loss
+(:mod:`~repro.instrumentation.events`); the platform writes job/phase
+records to an application log (:mod:`~repro.instrumentation.applog`);
+switches expose SNMP byte counters at coarse poll intervals
+(:mod:`~repro.instrumentation.snmp`).
+
+The companions quantify what instrumenting costs and what sampling
+loses: :mod:`~repro.instrumentation.overhead` reproduces the Table S2
+collection-overhead estimates, :mod:`~repro.instrumentation.sampling`
+the flow-sampling bias analysis, and
+:mod:`~repro.instrumentation.storage` the compressed event-log
+serialization whose sizes the overhead model prices.
+"""
 
 from .applog import ApplicationLog
 from .collector import ClusterCollector, CollectorConfig

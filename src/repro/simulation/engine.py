@@ -11,17 +11,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 __all__ = ["EventHandle", "EventEngine"]
 
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    sequence: int
-    handle: "EventHandle" = field(compare=False)
+# Heap entries are plain ``(time, sequence, handle)`` tuples: tuple
+# comparison short-circuits on ``time`` and never reaches the handle
+# (sequence numbers are unique), and pushing a tuple is several times
+# cheaper than constructing an order-enabled dataclass — measurable,
+# since every transfer schedules at least two events.
 
 
 @dataclass
@@ -51,7 +50,7 @@ class EventEngine:
     """
 
     def __init__(self) -> None:
-        self._heap: list[_HeapEntry] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self.now = 0.0
         self.events_processed = 0
@@ -68,9 +67,7 @@ class EventEngine:
         if time < self.now - 1e-9:
             raise ValueError(f"cannot schedule at {time} before now {self.now}")
         handle = EventHandle(time=max(time, self.now), callback=callback)
-        heapq.heappush(
-            self._heap, _HeapEntry(handle.time, next(self._sequence), handle)
-        )
+        heapq.heappush(self._heap, (handle.time, next(self._sequence), handle))
         if len(self._heap) > self.peak_heap_depth:
             self.peak_heap_depth = len(self._heap)
         return handle
@@ -83,9 +80,9 @@ class EventEngine:
 
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._heap and self._heap[0].handle.cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def run(self, until: float) -> None:
         """Process events up to and including time ``until``.
@@ -104,13 +101,13 @@ class EventEngine:
                 self.time_advance_hook(next_time)
             # Drain the batch at this timestamp; callbacks may extend it.
             while True:
-                while self._heap and self._heap[0].handle.cancelled:
+                while self._heap and self._heap[0][2].cancelled:
                     heapq.heappop(self._heap)
-                if not self._heap or self._heap[0].time > self.now + 1e-12:
+                if not self._heap or self._heap[0][0] > self.now + 1e-12:
                     break
-                entry = heapq.heappop(self._heap)
-                callback = entry.handle.callback
-                entry.handle.cancel()
+                handle = heapq.heappop(self._heap)[2]
+                callback = handle.callback
+                handle.cancel()
                 if callback is not None:
                     self.events_processed += 1
                     callback()
@@ -122,4 +119,4 @@ class EventEngine:
     @property
     def pending(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for entry in self._heap if not entry.handle.cancelled)
+        return sum(1 for _, _, handle in self._heap if not handle.cancelled)

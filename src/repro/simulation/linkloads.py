@@ -38,11 +38,16 @@ class LinkLoadTracker:
     # ------------------------------------------------------------- load sink
 
     def add_interval_bulk(
-        self, keys: np.ndarray, rates: np.ndarray, start: float, end: float
+        self,
+        keys: np.ndarray,
+        rates: np.ndarray,
+        start: float,
+        end: float,
+        unique_keys: bool = False,
     ) -> None:
         """Transport sink: integrate per-link rates over an interval."""
         self.intervals_integrated += len(keys)
-        self._bins.add_interval_bulk(keys, rates, start, end)
+        self._bins.add_interval_bulk(keys, rates, start, end, unique_keys=unique_keys)
 
     # ------------------------------------------------------------- accessors
 

@@ -70,7 +70,10 @@ class Simulator:
             self.topology, bin_width=1.0, horizon=config.duration
         )
         self.transport = FluidTransport(
-            self.topology, sinks=[self.link_loads], fairness=config.fairness
+            self.topology,
+            sinks=[self.link_loads],
+            fairness=config.fairness,
+            impl=config.transport_impl,
         )
         self.collector = ClusterCollector(
             self.topology,

@@ -13,7 +13,14 @@ ablation and a cross-check on the exact allocator.
 
 All per-flow state lives in preallocated numpy arrays indexed by slot so
 that the per-event work — integrating rates into link-load bins and
-re-running the water-filling — is vectorised.
+re-running the water-filling — is vectorised.  The water-filling itself
+lives in :mod:`repro.simulation.waterfill`, which provides two
+bit-identical allocators: the round-based reference loop and the
+production vectorized/heap allocator (selected by the ``impl``
+constructor argument, surfaced as ``SimulationConfig.transport_impl``).
+The active set's ``(paths, valid)`` view and the allocator's incidence
+structures are cached against a flow-set version counter so consecutive
+allocation passes over an unchanged active set skip the rebuild.
 """
 
 from __future__ import annotations
@@ -24,6 +31,12 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..cluster.topology import ClusterTopology
+from .waterfill import (
+    FlowIncidence,
+    bottleneck_rates,
+    maxmin_rates_reference,
+    maxmin_rates_vectorized,
+)
 
 __all__ = ["TransferMeta", "Transfer", "FluidTransport", "LoadSink"]
 
@@ -33,18 +46,24 @@ _EPS_BYTES = 0.5
 #: Minimum allocated rate (bytes/s), guarding against zero-rate stalls
 #: from floating-point cancellation in the water-filling loop.
 _MIN_RATE = 1.0
-#: Relative width within which links saturate together during one
-#: water-filling round (see ``_maxmin_rates``).
-_LEVEL_GROUPING = 0.02
 
 
 class LoadSink(Protocol):
     """Anything that accumulates per-link byte loads over intervals."""
 
     def add_interval_bulk(
-        self, keys: np.ndarray, rates: np.ndarray, start: float, end: float
+        self,
+        keys: np.ndarray,
+        rates: np.ndarray,
+        start: float,
+        end: float,
+        unique_keys: bool = False,
     ) -> None:
-        """Integrate ``rates`` (bytes/s) for ``keys`` over ``[start, end)``."""
+        """Integrate ``rates`` (bytes/s) for ``keys`` over ``[start, end)``.
+
+        ``unique_keys=True`` promises ``keys`` has no duplicates, letting
+        implementations use a fast accumulation path.
+        """
 
 
 @dataclass(frozen=True)
@@ -96,11 +115,15 @@ class FluidTransport:
         sinks: list[LoadSink] | None = None,
         fairness: str = "maxmin",
         initial_capacity: int = 256,
+        impl: str = "vectorized",
     ) -> None:
         if fairness not in ("maxmin", "bottleneck"):
             raise ValueError(f"unknown fairness mode {fairness!r}")
+        if impl not in ("vectorized", "reference"):
+            raise ValueError(f"unknown transport impl {impl!r}")
         self.topology = topology
         self.fairness = fairness
+        self.impl = impl
         self.sinks: list[LoadSink] = list(sinks) if sinks else []
         self.capacities = topology.capacities.copy()
         self.num_links = topology.num_links
@@ -121,6 +144,13 @@ class FluidTransport:
 
         self.now = 0.0
         self.rates_dirty = False
+        #: Bumped whenever the active flow set changes; keys the cached
+        #: active view and the allocator's incidence structures.
+        self._flows_version = 0
+        self._view_version = -1
+        self._view: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._incidence_version = -1
+        self._incidence: FlowIncidence | None = None
         self._completed_buffer: list[tuple[Transfer, Callable[[Transfer], None] | None]] = []
         self._next_transfer_id = 0
         self.transfers_started = 0
@@ -186,23 +216,37 @@ class FluidTransport:
         self._sizes[slot] = size
         self._start_times[slot] = self.now
         self.rates_dirty = True
+        self._flows_version += 1
         self.transfers_started += 1
         active = self.transfers_started - self._next_transfer_id
         if active > self.peak_active:
             self.peak_active = active
         return slot
 
+    def _active_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(active_idx, paths, valid)`` for the current flow set.
+
+        ``paths``/``valid`` depend only on active-set membership, not on
+        rates or remaining bytes, so the gather is reused across every
+        rate integration and allocation pass between flow arrivals and
+        completions.
+        """
+        if self._view_version != self._flows_version or self._view is None:
+            active_idx = np.flatnonzero(self._active)
+            paths = self._paths[active_idx]
+            self._view = (active_idx, paths, paths >= 0)
+            self._view_version = self._flows_version
+        return self._view
+
     def advance_to(self, time: float) -> None:
         """Integrate current rates up to ``time`` and complete drained flows."""
         if time < self.now - 1e-9:
             raise ValueError("cannot advance backwards")
         dt = time - self.now
-        active_idx = np.flatnonzero(self._active)
+        active_idx, paths, valid = self._active_view()
         if dt > 0 and active_idx.size:
             rates = self._rates[active_idx]
             if self.sinks:
-                paths = self._paths[active_idx]
-                valid = paths >= 0
                 link_ids = paths[valid]
                 per_flow = np.repeat(rates, valid.sum(axis=1))
                 link_rates = np.bincount(
@@ -211,7 +255,10 @@ class FluidTransport:
                 loaded = np.flatnonzero(link_rates)
                 if loaded.size:
                     for sink in self.sinks:
-                        sink.add_interval_bulk(loaded, link_rates[loaded], self.now, time)
+                        sink.add_interval_bulk(
+                            loaded, link_rates[loaded], self.now, time,
+                            unique_keys=True,
+                        )
             self._remaining[active_idx] = np.maximum(
                 self._remaining[active_idx] - rates * dt, 0.0
             )
@@ -241,6 +288,7 @@ class FluidTransport:
         self._on_complete[slot] = None
         self._free_slots.append(slot)
         self.rates_dirty = True
+        self._flows_version += 1
 
     def pop_completed(
         self,
@@ -257,12 +305,10 @@ class FluidTransport:
     def recompute_rates(self) -> None:
         """Re-run the fair-share allocation for the current active set."""
         self.rate_recomputes += 1
-        active_idx = np.flatnonzero(self._active)
+        active_idx, paths, valid = self._active_view()
         if active_idx.size == 0:
             self.rates_dirty = False
             return
-        paths = self._paths[active_idx]
-        valid = paths >= 0
         if self.fairness == "maxmin":
             rates = self._maxmin_rates(paths, valid)
         else:
@@ -270,71 +316,45 @@ class FluidTransport:
         self._rates[active_idx] = np.maximum(rates, _MIN_RATE)
         self.rates_dirty = False
 
-    def _maxmin_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
-        """Progressive-filling max-min fair allocation.
+    def _flow_incidence(self, paths: np.ndarray, valid: np.ndarray) -> FlowIncidence:
+        """Incidence structures for the current active set, version-cached."""
+        if (
+            self._incidence_version != self._flows_version
+            or self._incidence is None
+            or self._incidence.paths is not paths
+        ):
+            self._incidence = FlowIncidence(
+                paths, valid, self.capacities, self.num_links
+            )
+            self._incidence_version = self._flows_version
+        return self._incidence
 
-        Links whose fair share lies within ``_LEVEL_GROUPING`` of the
-        current bottleneck saturate together in one iteration.  This
-        bounds the number of water-filling rounds by the number of
-        *distinct share magnitudes* instead of distinct links, at a worst
-        case rate error of the grouping width — far below the fidelity of
-        the fluid abstraction itself.
+    def _maxmin_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
+        """Max-min fair allocation via the configured allocator.
+
+        Both implementations live in :mod:`repro.simulation.waterfill`
+        and produce bit-identical rates; ``impl="reference"`` runs the
+        original round-based loop for differential checking.
         """
-        num_flows = paths.shape[0]
-        flat = paths[valid]
-        counts = np.bincount(flat, minlength=self.num_links).astype(float)
-        remaining_cap = self.capacities.astype(float).copy()
-        rates = np.zeros(num_flows)
-        unassigned = np.ones(num_flows, dtype=bool)
-        num_unassigned = num_flows
-        for _ in range(self.num_links + 1):
-            if num_unassigned == 0:
-                break
-            with np.errstate(divide="ignore", invalid="ignore"):
-                share = remaining_cap / counts
-            share[counts <= 0] = np.inf
-            level = share.min()
-            if not np.isfinite(level):
-                break
-            saturated = share <= level * (1.0 + _LEVEL_GROUPING)
-            crosses = (saturated[paths] & valid).any(axis=1) & unassigned
-            num_crossing = int(crosses.sum())
-            if num_crossing == 0:
-                break
-            # Each grouped flow gets the exact share of its own tightest
-            # saturated link (not the group level), so flows on slightly
-            # wider links are not clipped to the narrowest one.
-            padded = np.where(valid & saturated[paths], share[paths], np.inf)
-            rates[crosses] = padded[crosses].min(axis=1)
-            unassigned[crosses] = False
-            num_unassigned -= num_crossing
-            crossing_valid = valid[crosses]
-            used = paths[crosses][crossing_valid]
-            used_rates = np.repeat(rates[crosses], crossing_valid.sum(axis=1))
-            consumed = np.bincount(used, weights=used_rates,
-                                   minlength=self.num_links)
-            np.maximum(remaining_cap - consumed, 0.0, out=remaining_cap)
-            counts -= np.bincount(used, minlength=self.num_links)
-        # Flows left unassigned cross only links that lost all contenders
-        # (possible only through float jitter): give them their bottleneck
-        # share directly.
-        if num_unassigned > 0:
-            leftover = self._bottleneck_rates(paths[unassigned], valid[unassigned])
-            rates[unassigned] = leftover
-        return rates
+        if self.impl == "reference":
+            return maxmin_rates_reference(
+                paths, valid, self.capacities, self.num_links
+            )
+        return maxmin_rates_vectorized(
+            paths,
+            valid,
+            self.capacities,
+            self.num_links,
+            incidence=self._flow_incidence(paths, valid),
+        )
 
     def _bottleneck_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
         """Equal split on each link; flow rate = min share along its path."""
-        flat = paths[valid]
-        counts = np.bincount(flat, minlength=self.num_links).astype(float)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            share = np.where(counts > 0, self.capacities / counts, np.inf)
-        padded_share = np.where(paths >= 0, share[np.maximum(paths, 0)], np.inf)
-        return padded_share.min(axis=1)
+        return bottleneck_rates(paths, valid, self.capacities, self.num_links)
 
     def next_completion_time(self) -> float | None:
         """Earliest time an active flow drains at current rates, or ``None``."""
-        active_idx = np.flatnonzero(self._active)
+        active_idx = self._active_view()[0]
         if active_idx.size == 0:
             return None
         rates = self._rates[active_idx]
@@ -356,7 +376,7 @@ class FluidTransport:
         no future completion can emit an event before the oldest active
         flow's start time (minus clock skew).
         """
-        active_idx = np.flatnonzero(self._active)
+        active_idx = self._active_view()[0]
         if active_idx.size == 0:
             return None
         return float(self._start_times[active_idx].min())
@@ -367,11 +387,9 @@ class FluidTransport:
 
     def utilization_snapshot(self) -> np.ndarray:
         """Instantaneous per-link utilisation under current rates."""
-        active_idx = np.flatnonzero(self._active)
+        active_idx, paths, valid = self._active_view()
         link_rates = np.zeros(self.num_links)
         if active_idx.size:
-            paths = self._paths[active_idx]
-            valid = paths >= 0
             per_flow = np.repeat(self._rates[active_idx], valid.sum(axis=1))
             link_rates = np.bincount(
                 paths[valid], weights=per_flow, minlength=self.num_links

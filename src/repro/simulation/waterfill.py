@@ -1,0 +1,400 @@
+"""Max-min fair-share allocators: the transport hot path.
+
+Every congestion figure in the paper (§4.2, §4.3, §4.4) is driven by the
+fluid transport's progressive-filling ("water-filling") allocation, and a
+campaign recomputes it after every event batch — profiling shows it is
+the single most expensive operation in the pipeline (see
+``benchmarks/bench_core_ops.py::test_maxmin_waterfill``).  This module
+holds the three interchangeable implementations:
+
+``maxmin_rates_reference``
+    The original round-based NumPy loop, kept verbatim.  Selected with
+    ``SimulationConfig.transport_impl = "reference"``; the differential
+    tests and the ``transport.allocator_equivalence`` checker assert the
+    optimised paths below reproduce it *bit for bit*, so a reference run
+    and a vectorized run produce identical event logs.
+
+``maxmin_rates_vectorized``
+    The production allocator.  It exploits two structural facts of
+    progressive filling with level grouping: each link saturates in at
+    most one round, and each flow is assigned in exactly one round — so
+    total work can be made proportional to the number of (flow, link)
+    incidences rather than ``rounds x flows``.  Two regimes:
+
+    * **small active sets** (the common campaign case): a lazy min-heap
+      of link shares drives the rounds entirely in Python.  Saturated
+      links pop off the heap in increasing share order, so the first
+      saturated link that reaches a flow *is* that flow's bottleneck —
+      no per-flow minimisation at all.
+    * **large active sets** (``>= _CSR_FLOW_THRESHOLD``): a batched
+      fixed-point elimination over a compacted link x flow incidence
+      array (CSR-style ``flat``/``indptr``), where each round masks the
+      saturated links and finds each remaining flow's bottleneck with a
+      single ``np.minimum.reduceat``.
+
+    Both regimes replay the reference rounds with the same IEEE-754
+    operations in the same order, so the allocations are bit-identical;
+    they differ only in bookkeeping.
+
+``bottleneck_rates``
+    The cheap ablation mode: equal split on each link, no leftover
+    redistribution.  Shared by every implementation.
+
+The :class:`FlowIncidence` cache holds the per-active-set structures
+(flat incidence arrays, link->flow adjacency, initial shares) keyed by
+the transport's flow-set version, so back-to-back recomputations — e.g.
+a barrier phase releasing shuffle flows over several event batches —
+skip the rebuild.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+
+import numpy as np
+
+__all__ = [
+    "FlowIncidence",
+    "bottleneck_rates",
+    "maxmin_rates_reference",
+    "maxmin_rates_vectorized",
+]
+
+#: Relative width within which links saturate together during one
+#: water-filling round.  Bounds the number of rounds by the number of
+#: *distinct share magnitudes* instead of distinct links, at a worst
+#: case rate error of the grouping width — far below the fidelity of
+#: the fluid abstraction itself.
+_LEVEL_GROUPING = 0.02
+
+#: Active-flow count at which the vectorized allocator switches from the
+#: heap-driven Python rounds to the batched CSR elimination.  Below it,
+#: NumPy per-call overhead dominates the tiny arrays; above it, the
+#: batched path's O(remaining incidences) rounds win decisively.
+_CSR_FLOW_THRESHOLD = 2048
+
+_INF = float("inf")
+
+
+# --------------------------------------------------------------- reference
+
+
+def bottleneck_rates(
+    paths: np.ndarray, valid: np.ndarray, capacities: np.ndarray, num_links: int
+) -> np.ndarray:
+    """Equal split on each link; flow rate = min share along its path."""
+    flat = paths[valid]
+    counts = np.bincount(flat, minlength=num_links).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        share = np.where(counts > 0, capacities / counts, np.inf)
+    padded_share = np.where(paths >= 0, share[np.maximum(paths, 0)], np.inf)
+    return padded_share.min(axis=1)
+
+
+def maxmin_rates_reference(
+    paths: np.ndarray, valid: np.ndarray, capacities: np.ndarray, num_links: int
+) -> np.ndarray:
+    """Progressive-filling max-min fair allocation (round-based loop).
+
+    Links whose fair share lies within ``_LEVEL_GROUPING`` of the
+    current bottleneck saturate together in one iteration.  Kept as the
+    ground truth the optimised allocators are checked against.
+    """
+    num_flows = paths.shape[0]
+    flat = paths[valid]
+    counts = np.bincount(flat, minlength=num_links).astype(float)
+    remaining_cap = capacities.astype(float).copy()
+    rates = np.zeros(num_flows)
+    unassigned = np.ones(num_flows, dtype=bool)
+    num_unassigned = num_flows
+    for _ in range(num_links + 1):
+        if num_unassigned == 0:
+            break
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = remaining_cap / counts
+        share[counts <= 0] = np.inf
+        level = share.min()
+        if not np.isfinite(level):
+            break
+        saturated = share <= level * (1.0 + _LEVEL_GROUPING)
+        crosses = (saturated[paths] & valid).any(axis=1) & unassigned
+        num_crossing = int(crosses.sum())
+        if num_crossing == 0:
+            break
+        # Each grouped flow gets the exact share of its own tightest
+        # saturated link (not the group level), so flows on slightly
+        # wider links are not clipped to the narrowest one.
+        padded = np.where(valid & saturated[paths], share[paths], np.inf)
+        rates[crosses] = padded[crosses].min(axis=1)
+        unassigned[crosses] = False
+        num_unassigned -= num_crossing
+        crossing_valid = valid[crosses]
+        used = paths[crosses][crossing_valid]
+        used_rates = np.repeat(rates[crosses], crossing_valid.sum(axis=1))
+        consumed = np.bincount(used, weights=used_rates, minlength=num_links)
+        np.maximum(remaining_cap - consumed, 0.0, out=remaining_cap)
+        counts -= np.bincount(used, minlength=num_links)
+    # Flows left unassigned cross only links that lost all contenders
+    # (possible only through float jitter): give them their bottleneck
+    # share directly.
+    if num_unassigned > 0:
+        rates[unassigned] = bottleneck_rates(
+            paths[unassigned], valid[unassigned], capacities, num_links
+        )
+    return rates
+
+
+# --------------------------------------------------------------- incidence
+
+
+class FlowIncidence:
+    """Per-active-set structures shared across recomputations.
+
+    Everything here is a pure function of ``(paths, valid, capacities)``;
+    the transport caches an instance keyed by its flow-set version so
+    consecutive allocation passes over an unchanged active set skip the
+    rebuild.  The Python adjacency lists used by the heap regime are
+    built lazily — the CSR regime never pays for them.
+    """
+
+    __slots__ = (
+        "paths",
+        "valid",
+        "num_flows",
+        "lens",
+        "flat",
+        "counts0",
+        "_cap_list",
+        "_share0_list",
+        "_heap0",
+        "_flow_links",
+        "_link_flows",
+    )
+
+    def __init__(
+        self, paths: np.ndarray, valid: np.ndarray, capacities: np.ndarray,
+        num_links: int,
+    ) -> None:
+        self.paths = paths
+        self.valid = valid
+        self.num_flows = paths.shape[0]
+        self.lens = valid.sum(axis=1)
+        self.flat = paths[valid]
+        self.counts0 = np.bincount(self.flat, minlength=num_links).astype(float)
+        self._cap_list: list[float] | None = None
+        self._share0_list: list[float] | None = None
+        self._heap0: list[tuple[float, int]] | None = None
+        self._flow_links: list[list[int]] | None = None
+        self._link_flows: list[list[int]] | None = None
+
+    def heap_state(
+        self, capacities: np.ndarray, num_links: int
+    ) -> tuple[list, list, list, list, list, list]:
+        """Fresh per-call state for the heap regime (lists are copied)."""
+        if self._flow_links is None:
+            share0 = np.full(num_links, _INF)
+            np.divide(
+                capacities, self.counts0, out=share0, where=self.counts0 > 0
+            )
+            share0_list = share0.tolist()
+            heap0 = [(s, l) for l, s in enumerate(share0_list) if s < _INF]
+            heapify(heap0)
+            flow_links: list[list[int]] = []
+            link_flows: list[list[int]] = [[] for _ in range(num_links)]
+            rows = self.paths.tolist()
+            lens = self.lens.tolist()
+            for flow, row in enumerate(rows):
+                links = row[: lens[flow]]
+                flow_links.append(links)
+                for link in links:
+                    link_flows[link].append(flow)
+            self._cap_list = capacities.astype(float).tolist()
+            self._share0_list = share0_list
+            self._heap0 = heap0
+            self._flow_links = flow_links
+            self._link_flows = link_flows
+        return (
+            self.counts0.tolist(),
+            list(self._cap_list),
+            list(self._share0_list),
+            list(self._heap0),
+            self._flow_links,
+            self._link_flows,
+        )
+
+
+# --------------------------------------------------------------- vectorized
+
+
+def maxmin_rates_vectorized(
+    paths: np.ndarray,
+    valid: np.ndarray,
+    capacities: np.ndarray,
+    num_links: int,
+    incidence: FlowIncidence | None = None,
+) -> np.ndarray:
+    """Bit-identical fast replay of :func:`maxmin_rates_reference`.
+
+    Dispatches between the heap regime (small active sets, Python
+    rounds) and the CSR regime (large active sets, batched NumPy
+    elimination) on ``_CSR_FLOW_THRESHOLD``; both produce the exact
+    floats of the reference loop, so the choice never shows up in an
+    event log.
+    """
+    if paths.shape[0] == 0:
+        return np.zeros(0)
+    if incidence is None:
+        incidence = FlowIncidence(paths, valid, capacities, num_links)
+    if incidence.num_flows >= _CSR_FLOW_THRESHOLD:
+        return _maxmin_csr(paths, valid, capacities, num_links, incidence)
+    return _maxmin_heap(paths, valid, capacities, num_links, incidence)
+
+
+def _maxmin_heap(
+    paths: np.ndarray,
+    valid: np.ndarray,
+    capacities: np.ndarray,
+    num_links: int,
+    incidence: FlowIncidence,
+) -> np.ndarray:
+    """Heap-driven replay of the reference rounds, all in Python.
+
+    A lazy min-heap of ``(share, link)`` supplies each round's level and
+    its saturated links *in increasing share order* — so the first
+    saturated link that reaches a flow is that flow's tightest saturated
+    link, and the flow's rate is read off directly.  Stale heap entries
+    (links whose share has since changed) are discarded on pop by
+    comparing against the live share table.  Per-link consumption is
+    accumulated in increasing flow order and applied once per round,
+    matching the reference's ``np.bincount`` summation order so the
+    floating-point results are identical.
+    """
+    num_flows = paths.shape[0]
+    counts, remaining, share, heap, flow_links, link_flows = (
+        incidence.heap_state(capacities, num_links)
+    )
+    rates_out = [0.0] * num_flows
+    unassigned = [True] * num_flows
+    num_unassigned = num_flows
+    rounds_left = num_links + 1
+    pop = heappop
+    push = heappush
+    while rounds_left > 0 and num_unassigned > 0:
+        rounds_left -= 1
+        while heap:
+            level, link = heap[0]
+            if share[link] == level:
+                break
+            pop(heap)
+        if not heap:
+            break
+        thresh = heap[0][0] * (1.0 + _LEVEL_GROUPING)
+        cand: list[int] = []
+        append = cand.append
+        while heap:
+            s, link = heap[0]
+            if s > thresh:
+                break
+            pop(heap)
+            if share[link] == s:
+                for flow in link_flows[link]:
+                    if unassigned[flow]:
+                        unassigned[flow] = False
+                        rates_out[flow] = s
+                        append(flow)
+        if not cand:
+            break
+        cand.sort()
+        num_unassigned -= len(cand)
+        consumed: dict[int, float] = {}
+        cget = consumed.get
+        for flow in cand:
+            rate = rates_out[flow]
+            for link in flow_links[flow]:
+                counts[link] -= 1.0
+                total = cget(link)
+                consumed[link] = rate if total is None else total + rate
+        for link, total in consumed.items():
+            left = remaining[link] - total
+            if left < 0.0:
+                left = 0.0
+            remaining[link] = left
+            count = counts[link]
+            if count > 0.0:
+                s = left / count
+                share[link] = s
+                push(heap, (s, link))
+            else:
+                share[link] = _INF
+    rates = np.array(rates_out)
+    if num_unassigned > 0:
+        rem = np.array(
+            [f for f in range(num_flows) if unassigned[f]], dtype=np.int64
+        )
+        rates[rem] = bottleneck_rates(
+            paths[rem], valid[rem], capacities, num_links
+        )
+    return rates
+
+
+def _maxmin_csr(
+    paths: np.ndarray,
+    valid: np.ndarray,
+    capacities: np.ndarray,
+    num_links: int,
+    incidence: FlowIncidence,
+) -> np.ndarray:
+    """Batched elimination over a compacted link x flow incidence array.
+
+    Each round masks the saturated links, finds every remaining flow's
+    tightest saturated link with one ``np.minimum.reduceat`` over the
+    CSR-flattened incidence, then compacts assigned flows out of the
+    working arrays — so round ``k`` only touches flows still unassigned
+    after round ``k - 1``.  Summation orders match the reference's
+    ``np.bincount`` calls (flow-major, ascending), keeping the floats
+    bit-identical.
+    """
+    num_flows = paths.shape[0]
+    lens = incidence.lens
+    flat = incidence.flat
+    counts = incidence.counts0.copy()
+    remaining_cap = capacities.astype(float).copy()
+    rates = np.zeros(num_flows)
+    ids = np.arange(num_flows)
+    share = np.empty(num_links)
+    num_unassigned = num_flows
+    indptr = np.zeros(num_flows + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    for _ in range(num_links + 1):
+        if num_unassigned == 0:
+            break
+        share.fill(np.inf)
+        np.divide(remaining_cap, counts, out=share, where=counts > 0)
+        level = share.min()
+        if not np.isfinite(level):
+            break
+        masked = np.where(share <= level * (1.0 + _LEVEL_GROUPING), share, np.inf)
+        mins = np.minimum.reduceat(masked[flat], indptr[:-1])
+        crossing = np.isfinite(mins)
+        num_crossing = int(crossing.sum())
+        if num_crossing == 0:
+            break
+        rates[ids[crossing]] = mins[crossing]
+        num_unassigned -= num_crossing
+        expanded = np.repeat(crossing, lens)
+        used = flat[expanded]
+        used_rates = np.repeat(mins[crossing], lens[crossing])
+        consumed = np.bincount(used, weights=used_rates, minlength=num_links)
+        np.maximum(remaining_cap - consumed, 0.0, out=remaining_cap)
+        counts -= np.bincount(used, minlength=num_links)
+        keep = ~crossing
+        ids = ids[keep]
+        lens = lens[keep]
+        flat = flat[~expanded]
+        indptr = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+    if num_unassigned > 0:
+        rates[ids] = bottleneck_rates(
+            paths[ids], valid[ids], capacities, num_links
+        )
+    return rates

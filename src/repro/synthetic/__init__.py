@@ -1,4 +1,17 @@
-"""Parametric synthetic traffic from the paper's §4.1/§4.3 models."""
+"""Parametric synthetic traffic from the paper's §4.1/§4.3 models.
+
+The paper distils its measurements into two generative observations:
+traffic volumes are well described by a bimodal within-rack/out-of-rack
+split over a gravity-style pair distribution (§4.1), and flow arrivals
+follow stop-and-go ON/OFF processes with heavy-tailed periods (§4.3).
+:class:`SyntheticTrafficModel` and :func:`gravity_synthetic_tm` generate
+traffic matrices from the first; :class:`StopAndGoArrivals` generates
+arrival processes from the second.
+
+These are the models the evaluation experiments compare *against* the
+simulated ground truth — e.g. whether a gravity fit can stand in for
+the measured TM (Fig 12-14's tomography question).
+"""
 
 from .arrivals import StopAndGoArrivals
 from .model import SyntheticTrafficModel, gravity_synthetic_tm

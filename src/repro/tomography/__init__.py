@@ -1,4 +1,18 @@
-"""Network tomography in the datacenter (paper §5)."""
+"""Network tomography in the datacenter (paper §5).
+
+The paper's §5 asks whether classical ISP tomography — inferring the
+traffic matrix from SNMP link counts plus a prior — survives contact
+with datacenter traffic, and answers no.  This package reproduces that
+negative result: :mod:`~repro.tomography.gravity` builds the standard
+gravity prior from node totals, :mod:`~repro.tomography.jobprior` and
+:mod:`~repro.tomography.roleprior` the application-informed
+alternatives, :mod:`~repro.tomography.tomogravity` the least-squares
+correction step against the routing A-matrix, and
+:mod:`~repro.tomography.metrics` the error measures (plus
+:mod:`~repro.tomography.sparsity`, the Fig 13-14 diagnostics explaining
+*why* the priors fail: datacenter TMs are sparse, spiky and weakly
+correlated with node totals).
+"""
 
 from .gravity import gravity_matrix, gravity_prior_for_pairs, node_totals_from_tm
 from .jobprior import job_affinity_matrix, job_aware_prior

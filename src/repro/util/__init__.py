@@ -1,4 +1,16 @@
-"""Shared utilities: units, deterministic RNG streams, statistics, binning."""
+"""Shared utilities: units, deterministic RNG streams, statistics, binning.
+
+The small dependencies every layer shares:
+:mod:`~repro.util.randomness` derives named, independent RNG streams
+from one campaign seed so adding a consumer never perturbs existing
+ones (the root of the repo's bit-reproducibility guarantee);
+:mod:`~repro.util.timeseries` integrates piecewise-constant rates into
+aligned time bins (the transport hot path writes through it);
+:mod:`~repro.util.stats` holds the ECDF and log-histogram machinery the
+figure experiments plot; :mod:`~repro.util.units` the byte/rate
+formatting; :mod:`~repro.util.ascii` the terminal table and chart
+primitives under :mod:`repro.viz`.
+"""
 
 from .randomness import RandomSource, derive_seed
 from .stats import (

@@ -709,3 +709,45 @@ def check_inline_transport(ctx) -> list[Violation]:
             start=start, now=ctx.simulator.engine.now,
         ))
     return violations
+
+
+@checker(
+    "transport.allocator_equivalence",
+    tags=("inline", "cheap", "transport"),
+    requires=("simulator",),
+)
+def check_allocator_equivalence(ctx) -> list[Violation]:
+    """Both water-filling allocators agree bitwise on the live active set.
+
+    This is the invariant that makes ``transport_impl`` a pure
+    performance switch: the vectorized allocator must reproduce the
+    reference loop's floats exactly, so reference and vectorized runs
+    yield identical event logs.  Comparison is ``array_equal`` — any
+    tolerance here would hide drift that compounds into divergent
+    completion times.
+    """
+    from ..simulation.waterfill import (
+        maxmin_rates_reference,
+        maxmin_rates_vectorized,
+    )
+
+    transport = ctx.simulator.transport
+    active_idx, paths, valid = transport._active_view()
+    if active_idx.size == 0:
+        return []
+    reference = maxmin_rates_reference(
+        paths, valid, transport.capacities, transport.num_links
+    )
+    vectorized = maxmin_rates_vectorized(
+        paths, valid, transport.capacities, transport.num_links
+    )
+    if not np.array_equal(reference, vectorized):
+        diverged = int((reference != vectorized).sum())
+        worst = float(np.abs(reference - vectorized).max())
+        return [make_violation(
+            "transport.allocator_equivalence",
+            "vectorized allocator diverged from the reference loop",
+            flows=int(active_idx.size), diverged=diverged,
+            max_abs_difference=worst,
+        )]
+    return []

@@ -1,4 +1,13 @@
-"""ASCII figure rendering."""
+"""ASCII figure rendering.
+
+Terminal renderings of the paper's figures — heatmaps, CDFs, bar charts
+— built on :mod:`repro.util.ascii` so a reproduction run needs no
+plotting stack: ``repro figures`` prints Fig 2's traffic-matrix heatmap
+or Fig 9's duration CDFs straight to stdout.  Each ``figureN_*``
+function takes the corresponding experiment's summary output (resolved
+through :mod:`repro.experiments.registry`), keeping rendering strictly
+downstream of analysis.
+"""
 
 from .figures import (
     figure2_heatmap,

@@ -1,4 +1,20 @@
-"""Workload substrate: block store, Scope compiler, scheduler, executor."""
+"""Workload substrate: block store, Scope compiler, scheduler, executor.
+
+The application side of the paper's cluster: a MapReduce/Dryad-style
+platform whose jobs *are* the traffic.  :mod:`~repro.workload.scope`
+compiles job templates into phase DAGs;
+:mod:`~repro.workload.blockstore` models the replicated distributed
+file system whose placement decides which transfers stay within a rack;
+:mod:`~repro.workload.scheduler` assigns phase vertices to servers;
+:mod:`~repro.workload.runtime` executes vertices through the simulator,
+turning reads, shuffles and replicated writes into transport flows; and
+:mod:`~repro.workload.generator` drives job arrivals (diurnal load,
+ingestion, evacuation events) over a campaign.
+
+Work-induced traffic — not synthetic matrices — is what gives the
+reproduced figures their structure, e.g. the within-rack bytes of Fig 3
+and the congestion/job correlations of §4.2.
+"""
 
 from .blockstore import Block, BlockStore, Dataset
 from .generator import (

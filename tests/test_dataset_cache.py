@@ -52,6 +52,9 @@ def tiny_config(seed: int = 0, duration: float = 20.0) -> SimulationConfig:
 #: survive validation or not change the value meaningfully.
 _SPECIAL = {
     "fairness": lambda value: "bottleneck" if value == "maxmin" else "maxmin",
+    "transport_impl": lambda value: (
+        "reference" if value == "vectorized" else "vectorized"
+    ),
     "template_weights": lambda value: {
         **value, next(iter(value)): next(iter(value.values())) * 2.0
     },

@@ -52,6 +52,7 @@ class TestRegistry:
             "trace.roundtrip", "congestion.in_bounds",
             "tomography.link_consistency", "inline.engine_time",
             "inline.linkloads", "inline.transport",
+            "transport.allocator_equivalence",
         ):
             assert expected in names
 
@@ -251,7 +252,8 @@ class TestInlineMode:
         assert report.ok
         run = {r.name for r in report.results}
         assert run == {"inline.engine_time", "inline.linkloads",
-                       "inline.transport"}
+                       "inline.transport",
+                       "transport.allocator_equivalence"}
 
     def test_inline_violation_aborts_run(self):
         import dataclasses
