@@ -8,12 +8,15 @@ benchmarks/bench_campaign.py`` and it writes
   speedup a second process gets from ``.repro-cache``;
 * serial (``jobs=1``) vs parallel (``jobs=2``) wall time for a 4-seed
   campaign over fig02+fig09, with per-seed content hashes so the run
-  doubles as a determinism check.
+  doubles as a determinism check, plus each run's merged-timeline
+  **phase breakdown** (spawn / import / wait / dataset-load / compute /
+  merge seconds and lane coverage) — the cross-process telemetry makes
+  the campaign explain its own wall-clock.
 
 ``host.cpu_count`` is recorded alongside: on a single-core host the
 parallel campaign cannot beat the serial one (spawn overhead makes it
 slightly slower), so interpret ``parallel_speedup`` against the core
-count, not in isolation.
+count and the ``wait`` phase total, not in isolation.
 """
 
 from __future__ import annotations
@@ -69,12 +72,18 @@ def bench_campaign(workdir: pathlib.Path) -> dict:
             jobs=jobs, cache_dir=cache_dir,
         )
         wall = time.perf_counter() - start
+        timeline = result.timeline
         out[label] = {
             "jobs": jobs,
             "wall_seconds": round(wall, 3),
             "per_seed_build_seconds": [
                 round(run.build_seconds, 3) for run in result.seed_runs
             ],
+            "phase_seconds": {
+                name: round(seconds, 3)
+                for name, seconds in timeline["phase_totals"].items()
+            },
+            "timeline_coverage": round(timeline["coverage"], 4),
         }
         hashes[label] = [run.content_hash for run in result.seed_runs]
     out["parallel_speedup"] = round(
@@ -91,7 +100,7 @@ def main() -> None:
     workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-campaign-"))
     try:
         payload = {
-            "schema_version": 1,
+            "schema_version": 2,
             "host": {"cpu_count": os.cpu_count()},
             "dataset_cache": bench_dataset_cache(workdir),
             "campaign": bench_campaign(workdir),

@@ -19,8 +19,12 @@ The commands cover the library's workflow:
   (``--jobs`` fans seeds across processes) and aggregate mean/CI
   summary rows into a campaign manifest, or report a prior one;
 * ``cache`` — inspect or clear the on-disk dataset cache;
-* ``telemetry-report`` — render a previously written trace/manifest as
-  human-readable tables;
+* ``telemetry-report`` — render previously written traces/manifests as
+  human-readable tables (multiple JSONL traces, or globs, aggregate
+  into one rollup);
+* ``telemetry`` — render a merged campaign timeline (``timeline``: ASCII
+  Gantt, Prometheus text or Chrome ``trace_event`` JSON) and compare two
+  timelines/manifests metric-by-metric under a tolerance (``diff``);
 * ``validate`` — run the cross-layer invariant checkers
   (:mod:`repro.validate`) over a recorded trace or a freshly built
   campaign, exiting non-zero on any violation;
@@ -36,6 +40,8 @@ Figure and ablation names resolve through
 from __future__ import annotations
 
 import argparse
+import pathlib
+import re
 import sys
 
 from .cluster.topology import ClusterSpec
@@ -168,6 +174,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="always rebuild datasets; persist nothing")
     campaign_run.add_argument("--manifest-out", default="campaign-manifest.json",
                               metavar="PATH")
+    campaign_run.add_argument("--timeline-out", default=None, metavar="PATH",
+                              help="merged campaign timeline JSON (default: "
+                                   "<manifest-out stem>-timeline.json)")
+    campaign_run.add_argument("--heartbeat", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-seed progress heartbeats on stderr "
+                                   "every SECONDS of simulated time "
+                                   "(default: off)")
     campaign_report = campaign_sub.add_parser(
         "report", help="render a campaign manifest as tables")
     campaign_report.add_argument("manifest", nargs="?",
@@ -184,10 +198,52 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("telemetry-report",
                             help="render a trace/manifest as tables")
-    report.add_argument("trace", nargs="?", default=None,
-                        help="JSONL span trace written by simulate --trace-out")
+    report.add_argument("trace", nargs="*", default=[],
+                        help="JSONL span traces written by simulate "
+                             "--trace-out (files or globs; multiple traces "
+                             "aggregate into one rollup)")
     report.add_argument("--manifest", metavar="PATH",
                         help="run manifest written by simulate --telemetry")
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="render, export and diff merged campaign telemetry")
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command",
+                                             required=True)
+    telemetry_timeline = telemetry_sub.add_parser(
+        "timeline",
+        help="render a campaign timeline (ASCII Gantt / Prometheus / "
+             "Chrome trace)")
+    telemetry_timeline.add_argument(
+        "timeline", nargs="?", default="campaign-timeline.json",
+        help="timeline JSON written by campaign run "
+             "(default: campaign-timeline.json)")
+    telemetry_timeline.add_argument(
+        "--format", choices=("ascii", "prometheus", "chrome"),
+        default="ascii", help="output format (default: ascii)")
+    telemetry_timeline.add_argument(
+        "--width", type=int, default=64,
+        help="Gantt chart width in characters (ascii format only)")
+    telemetry_timeline.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write to PATH instead of stdout")
+    telemetry_diff = telemetry_sub.add_parser(
+        "diff",
+        help="compare two timelines/manifests metric-by-metric")
+    telemetry_diff.add_argument(
+        "baseline", help="baseline timeline or run-manifest JSON")
+    telemetry_diff.add_argument(
+        "current", help="current timeline or run-manifest JSON")
+    telemetry_diff.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative tolerance before a metric counts as changed "
+             "(default: 0.25)")
+    telemetry_diff.add_argument(
+        "--only-changed", action="store_true",
+        help="hide rows whose status is 'ok'")
+    telemetry_diff.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 if any metric regresses beyond tolerance")
 
     validate = sub.add_parser(
         "validate",
@@ -337,15 +393,24 @@ def _format_metric(state: dict) -> str:
 
 
 def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    import glob as globlib
+
     from .experiments.reporting import format_table
-    from .telemetry import RunManifest, aggregate_spans, read_jsonl
+    from .telemetry import RunManifest, aggregate_spans, load_spans
 
     if not args.trace and not args.manifest:
         print("nothing to report: pass a trace file and/or --manifest",
               file=sys.stderr)
         return 2
-    if args.trace:
-        rollup = aggregate_spans(read_jsonl(args.trace))
+    traces: list[str] = []
+    for pattern in args.trace:
+        matches = sorted(globlib.glob(pattern))
+        if not matches:
+            print(f"no trace matches {pattern!r}", file=sys.stderr)
+            return 2
+        traces.extend(matches)
+    if traces:
+        rollup = aggregate_spans(load_spans(traces))
         rows = [
             (name, str(agg["count"]), f"{agg['total_s']:.3f}",
              f"{agg['mean_s']:.3f}", f"{agg['max_s']:.3f}")
@@ -353,13 +418,14 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
                 rollup.items(), key=lambda item: -item[1]["total_s"]
             )
         ]
+        source = traces[0] if len(traces) == 1 else f"{len(traces)} traces"
         print(format_table(
-            f"spans — {args.trace}", rows,
+            f"spans — {source}", rows,
             headers=("span", "count", "total s", "mean s", "max s"),
         ))
     if args.manifest:
         manifest = RunManifest.load(args.manifest)
-        if args.trace:
+        if traces:
             print()
         print(f"run: {manifest.command!r} seed={manifest.seed} "
               f"git={manifest.git_version} at {manifest.created_at} "
@@ -371,6 +437,66 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
         print(format_table(
             f"metrics — {args.manifest}", rows, headers=("metric", "value"),
         ))
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "timeline":
+        return _cmd_telemetry_timeline(args)
+    return _cmd_telemetry_diff(args)
+
+
+def _cmd_telemetry_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry import load_timeline
+    from .telemetry.export import render_timeline, to_chrome_trace, to_prometheus
+
+    try:
+        timeline = load_timeline(args.timeline)
+    except FileNotFoundError:
+        print(f"error: no timeline at {args.timeline!r} "
+              "(campaign run writes one next to the manifest)",
+              file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "prometheus":
+        text = to_prometheus(timeline.get("metrics", {}))
+    elif args.format == "chrome":
+        text = json.dumps(to_chrome_trace(timeline), indent=2) + "\n"
+    else:
+        text = render_timeline(timeline, width=args.width) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} timeline to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_telemetry_diff(args: argparse.Namespace) -> int:
+    from .telemetry.export import (
+        DEFAULT_DIFF_TOLERANCE,
+        diff_observables,
+        format_diff_table,
+    )
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else DEFAULT_DIFF_TOLERANCE)
+    try:
+        rows = diff_observables(args.baseline, args.current,
+                                tolerance=tolerance)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_diff_table(rows, tolerance=tolerance,
+                            only_changed=args.only_changed))
+    regressed = any(row.status == "regression" for row in rows)
+    if regressed and args.fail_on_regression:
+        return 1
     return 0
 
 
@@ -441,7 +567,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         small_config,
         standard_config,
     )
-    from .telemetry import Telemetry
+    from .telemetry import Telemetry, write_timeline
 
     names = (
         [name.strip() for name in args.experiments.split(",") if name.strip()]
@@ -458,10 +584,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.base_seed is not None:
         config = config.with_seed(args.base_seed)
 
+    durations: list[float] = []
+
     def report_progress(record: dict, completed: int, total: int) -> None:
         source = "disk cache" if record["from_disk_cache"] else "built"
+        durations.append(record["wall_seconds"])
+        remaining = total - completed
+        eta = ""
+        if remaining and durations:
+            # Completed-seed durations predict the rest; parallel lanes
+            # divide the residual work.
+            per_seed = sum(durations) / len(durations)
+            lanes = max(1, min(args.jobs, remaining))
+            eta = f" eta~{per_seed * remaining / lanes:.0f}s"
         print(f"[campaign] seed {record['seed']} done in "
-              f"{record['wall_seconds']:.1f}s ({source}) — {completed}/{total}",
+              f"{record['wall_seconds']:.1f}s ({source}) — "
+              f"{completed}/{total}{eta}",
               file=sys.stderr, flush=True)
 
     tele = Telemetry()
@@ -474,12 +612,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         disk_cache=False if args.no_disk_cache else True,
         progress=report_progress,
+        heartbeat_interval=args.heartbeat,
     )
     manifest = campaign_manifest(result, tele)
     manifest.write(args.manifest_out)
+    timeline_out = args.timeline_out
+    if timeline_out is None:
+        stem = re.sub(r"-?manifest", "", pathlib.Path(args.manifest_out).stem)
+        timeline_out = str(pathlib.Path(args.manifest_out).with_name(
+            f"{stem or 'campaign'}-timeline.json"))
+    write_timeline(timeline_out, result.timeline)
     print(render_campaign_report(result.extra()))
     print(f"\nwrote campaign manifest ({len(result.seeds)} seeds, "
           f"{len(result.experiments)} experiments) to {args.manifest_out}")
+    print(f"wrote campaign timeline ({result.campaign_id}) to {timeline_out}\n"
+          f"render it with: repro telemetry timeline {timeline_out}")
     return 0
 
 
@@ -799,6 +946,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "cache": _cmd_cache,
         "telemetry-report": _cmd_telemetry_report,
+        "telemetry": _cmd_telemetry,
         "validate": _cmd_validate,
         "bench": _cmd_bench,
     }

@@ -10,15 +10,24 @@ into mean / sample stdev / normal-approximation 95% CI rows.
 
 Workers share nothing in memory but everything on disk: each builds (or
 loads) its dataset through the content-addressed disk cache, so a warm
-campaign re-run touches no simulator code at all.  The campaign's
-provenance — per-seed content hashes, timings, cache behaviour and the
-aggregate table — lands in a :class:`~repro.telemetry.RunManifest` that
-``repro campaign report`` renders back into tables.
+campaign re-run touches no simulator code at all.  Each worker also
+runs under its own :class:`~repro.telemetry.Telemetry` handle and
+:class:`~repro.telemetry.ResourceProfiler` with a propagated trace
+context (campaign id, seed, worker pid); its metrics, spans and
+per-phase resource profile ship back with the seed result and the
+parent merges them into one campaign-wide timeline
+(:func:`repro.telemetry.merge_worker_reports`) — counters sum,
+histograms merge reservoirs, spans interleave on wall-clock in
+per-worker lanes.  The campaign's provenance — per-seed content hashes,
+timings, cache behaviour and the aggregate table — lands in a
+:class:`~repro.telemetry.RunManifest` that ``repro campaign report``
+renders back into tables; the timeline is written next to it.
 """
 
 from __future__ import annotations
 
 import math
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
@@ -26,7 +35,15 @@ from multiprocessing import get_context
 from typing import Callable, Iterable, Sequence
 
 from ..config import SimulationConfig
-from ..telemetry import NULL_TELEMETRY, RunManifest, Telemetry
+from ..telemetry import (
+    NULL_TELEMETRY,
+    ResourceProfiler,
+    RunManifest,
+    Telemetry,
+    merge_worker_reports,
+    worker_report,
+)
+from ..telemetry.resources import PHASE_COMPUTE, PHASE_DATASET
 from .cache import config_fingerprint, dataset_content_hash
 from .common import build_dataset, small_config
 from .registry import experiment_names, get_experiment
@@ -75,10 +92,16 @@ class CampaignResult:
     seed_runs: list[SeedRun]
     #: ``{experiment: {metric: {mean, stdev, ci95, n, min, max}}}``.
     aggregates: dict
+    #: Propagated trace context shared by every worker.
+    campaign_id: str = ""
+    #: Merged cross-process timeline (:mod:`repro.telemetry.merge`);
+    #: written next to the manifest by ``repro campaign run``.
+    timeline: dict = field(default_factory=dict)
 
     def extra(self) -> dict:
         """The manifest ``extra['campaign']`` payload."""
-        return {
+        payload = {
+            "campaign_id": self.campaign_id,
             "seeds": list(self.seeds),
             "experiments": list(self.experiments),
             "jobs": self.jobs,
@@ -86,6 +109,12 @@ class CampaignResult:
             "per_seed": [run.to_dict() for run in self.seed_runs],
             "aggregates": self.aggregates,
         }
+        if self.timeline:
+            payload["observability"] = {
+                "coverage": self.timeline.get("coverage", 0.0),
+                "phase_totals": self.timeline.get("phase_totals", {}),
+            }
+        return payload
 
 
 def aggregate_summaries(
@@ -131,45 +160,76 @@ def aggregate_summaries(
     return aggregates
 
 
+def _seed_heartbeat(seed: int) -> Callable[[dict], None]:
+    """A per-seed progress printer for long campaigns (stderr)."""
+
+    def beat(snapshot: dict) -> None:
+        print(
+            "[campaign seed {seed}] t={now:.1f}s/{duration:.1f}s "
+            "({percent:.0f}%) events={events_processed} "
+            "active_flows={active_flows}".format(seed=seed, **snapshot),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return beat
+
+
 def _run_one_seed(payload: tuple) -> dict:
     """Build one seed's dataset and run the experiment set (worker body).
 
     Top-level so :class:`ProcessPoolExecutor` can pickle it; importing
     this module pulls in :mod:`repro.experiments`, which registers every
-    experiment in the worker process.
+    experiment in the worker process.  The worker runs under its own
+    telemetry handle and resource profiler; everything it measured ships
+    home in the record's ``report`` entry for the parent to merge.
     """
-    config, names, cache_dir, disk_cache = payload
+    config, names, cache_dir, disk_cache, campaign_id, submitted_at, \
+        heartbeat_interval = payload
+    started_at = time.time()
     tele = Telemetry()
+    profiler = ResourceProfiler()
+    profiler.start()
+    profiler.add_startup_phases(submitted_at)
+    heartbeat = _seed_heartbeat(config.seed) if heartbeat_interval else None
     started = time.perf_counter()
-    with tele.span("campaign.seed", seed=config.seed):
-        dataset = build_dataset(
-            config, telemetry=tele, disk_cache=disk_cache, cache_dir=cache_dir,
-        )
+    with tele.span("campaign.seed", seed=config.seed,
+                   campaign_id=campaign_id, pid=profiler.pid):
+        with profiler.phase(PHASE_DATASET):
+            dataset = build_dataset(
+                config, telemetry=tele, disk_cache=disk_cache,
+                cache_dir=cache_dir, heartbeat=heartbeat,
+                heartbeat_interval=heartbeat_interval,
+            )
         build_seconds = time.perf_counter() - started
         summaries = {}
-        for name in names:
-            spec = get_experiment(name)
-            with tele.span("campaign.experiment", experiment=name):
-                if spec.kind == "ablation":
-                    result = spec.run(seed=config.seed)
-                else:
-                    result = spec.run(dataset)
-            summaries[name] = spec.summary(result)
+        with profiler.phase(PHASE_COMPUTE):
+            for name in names:
+                spec = get_experiment(name)
+                with tele.span("campaign.experiment", experiment=name):
+                    if spec.kind == "ablation":
+                        result = spec.run(seed=config.seed)
+                    else:
+                        result = spec.run(dataset)
+                summaries[name] = spec.summary(result)
+    profiler.stop()
     snapshot = tele.metrics.snapshot()
-    counters = {
-        name: state["value"]
-        for name, state in snapshot.items()
-        if state.get("type") == "counter"
-    }
+    from_disk_cache = (
+        snapshot.get("dataset.disk_cache_hits", {}).get("value", 0.0) > 0
+    )
     return {
         "seed": config.seed,
         "fingerprint": config_fingerprint(config),
         "content_hash": dataset_content_hash(dataset),
         "wall_seconds": time.perf_counter() - started,
         "build_seconds": build_seconds,
-        "from_disk_cache": counters.get("dataset.disk_cache_hits", 0.0) > 0,
+        "from_disk_cache": from_disk_cache,
         "summaries": summaries,
-        "counters": counters,
+        "report": worker_report(
+            tele, profiler,
+            campaign_id=campaign_id, seed=config.seed,
+            submitted_at=submitted_at, started_at=started_at,
+        ),
     }
 
 
@@ -183,6 +243,8 @@ def run_campaign(
     cache_dir=None,
     disk_cache: bool | None = True,
     progress: Callable[[dict, int, int], None] | None = None,
+    campaign_id: str | None = None,
+    heartbeat_interval: float | None = None,
 ) -> CampaignResult:
     """Run the campaign over multiple seeds, optionally in parallel.
 
@@ -193,6 +255,14 @@ def run_campaign(
     ``spawn`` worker processes, which is also what makes the
     serial-vs-parallel determinism tests meaningful.  ``progress`` (if
     given) is called with ``(record, completed, total)`` per seed.
+
+    ``campaign_id`` is the trace context every worker stamps on its
+    spans (default: derived from the config fingerprint — deterministic,
+    so re-runs of the same campaign are diffable).  With
+    ``heartbeat_interval`` set, each seed's simulation prints progress
+    heartbeats to stderr every that many simulated seconds.  The result
+    carries a merged cross-process ``timeline`` whose per-worker lanes
+    and phase totals say where the wall-clock went.
     """
     tele = telemetry or NULL_TELEMETRY
     if base_config is None:
@@ -210,42 +280,67 @@ def run_campaign(
     names = list(experiments) if experiments else experiment_names(kind="figure")
     for name in names:
         get_experiment(name)  # fail fast on unknown experiments
-    payloads = [
-        (base_config.with_seed(seed), tuple(names), cache_dir, disk_cache)
-        for seed in seed_list
-    ]
+    if campaign_id is None:
+        campaign_id = (
+            f"{config_fingerprint(base_config)[:12]}"
+            f".s{seed_list[0]}x{len(seed_list)}.j{jobs}"
+        )
+
+    def payload(seed: int) -> tuple:
+        # Built at submit time so ``submitted_at`` prices the real
+        # spawn/queue gap, not payload construction.
+        return (
+            base_config.with_seed(seed), tuple(names), cache_dir, disk_cache,
+            campaign_id, time.time(), heartbeat_interval,
+        )
 
     records: dict[int, dict] = {}
+    window_start = time.time()
     started = time.perf_counter()
-    with tele.span("campaign.run", seeds=len(seed_list), jobs=jobs):
+    with tele.span("campaign.run", seeds=len(seed_list), jobs=jobs,
+                   campaign_id=campaign_id):
+        def fan_in() -> tuple[list[dict], dict]:
+            # Merge every worker's metrics, spans and resource phases
+            # into the campaign-wide timeline (and, through it, the
+            # parent telemetry session the manifest snapshots).  For
+            # parallel runs this happens *inside* the pool context: the
+            # timeline window closes at merge end, and pool shutdown is
+            # not billed as campaign dead time.
+            ordered = [records[seed] for seed in seed_list]
+            with tele.span("campaign.merge", campaign_id=campaign_id):
+                timeline = merge_worker_reports(
+                    [record.pop("report") for record in ordered],
+                    campaign_id=campaign_id,
+                    window_start=window_start,
+                    jobs=jobs,
+                    telemetry=tele,
+                )
+            return ordered, timeline
+
         if jobs <= 1:
-            for payload in payloads:
-                record = _run_one_seed(payload)
+            for seed in seed_list:
+                record = _run_one_seed(payload(seed))
                 records[record["seed"]] = record
                 if progress is not None:
-                    progress(record, len(records), len(payloads))
+                    progress(record, len(records), len(seed_list))
+            ordered, timeline = fan_in()
         else:
             context = get_context("spawn")
             with ProcessPoolExecutor(
-                max_workers=min(jobs, len(payloads)), mp_context=context
+                max_workers=min(jobs, len(seed_list)), mp_context=context
             ) as pool:
-                pending = {pool.submit(_run_one_seed, p) for p in payloads}
+                pending = {pool.submit(_run_one_seed, payload(seed))
+                           for seed in seed_list}
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         record = future.result()
                         records[record["seed"]] = record
                         if progress is not None:
-                            progress(record, len(records), len(payloads))
+                            progress(record, len(records), len(seed_list))
+                ordered, timeline = fan_in()
     wall_seconds = time.perf_counter() - started
 
-    ordered = [records[seed] for seed in seed_list]
-    # Fold worker-side counters into the campaign session so the manifest
-    # reports dataset/cache traffic across every seed.
-    for record in ordered:
-        for name, value in record.pop("counters", {}).items():
-            if value:
-                tele.counter(name).inc(value)
     tele.counter("campaign.seeds_completed").inc(len(ordered))
     seed_runs = [SeedRun(**record) for record in ordered]
     return CampaignResult(
@@ -256,6 +351,8 @@ def run_campaign(
         wall_seconds=wall_seconds,
         seed_runs=seed_runs,
         aggregates=aggregate_summaries(seed_runs, names),
+        campaign_id=campaign_id,
+        timeline=timeline,
     )
 
 
@@ -297,6 +394,18 @@ def render_campaign_report(campaign: dict) -> str:
         title, rows,
         headers=("seed", "content hash", "build s", "total s", "dataset"),
     ))
+    observability = campaign.get("observability")
+    if observability and observability.get("phase_totals"):
+        rows = [
+            (name, f"{seconds:.2f}")
+            for name, seconds in observability["phase_totals"].items()
+        ]
+        sections.append(format_table(
+            "where the wall-clock went — lane coverage "
+            f"{observability.get('coverage', 0.0):.0%}",
+            rows,
+            headers=("phase", "total s"),
+        ))
     for name in campaign.get("experiments", []):
         metrics = campaign.get("aggregates", {}).get(name, {})
         rows = [

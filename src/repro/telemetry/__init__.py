@@ -5,14 +5,23 @@ SNMP counters); this package instruments the *reproduction* with the
 same philosophy: cheap always-on counters, structured traces, and a
 provenance manifest per campaign.
 
-Three pieces:
+Six pieces:
 
 * :mod:`~repro.telemetry.metrics` — a zero-dependency registry of
-  counters, gauges and histograms (reservoir quantiles);
+  counters, gauges and histograms (reservoir quantiles) with
+  serialisable, mergeable state;
 * :mod:`~repro.telemetry.tracing` — nested wall-clock spans with JSONL
   export;
 * :mod:`~repro.telemetry.manifest` — :class:`RunManifest`, pinning
-  config, seed, git version, timings and headline metrics for a run.
+  config, seed, git version, timings and headline metrics for a run;
+* :mod:`~repro.telemetry.resources` — :class:`ResourceProfiler`,
+  sampling RSS/CPU, timing GC pauses and naming wall-clock phases
+  (spawn / import / dataset-load / compute / merge);
+* :mod:`~repro.telemetry.merge` — cross-process fan-in: worker reports
+  merge into one campaign timeline with per-worker span lanes;
+* :mod:`~repro.telemetry.export` — ASCII Gantt rendering, Prometheus
+  text and Chrome ``trace_event`` export, and tolerance-based diffing
+  of two runs' telemetry (``repro telemetry timeline`` / ``diff``).
 
 :class:`Telemetry` bundles a registry and a tracer behind one handle.
 Components take an optional ``telemetry`` argument and default to
@@ -34,7 +43,17 @@ Usage::
 from __future__ import annotations
 
 from .manifest import RunManifest, git_describe
+from .merge import (
+    interleave_spans,
+    load_spans,
+    load_timeline,
+    merge_worker_reports,
+    phase_totals,
+    worker_report,
+    write_timeline,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .resources import ResourceProfiler
 from .tracing import Span, Tracer, aggregate_spans, read_jsonl
 
 __all__ = [
@@ -50,6 +69,14 @@ __all__ = [
     "aggregate_spans",
     "RunManifest",
     "git_describe",
+    "ResourceProfiler",
+    "worker_report",
+    "merge_worker_reports",
+    "interleave_spans",
+    "load_spans",
+    "phase_totals",
+    "write_timeline",
+    "load_timeline",
 ]
 
 
@@ -111,10 +138,43 @@ class _NullHistogram:
         return 0.0
 
 
+class _NullProfiler:
+    """Inert resource profiler: no thread, no GC hook, empty profile."""
+
+    __slots__ = ()
+    pid = -1
+    interval = 0.0
+
+    def start(self) -> "_NullProfiler":
+        return self
+
+    def stop(self) -> "_NullProfiler":
+        return self
+
+    def __enter__(self) -> "_NullProfiler":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def phase(self, name: str) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def add_phase(self, name: str, start: float, duration: float, **extra) -> dict:
+        return {}
+
+    def add_startup_phases(self, submitted_at) -> None:
+        """Discard the timestamps."""
+
+    def profile(self) -> dict:
+        return {}
+
+
 _NULL_SPAN = _NullSpan()
 _NULL_COUNTER = _NullCounter()
 _NULL_GAUGE = _NullGauge()
 _NULL_HISTOGRAM = _NullHistogram()
+_NULL_PROFILER = _NullProfiler()
 
 
 class Telemetry:
@@ -148,6 +208,14 @@ class Telemetry:
         if not self.enabled:
             return _NULL_HISTOGRAM
         return self.metrics.histogram(name, **labels)
+
+    def resource_profiler(self, interval: float | None = None):
+        """A :class:`ResourceProfiler` (shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_PROFILER
+        if interval is None:
+            return ResourceProfiler()
+        return ResourceProfiler(interval=interval)
 
 
 #: Shared disabled session: every instrument is an inert singleton.

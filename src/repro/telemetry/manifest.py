@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
 import subprocess
 from dataclasses import dataclass, field
@@ -24,9 +25,18 @@ __all__ = ["RunManifest", "git_describe"]
 
 _SCHEMA_VERSION = 1
 
+#: Environment override for :func:`git_describe` — hermetic builds and
+#: spawned campaign workers can pin the version string without paying a
+#: ``git`` subprocess per manifest.
+_GIT_DESCRIBE_ENV = "REPRO_GIT_DESCRIBE"
 
-def git_describe() -> str:
-    """Best-effort ``git describe --always --dirty`` of the source tree."""
+#: Per-process memo: the source tree cannot change mid-process in any
+#: way a running campaign should react to, and an N-seed campaign would
+#: otherwise spawn N ``git`` subprocesses.
+_GIT_DESCRIBE_CACHE: str | None = None
+
+
+def _git_describe_uncached() -> str:
     repo_dir = pathlib.Path(__file__).resolve().parent
     try:
         proc = subprocess.run(
@@ -41,6 +51,22 @@ def git_describe() -> str:
     if proc.returncode != 0:
         return "unknown"
     return proc.stdout.strip() or "unknown"
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty``, memoized per process.
+
+    The ``REPRO_GIT_DESCRIBE`` environment variable short-circuits the
+    subprocess entirely (read on every call, never cached, so tests and
+    build systems can flip it at will).
+    """
+    override = os.environ.get(_GIT_DESCRIBE_ENV)
+    if override:
+        return override
+    global _GIT_DESCRIBE_CACHE
+    if _GIT_DESCRIBE_CACHE is None:
+        _GIT_DESCRIBE_CACHE = _git_describe_uncached()
+    return _GIT_DESCRIBE_CACHE
 
 
 def _jsonable_config(config) -> dict:

@@ -1,0 +1,261 @@
+"""Cross-process telemetry fan-in: worker reports → one campaign timeline.
+
+The paper's pipeline is per-machine capture plus central fusion (§2):
+every server logs locally, a collector joins the streams into one
+cluster-wide dataset.  This module is the reproduction's collector for
+its *own* instrumentation.  Each campaign worker runs under a private
+:class:`~repro.telemetry.Telemetry` handle plus a
+:class:`~repro.telemetry.resources.ResourceProfiler`, serialises both
+into a **worker report** (:func:`worker_report`), and ships it back
+with the seed result.  The parent folds the reports
+(:func:`merge_worker_reports`) into a **campaign timeline**:
+
+* metrics merge by kind — counters sum, gauges last-writer-wins on
+  their timestamps, histograms merge reservoirs — into one registry
+  snapshot;
+* spans interleave on wall-clock start into per-worker lanes, one lane
+  per worker process, deterministically ordered no matter what order
+  the reports arrived in;
+* resource phases (spawn / import / dataset-load / compute, plus the
+  parent-side merge) become the timeline's Gantt segments, so the
+  artifact shows *where* a campaign's wall-clock went.
+
+The timeline is plain JSON written next to the campaign's
+:class:`~repro.telemetry.RunManifest`; :mod:`repro.telemetry.export`
+renders and diffs it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from .metrics import MetricsRegistry
+from .resources import PHASE_MERGE, ResourceProfiler
+
+__all__ = [
+    "TIMELINE_SCHEMA_VERSION",
+    "worker_report",
+    "merge_worker_reports",
+    "interleave_spans",
+    "load_spans",
+    "phase_totals",
+    "write_timeline",
+    "load_timeline",
+]
+
+TIMELINE_SCHEMA_VERSION = 1
+
+#: ``kind`` marker distinguishing timelines from run manifests on disk.
+TIMELINE_KIND = "campaign-timeline"
+
+
+def worker_report(
+    telemetry,
+    profiler: ResourceProfiler | None = None,
+    *,
+    campaign_id: str,
+    seed: int,
+    submitted_at: float | None = None,
+    started_at: float | None = None,
+    finished_at: float | None = None,
+) -> dict:
+    """Serialise one worker's telemetry into a JSON/pickle-safe report.
+
+    The report carries the propagated trace context (campaign id, seed,
+    worker pid), the full metrics state, every completed span, and the
+    resource profile.  It is what crosses the process boundary — the
+    parent never sees live instrument objects.
+    """
+    profile = profiler.profile() if profiler is not None else {}
+    return {
+        "campaign_id": campaign_id,
+        "seed": seed,
+        "pid": profile.get("pid", ResourceProfiler().pid),
+        "submitted_at": submitted_at,
+        "started_at": started_at,
+        "finished_at": finished_at if finished_at is not None else time.time(),
+        "metrics": telemetry.metrics.export_state(),
+        "spans": [span.to_dict() for span in telemetry.tracer.spans],
+        "resources": profile,
+    }
+
+
+def interleave_spans(spans: list[dict]) -> list[dict]:
+    """Order spans for a merged view: wall-clock start, then identity.
+
+    The tiebreak on ``(seed, span_id)`` makes the interleave a pure
+    function of the span *set* — shuffling report arrival order cannot
+    change the merged timeline.
+    """
+    return sorted(
+        spans,
+        key=lambda s: (s.get("start", 0.0), s.get("seed", -1), s.get("span_id", -1)),
+    )
+
+
+def load_spans(paths) -> list[dict]:
+    """Read and interleave spans from one or more JSONL trace files."""
+    from .tracing import read_jsonl
+
+    spans: list[dict] = []
+    for path in paths:
+        for span in read_jsonl(path):
+            span.setdefault("source", str(path))
+            spans.append(span)
+    return interleave_spans(spans)
+
+
+def phase_totals(timeline: dict) -> dict[str, float]:
+    """Total seconds per named phase across every lane of a timeline."""
+    totals: dict[str, float] = {}
+    for lane in timeline.get("lanes", []):
+        for segment in lane.get("segments", []):
+            for phase in segment.get("phases", []):
+                name = phase.get("name", "?")
+                totals[name] = totals.get(name, 0.0) + float(
+                    phase.get("duration", 0.0)
+                )
+    return dict(sorted(totals.items()))
+
+
+def _union_seconds(intervals: list[tuple[float, float]], lo: float, hi: float) -> float:
+    """Length of the union of intervals clipped to ``[lo, hi]``."""
+    clipped = sorted(
+        (max(start, lo), min(end, hi))
+        for start, end in intervals
+        if min(end, hi) > max(start, lo)
+    )
+    covered = 0.0
+    cursor = lo
+    for start, end in clipped:
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = max(cursor, end)
+    return covered
+
+
+def merge_worker_reports(
+    reports: list[dict],
+    *,
+    campaign_id: str,
+    window_start: float,
+    jobs: int = 1,
+    telemetry=None,
+) -> dict:
+    """Fuse worker reports into one campaign-wide timeline.
+
+    The merge itself is measured: it appears as the parent lane's
+    ``merge`` phase, and the timeline window closes when merging does,
+    so the per-worker lanes plus the merge phase account for the whole
+    campaign wall-clock.  When a live parent ``telemetry`` session is
+    given, the merged metrics are also folded into it (that is how the
+    campaign manifest ends up with cluster-wide counters).
+    """
+    merge_started = time.time()
+    ordered = sorted(reports, key=lambda r: (r.get("seed", -1)))
+
+    registry = MetricsRegistry()
+    for report in ordered:
+        registry.merge_state(report.get("metrics", []))
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        telemetry.metrics.merge_state(registry.export_state())
+
+    by_pid: dict[int, list[dict]] = {}
+    for report in ordered:
+        by_pid.setdefault(int(report.get("pid", -1)), []).append(report)
+    lane_order = sorted(
+        by_pid.items(),
+        key=lambda item: min(r.get("seed", -1) for r in item[1]),
+    )
+
+    lanes: list[dict] = []
+    intervals: list[tuple[float, float]] = []
+    for index, (pid, lane_reports) in enumerate(lane_order):
+        segments = []
+        for report in lane_reports:
+            seed = report.get("seed")
+            start = report.get("submitted_at") or report.get("started_at") or 0.0
+            end = report.get("finished_at") or start
+            intervals.append((start, end))
+            spans = [
+                dict(span, seed=seed)
+                for span in report.get("spans", [])
+            ]
+            resources = dict(report.get("resources", {}))
+            phases = resources.pop("phases", [])
+            segments.append({
+                "seed": seed,
+                "start": start,
+                "end": end,
+                "phases": sorted(phases, key=lambda p: p.get("start", 0.0)),
+                "spans": interleave_spans(spans),
+                "resources": resources,
+            })
+        lanes.append({
+            "label": f"worker-{index}",
+            "pid": pid,
+            "seeds": [segment["seed"] for segment in segments],
+            "segments": segments,
+        })
+
+    merge_finished = time.time()
+    lanes.append({
+        "label": "parent",
+        "pid": ResourceProfiler().pid,
+        "seeds": [],
+        "segments": [{
+            "seed": None,
+            "start": merge_started,
+            "end": merge_finished,
+            "phases": [{
+                "name": PHASE_MERGE,
+                "start": merge_started,
+                "duration": merge_finished - merge_started,
+            }],
+            "spans": [],
+            "resources": {},
+        }],
+    })
+    intervals.append((merge_started, merge_finished))
+
+    window_end = max(
+        [merge_finished] + [end for _, end in intervals]
+    )
+    wall = max(window_end - window_start, 1e-9)
+    coverage = _union_seconds(intervals, window_start, window_end) / wall
+
+    timeline = {
+        "schema_version": TIMELINE_SCHEMA_VERSION,
+        "kind": TIMELINE_KIND,
+        "campaign_id": campaign_id,
+        "jobs": jobs,
+        "seeds": [report.get("seed") for report in ordered],
+        "window": {
+            "start": window_start,
+            "end": window_end,
+            "wall_seconds": window_end - window_start,
+        },
+        "coverage": coverage,
+        "lanes": lanes,
+        "metrics": registry.snapshot(),
+    }
+    timeline["phase_totals"] = phase_totals(timeline)
+    return timeline
+
+
+def write_timeline(path, timeline: dict) -> None:
+    """Write a timeline as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(timeline, handle, indent=2)
+        handle.write("\n")
+
+
+def load_timeline(path) -> dict:
+    """Read a timeline written by :func:`write_timeline`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("kind") != TIMELINE_KIND:
+        raise ValueError(f"{path} is not a campaign timeline")
+    return data

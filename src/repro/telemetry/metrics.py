@@ -11,11 +11,19 @@ matter how many samples a campaign produces.
 Instruments are identified by ``(name, labels)``.  Asking the registry
 for the same name/labels twice returns the same object, so call sites
 can resolve an instrument once and hold it across a hot loop.
+
+Every instrument also knows how to serialise its *full* state
+(:meth:`state`) and fold another instrument's state into itself
+(:meth:`merge_state`) — the substrate for cross-process fan-in, where
+each campaign worker ships its registry home and the parent merges:
+counters sum, gauges keep the latest write (wall-clock timestamped),
+histograms merge their reservoirs with count-proportional sampling.
 """
 
 from __future__ import annotations
 
 import random
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -53,27 +61,64 @@ class Counter:
         """JSON-friendly state."""
         return {"type": "counter", "value": self.value}
 
+    def state(self) -> dict:
+        """Full serialisable state (for cross-process merging)."""
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "labels": [list(pair) for pair in self.labels],
+            "value": self.value,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another counter's state into this one (sum)."""
+        self.inc(float(state.get("value", 0.0)))
+
 
 @dataclass
 class Gauge:
-    """A point-in-time value (heap depth, active flows, rates)."""
+    """A point-in-time value (heap depth, active flows, rates).
+
+    Every write stamps ``updated_at`` (epoch seconds) so that merging
+    two processes' gauges is well-defined: the latest writer wins.
+    """
 
     name: str
     labels: tuple[tuple[str, str], ...] = ()
     value: float = 0.0
+    updated_at: float = 0.0
 
     def set(self, value: float) -> None:
         """Record the current value."""
         self.value = float(value)
+        self.updated_at = time.time()
 
     def max(self, value: float) -> None:
         """Keep the running maximum of observed values."""
         if value > self.value:
             self.value = float(value)
+        self.updated_at = time.time()
 
     def snapshot(self) -> dict:
         """JSON-friendly state."""
         return {"type": "gauge", "value": self.value}
+
+    def state(self) -> dict:
+        """Full serialisable state (for cross-process merging)."""
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "labels": [list(pair) for pair in self.labels],
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another gauge's state into this one (last writer wins)."""
+        stamp = float(state.get("updated_at", 0.0))
+        if stamp >= self.updated_at:
+            self.value = float(state.get("value", 0.0))
+            self.updated_at = stamp
 
 
 @dataclass
@@ -144,6 +189,60 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    def state(self) -> dict:
+        """Full serialisable state, reservoir included."""
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": [list(pair) for pair in self.labels],
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "reservoir": list(self._reservoir),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's state into this one.
+
+        Count/sum/min/max combine exactly.  The merged reservoir samples
+        from the two reservoirs proportionally to the sample counts they
+        represent, using this instrument's seeded generator — so merging
+        the same states in the same order is deterministic, and quantile
+        estimates keep their usual reservoir error bounds.
+        """
+        other_count = int(state.get("count", 0))
+        if other_count == 0:
+            return
+        other_reservoir = [float(v) for v in state.get("reservoir", [])]
+        other_total = float(state.get("total", 0.0))
+        if self.count == 0:
+            self.count = other_count
+            self.total = other_total
+            self.min_value = float(state.get("min", 0.0))
+            self.max_value = float(state.get("max", 0.0))
+            self._reservoir = other_reservoir[: self.reservoir_size]
+            return
+        mine_count, mine_reservoir = self.count, list(self._reservoir)
+        self.count += other_count
+        self.total += other_total
+        self.min_value = min(self.min_value, float(state.get("min", self.min_value)))
+        self.max_value = max(self.max_value, float(state.get("max", self.max_value)))
+        combined = mine_reservoir + other_reservoir
+        if len(combined) <= self.reservoir_size:
+            self._reservoir = combined
+            return
+        total = mine_count + other_count
+        merged: list[float] = []
+        for _ in range(self.reservoir_size):
+            if self._rng.randrange(total) < mine_count:
+                merged.append(mine_reservoir[self._rng.randrange(len(mine_reservoir))])
+            else:
+                merged.append(
+                    other_reservoir[self._rng.randrange(len(other_reservoir))]
+                )
+        self._reservoir = merged
+
 
 class MetricsRegistry:
     """Get-or-create home for every instrument of one run."""
@@ -187,6 +286,37 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._instruments)
+
+    def export_state(self) -> list[dict]:
+        """Every instrument's full state, sorted by flat key.
+
+        The inverse of :meth:`merge_state`; workers call this to ship
+        their registry back to the campaign parent.
+        """
+        keyed = sorted(
+            (_flatten(name, labels), instrument)
+            for (name, labels), instrument in self._instruments.items()
+        )
+        return [instrument.state() for _, instrument in keyed]  # type: ignore[attr-defined]
+
+    def merge_state(self, states: list[dict]) -> None:
+        """Fold exported instrument states into this registry.
+
+        Counters sum, gauges keep the latest timestamped write,
+        histograms merge reservoirs (see the instrument docstrings).
+        Instruments that do not exist here yet are created.
+        """
+        factories = {
+            "counter": self.counter,
+            "gauge": self.gauge,
+            "histogram": self.histogram,
+        }
+        for state in states:
+            kind = state.get("kind")
+            if kind not in factories:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+            labels = {key: value for key, value in state.get("labels", [])}
+            factories[kind](state["name"], **labels).merge_state(state)
 
     def snapshot(self) -> dict[str, dict]:
         """Flat ``{name{labels}: state}`` map of every instrument, sorted."""

@@ -176,3 +176,62 @@ class TestManifestAndReport:
         report = render_campaign_report(loaded.extra["campaign"])
         assert "mean ± 95% CI" in report
         assert "fig09" in report
+        assert "where the wall-clock went" in report
+
+
+class TestCampaignTimeline:
+    def test_serial_campaign_produces_timeline(self):
+        result = run_campaign(
+            micro_config(), seeds=[13, 14], experiments=["fig09"], jobs=1,
+            disk_cache=False, campaign_id="serial-test",
+        )
+        timeline = result.timeline
+        assert result.campaign_id == "serial-test"
+        assert timeline["kind"] == "campaign-timeline"
+        assert timeline["seeds"] == [13, 14]
+        labels = [lane["label"] for lane in timeline["lanes"]]
+        assert labels[-1] == "parent"
+        # A serial run is one worker lane (the parent pid) + the merge lane.
+        assert len(labels) == 2
+        phases = {
+            phase["name"]
+            for lane in timeline["lanes"]
+            for segment in lane["segments"]
+            for phase in segment["phases"]
+        }
+        assert {"dataset-load", "compute", "merge"} <= phases
+        json.dumps(timeline)
+
+    def test_parallel_timeline_covers_campaign_wall_clock(self, tmp_path):
+        result = run_campaign(
+            micro_config(), seeds=[3, 4, 5, 6], experiments=["fig09"],
+            jobs=2, cache_dir=tmp_path / "cache",
+        )
+        timeline = result.timeline
+        assert timeline["jobs"] == 2
+        # Acceptance bar: per-worker lanes account for >= 95% of the
+        # campaign window, split into named phases.
+        assert timeline["coverage"] >= 0.95
+        worker_lanes = [lane for lane in timeline["lanes"]
+                        if lane["label"] != "parent"]
+        assert sorted(s for lane in worker_lanes for s in lane["seeds"]) == \
+            [3, 4, 5, 6]
+        for lane in worker_lanes:
+            assert all(segment["phases"] for segment in lane["segments"])
+        extra = result.extra()
+        assert extra["campaign_id"] == result.campaign_id
+        assert extra["observability"]["coverage"] == timeline["coverage"]
+        assert extra["observability"]["phase_totals"] == \
+            timeline["phase_totals"]
+
+    def test_campaign_metrics_travel_from_workers(self):
+        tele = Telemetry()
+        run_campaign(
+            micro_config(), seeds=[15, 16], experiments=["fig09"], jobs=1,
+            disk_cache=False, telemetry=tele,
+        )
+        snapshot = tele.metrics.snapshot()
+        # Engine counters now come from the merged worker registries,
+        # not just the parent process.
+        assert snapshot["campaign.seeds_completed"]["value"] == 2
+        assert snapshot["engine.events_processed"]["value"] > 0

@@ -94,6 +94,27 @@ class TestSimulateTelemetry:
         assert main(["telemetry-report"]) == 2
         assert "nothing to report" in capsys.readouterr().err
 
+    def test_telemetry_report_aggregates_many_traces(self, capsys, tmp_path):
+        for seed in (1, 2):
+            main([
+                "simulate", "--racks", "3", "--servers-per-rack", "4",
+                "--duration", "20", "--seed", str(seed),
+                "--trace-out", str(tmp_path / f"trace{seed}.jsonl"),
+            ])
+        capsys.readouterr()
+        code = main(["telemetry-report", str(tmp_path / "trace*.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 traces" in out
+        # Each simulate contributes one engine run to the rollup.
+        line = next(l for l in out.splitlines()
+                    if l.startswith("simulate.engine_run"))
+        assert line.split("|")[1].strip() == "2"
+
+    def test_telemetry_report_unmatched_glob_fails(self, capsys, tmp_path):
+        assert main(["telemetry-report", str(tmp_path / "nope*.jsonl")]) == 2
+        assert "no trace matches" in capsys.readouterr().err
+
 
 class TestFigures:
     def test_unknown_figure_rejected(self, capsys):
@@ -151,6 +172,48 @@ class TestCampaign:
         out = capsys.readouterr().out
         assert "fig09" in out
         assert "mean ± 95% CI" in out
+
+    def test_run_writes_timeline_next_to_manifest(self, capsys, tmp_path,
+                                                  dataset):
+        manifest_path = tmp_path / "campaign-manifest.json"
+        code = main([
+            "campaign", "run", "--seeds", "1", "--jobs", "1",
+            "--experiments", "fig09",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest-out", str(manifest_path),
+        ])
+        assert code == 0
+        assert "wrote campaign timeline" in capsys.readouterr().out
+        timeline_path = tmp_path / "campaign-timeline.json"
+        assert timeline_path.exists()
+        timeline = json.loads(timeline_path.read_text())
+        assert timeline["kind"] == "campaign-timeline"
+        assert timeline["coverage"] > 0
+
+        assert main(["telemetry", "timeline", str(timeline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign timeline" in out
+        assert "phase key:" in out
+
+        assert main(["telemetry", "diff", str(timeline_path),
+                     str(timeline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_heartbeat_flag_prints_seed_progress(self, capsys, tmp_path):
+        # A fresh base seed sidesteps the session dataset cache — the
+        # heartbeat only fires while a dataset actually simulates.
+        code = main([
+            "campaign", "run", "--seeds", "1", "--base-seed", "321",
+            "--jobs", "1", "--experiments", "fig09", "--no-disk-cache",
+            "--heartbeat", "5",
+            "--manifest-out", str(tmp_path / "m.json"),
+            "--timeline-out", str(tmp_path / "t.json"),
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[campaign seed" in err
+        assert (tmp_path / "t.json").exists()
 
     def test_unknown_experiment_rejected(self, capsys):
         assert main(["campaign", "run", "--seeds", "1",

@@ -301,3 +301,33 @@ class TestRunManifest:
         data = json.loads(path.read_text())
         assert data["schema_version"] == 1
         assert data["command"] == "simulate"
+
+
+class TestGitDescribe:
+    def test_memoized_per_process(self, monkeypatch):
+        from repro.telemetry import manifest as manifest_mod
+
+        monkeypatch.delenv("REPRO_GIT_DESCRIBE", raising=False)
+        monkeypatch.setattr(manifest_mod, "_GIT_DESCRIBE_CACHE", None)
+        calls = []
+
+        def fake_uncached():
+            calls.append(1)
+            return "v1.2.3-4-gabcdef"
+
+        monkeypatch.setattr(manifest_mod, "_git_describe_uncached",
+                            fake_uncached)
+        assert manifest_mod.git_describe() == "v1.2.3-4-gabcdef"
+        assert manifest_mod.git_describe() == "v1.2.3-4-gabcdef"
+        assert len(calls) == 1
+
+    def test_env_override_wins_and_is_never_cached(self, monkeypatch):
+        from repro.telemetry import manifest as manifest_mod
+
+        monkeypatch.setattr(manifest_mod, "_GIT_DESCRIBE_CACHE", "cached")
+        monkeypatch.setenv("REPRO_GIT_DESCRIBE", "pinned-by-env")
+        assert manifest_mod.git_describe() == "pinned-by-env"
+        monkeypatch.setenv("REPRO_GIT_DESCRIBE", "pinned-again")
+        assert manifest_mod.git_describe() == "pinned-again"
+        monkeypatch.delenv("REPRO_GIT_DESCRIBE")
+        assert manifest_mod.git_describe() == "cached"
