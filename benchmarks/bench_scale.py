@@ -1,0 +1,132 @@
+"""Paper-scale benchmarks: allocator event latency and a full campaign.
+
+The IMC'09 cluster has ~1500 servers; these benchmarks pin the cost of
+running a *single* simulated campaign at that size.  Two angles:
+
+* Steady-state arrival/departure latency — one flow finishes, one flow
+  arrives, rates recompute — at 2k / 8k / 32k concurrent flows on the
+  1536-server topology, for the incremental allocator and (at the sizes
+  where it is tolerable) the from-scratch reference.  This is the
+  allocator's actual unit of work during a run: the event loop pays it
+  once per batch.
+* Wall-clock and peak RSS for an end-to-end 1536-server campaign under
+  ``transport_impl="incremental"`` — the number a user planning a
+  paper-scale reproduction actually needs (see EXPERIMENTS.md).
+
+Each timed call covers ``_EVENTS_PER_ROUND`` churn events, so
+``wall_seconds / _EVENTS_PER_ROUND`` is the per-event latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.routing import Router
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.simulation.transport import FluidTransport, TransferMeta
+
+#: The paper-scale cluster: 64 racks x 24 servers, 8 racks per VLAN —
+#: 1536 servers, 3216 links (matches EXPERIMENTS.md scale defaults).
+PAPER_SPEC = ClusterSpec(
+    racks=64, servers_per_rack=24, racks_per_vlan=8, external_hosts=0
+)
+
+_EVENTS_PER_ROUND = 50
+
+
+class _ChurnHarness:
+    """A loaded transport plus a steady-state churn step.
+
+    Every step retires one random active flow, admits one fresh random
+    flow, and recomputes rates — the arrival/departure cycle the event
+    engine drives millions of times per campaign.
+    """
+
+    def __init__(self, impl: str, num_flows: int, seed: int = 0) -> None:
+        self.topo = ClusterTopology(PAPER_SPEC)
+        self.router = Router(self.topo)
+        self.transport = FluidTransport(self.topo, impl=impl)
+        self.rng = np.random.default_rng(seed)
+        self.meta = TransferMeta(kind="fetch")
+        self.endpoints = self.topo.endpoints()
+        for _ in range(num_flows):
+            self._add_one()
+        self.transport.recompute_rates()
+
+    def _add_one(self) -> None:
+        src, dst = self.rng.choice(self.endpoints, size=2, replace=False)
+        self.transport.add_flow(
+            int(src), int(dst), 1e12,
+            self.router.path_links(int(src), int(dst)), self.meta,
+        )
+
+    def churn(self, events: int = _EVENTS_PER_ROUND) -> None:
+        transport = self.transport
+        for _ in range(events):
+            slot = int(self.rng.choice(np.flatnonzero(transport._active)))
+            transport._finish(slot)
+            self._add_one()
+            transport.recompute_rates()
+
+
+@pytest.mark.parametrize(
+    "num_flows", [2000, 8000, 32000], ids=["n2000", "n8000", "n32000"]
+)
+def test_event_latency_incremental(benchmark, num_flows):
+    harness = _ChurnHarness("incremental", num_flows)
+    benchmark(harness.churn)
+    assert harness.transport.utilization_snapshot().max() <= 1.05
+    # The incremental path must actually be taken, not fall back to
+    # full re-solves every event.
+    inc = harness.transport._inc
+    assert inc.incremental_solves > inc.full_solves
+
+
+@pytest.mark.parametrize("num_flows", [2000, 8000], ids=["n2000", "n8000"])
+def test_event_latency_reference(benchmark, num_flows):
+    """From-scratch baseline at the sizes where it finishes in seconds.
+
+    At 32k flows the reference loop costs ~300 ms *per event*; the
+    incremental/reference speedup there is documented in EXPERIMENTS.md
+    rather than re-measured on every bench run.
+    """
+    harness = _ChurnHarness("reference", num_flows)
+    benchmark(harness.churn)
+    assert harness.transport.utilization_snapshot().max() <= 1.05
+
+
+def test_paper_scale_campaign(benchmark, bench_record, report):
+    """End-to-end 1536-server campaign: wall-clock plus peak RSS."""
+    from repro.config import SimulationConfig
+    from repro.simulation.simulator import simulate
+    from repro.telemetry.resources import read_rss_bytes
+    from repro.workload.generator import WorkloadConfig
+
+    config = SimulationConfig(
+        cluster=PAPER_SPEC,
+        workload=WorkloadConfig(job_arrival_rate=4.0),
+        duration=15.0,
+        seed=7,
+        transport_impl="incremental",
+    )
+    result = benchmark.pedantic(simulate, args=(config,), rounds=1, iterations=1)
+    assert result.stats["transfers_completed"] > 0
+
+    peak_rss = read_rss_bytes()
+    stats = result.stats
+    bench_record(
+        "paper_scale_campaign",
+        {
+            "servers": PAPER_SPEC.racks * PAPER_SPEC.servers_per_rack,
+            "duration_simulated_seconds": config.duration,
+            "peak_rss_bytes": peak_rss,
+            "transfers_completed": int(stats["transfers_completed"]),
+            "events_processed": int(stats["events_processed"]),
+            "rate_recomputes": int(stats["rate_recomputes"]),
+        },
+    )
+    rss_mb = peak_rss / 1e6 if peak_rss else float("nan")
+    report(
+        "paper-scale campaign (1536 servers, incremental allocator): "
+        f"{config.duration:.0f}s simulated, peak RSS {rss_mb:.0f} MB, "
+        f"{int(stats['transfers_completed'])} transfers completed"
+    )

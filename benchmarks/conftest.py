@@ -36,7 +36,9 @@ from repro.telemetry import Telemetry
 
 _REPORT: list[str] = []
 _TIMINGS: dict[str, Timing] = {}
+_RECORDS: dict[str, dict] = {}
 _TELEMETRY = Telemetry()
+_PROFILER = None
 
 
 @pytest.fixture(scope="session")
@@ -87,6 +89,21 @@ def benchmark(request) -> _Benchmark:
     return _Benchmark(request.node.nodeid)
 
 
+@pytest.fixture()
+def bench_record():
+    """Record structured non-timing metrics (peak RSS, counters).
+
+    Entries land in the results JSON under ``"scale_metrics"``, keyed by
+    the name the benchmark chooses — alongside, not inside, the timing
+    entries, so ``repro bench compare`` keeps seeing a flat timing list.
+    """
+
+    def record(name: str, payload: dict) -> None:
+        _RECORDS[name] = payload
+
+    return record
+
+
 def pytest_configure(config):
     # If pytest-benchmark happens to be installed, unregister it: its
     # makereport hook rejects any `benchmark` fixture that is not its
@@ -94,6 +111,14 @@ def pytest_configure(config):
     plugin = config.pluginmanager.get_plugin("pytest-benchmark")
     if plugin is not None:
         config.pluginmanager.unregister(plugin)
+    # ``repro bench run --profile`` asks for a whole-session cProfile
+    # (see repro.bench.runner): the dump lands next to the BENCH json.
+    if os.environ.get("REPRO_BENCH_PROFILE"):
+        import cProfile
+
+        global _PROFILER
+        _PROFILER = cProfile.Profile()
+        _PROFILER.enable()
 
 
 def _write_bench_json(directory: pathlib.Path) -> None:
@@ -111,20 +136,37 @@ def _write_bench_json(directory: pathlib.Path) -> None:
     ]
     out = os.environ.get("REPRO_BENCH_OUT")
     path = pathlib.Path(out) if out else directory / "BENCH_core_ops.json"
-    write_results(
-        path,
-        results,
-        extra={
-            "campaign_timings": aggregate_spans(_TELEMETRY.tracer.spans),
-            "campaign_metrics": _TELEMETRY.metrics.snapshot(),
-        },
-    )
+    extra = {
+        "campaign_timings": aggregate_spans(_TELEMETRY.tracer.spans),
+        "campaign_metrics": _TELEMETRY.metrics.snapshot(),
+    }
+    if _RECORDS:
+        extra["scale_metrics"] = _RECORDS
+    write_results(path, results, extra=extra)
+
+
+def _write_profile_dump(directory: pathlib.Path, top_n: int = 40) -> None:
+    """Dump the session profile next to the BENCH json (``--profile``)."""
+    import io
+    import pstats
+
+    _PROFILER.disable()
+    out = os.environ.get("REPRO_BENCH_OUT")
+    bench_path = pathlib.Path(out) if out else directory / "BENCH_core_ops.json"
+    profile_path = bench_path.with_suffix(".profile.txt")
+    stream = io.StringIO()
+    stats = pstats.Stats(_PROFILER, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    profile_path.write_text(stream.getvalue())
+    print(f"profile dump written to {profile_path}")
 
 
 def pytest_sessionfinish(session, exitstatus):
     directory = pathlib.Path(__file__).parent
     if _TIMINGS:
         _write_bench_json(directory)
+    if _PROFILER is not None:
+        _write_profile_dump(directory)
     if not _REPORT:
         return
     body = "\n\n".join(_REPORT)

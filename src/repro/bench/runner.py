@@ -20,10 +20,16 @@ __all__ = ["QUICK_SELECTION", "run_benchmarks"]
 #: ``--quick`` runs only benchmarks that need no standard dataset — the
 #: session-scoped standard campaign takes minutes to build, while these
 #: finish in seconds and still cover the transport hot path end to end.
-QUICK_SELECTION = "maxmin_waterfill or small_campaign_simulation"
+QUICK_SELECTION = (
+    "maxmin_waterfill or small_campaign_simulation"
+    " or (event_latency_incremental and n2000)"
+)
 
 #: Environment variable the benchmarks conftest reads for the output path.
 ENV_BENCH_OUT = "REPRO_BENCH_OUT"
+#: When set, benchmarks/conftest.py wraps the whole pytest session in
+#: cProfile and dumps the top entries next to the results JSON.
+ENV_BENCH_PROFILE = "REPRO_BENCH_PROFILE"
 
 
 def run_benchmarks(
@@ -32,12 +38,15 @@ def run_benchmarks(
     quick: bool = False,
     keyword: str | None = None,
     verbose: bool = False,
+    profile: bool = False,
 ) -> int:
     """Run the benchmark suite, writing results JSON to ``out``.
 
     Returns the pytest exit code (0 = all benchmarks passed).  ``quick``
     restricts to the fast no-dataset subset; ``keyword`` is an explicit
-    pytest ``-k`` expression overriding it.
+    pytest ``-k`` expression overriding it.  ``profile`` wraps the
+    measuring process in cProfile and writes a ``*.profile.txt`` dump
+    next to ``out``.
     """
     benchmarks_dir = pathlib.Path(benchmarks_dir)
     if not benchmarks_dir.is_dir():
@@ -56,6 +65,8 @@ def run_benchmarks(
         command += ["-k", selection]
     env = dict(os.environ)
     env[ENV_BENCH_OUT] = str(out)
+    if profile:
+        env[ENV_BENCH_PROFILE] = "1"
     src_root = str(pathlib.Path(__file__).resolve().parents[2])
     env["PYTHONPATH"] = os.pathsep.join(
         part for part in (src_root, env.get("PYTHONPATH")) if part

@@ -282,6 +282,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="DIR",
                            help="benchmark suite directory "
                                 "(default: benchmarks)")
+    bench_run.add_argument("--profile", action="store_true",
+                           help="cProfile the measuring process; dump "
+                                "the top entries next to the results "
+                                "JSON as *.profile.txt")
     bench_run.add_argument("--verbose", action="store_true",
                            help="run pytest with -v")
     bench_compare = bench_sub.add_parser(
@@ -917,6 +921,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             keyword=args.keyword,
             verbose=args.verbose,
+            profile=args.profile,
         )
         if code == 0:
             print(f"benchmark results written to {args.out}")

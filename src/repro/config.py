@@ -30,9 +30,15 @@ class SimulationConfig:
     #: Bandwidth-sharing model: "maxmin" (default) or "bottleneck".
     fairness: str = "maxmin"
     #: Water-filling implementation: "vectorized" (default, the fast
-    #: production allocator) or "reference" (the original round-based
-    #: loop).  Both produce bit-identical event logs — the switch exists
-    #: so differential tests and ``repro validate`` can prove it.
+    #: adaptive allocator), "reference" (the original round-based loop),
+    #: "csr" (the batched CSR elimination pinned on for every active-set
+    #: size), or "incremental" (paper-scale: re-solves only the affected
+    #: bottleneck subgraph per arrival/departure).  The first three
+    #: produce bit-identical event logs — the switch exists so
+    #: differential tests and ``repro validate`` can prove it;
+    #: "incremental" is equivalent within a documented tolerance
+    #: (``repro.simulation.waterfill.INCREMENTAL_RTOL``) checked by the
+    #: ``transport.incremental_equivalence`` validator.
     transport_impl: str = "vectorized"
     #: A link is a hot-spot when its one-second average utilisation is at
     #: least this (paper §4.2 uses C = 70%).
@@ -53,7 +59,7 @@ class SimulationConfig:
             raise ValueError("duration must be positive")
         if self.fairness not in ("maxmin", "bottleneck"):
             raise ValueError(f"unknown fairness mode {self.fairness!r}")
-        if self.transport_impl not in ("vectorized", "reference"):
+        if self.transport_impl not in ("vectorized", "reference", "csr", "incremental"):
             raise ValueError(f"unknown transport impl {self.transport_impl!r}")
         if not 0.0 < self.congestion_threshold <= 1.0:
             raise ValueError("congestion_threshold must lie in (0, 1]")

@@ -1,17 +1,34 @@
 """Discrete event engine.
 
-A minimal binary-heap scheduler with cancellable events and batch hooks.
-The simulator registers a hook that runs after every batch of same-time
-events, which is where transport rates get recomputed — recomputing once
-per *timestamp* instead of once per *event* matters because barrier
-phases release dozens of shuffle flows at the same instant.
+A minimal binary-heap scheduler with cancellable events, batch hooks,
+and *dynamic time sources*.  The simulator registers a hook that runs
+after every batch of same-time events, which is where transport rates
+get recomputed — recomputing once per *timestamp* instead of once per
+*event* matters because barrier phases release dozens of shuffle flows
+at the same instant.
+
+Dynamic time sources are the structure-of-arrays answer to wakeup
+churn: instead of scheduling (and tombstoning, and re-scheduling) a
+heap event for every "earliest completion" / "next rate recompute"
+estimate, a source is a zero-argument callable returning the next time
+it wants the engine to wake (or ``None``).  The engine polls sources
+each loop iteration and merges their times with the heap head; a wakeup
+at ``T`` consumes every source value ``<= T``, so a source re-arms by
+simply returning a later time.  Cancelling is returning ``None`` —
+no heap object ever existed.
+
+Cancelled heap events (tombstones) are still supported for API users;
+the engine counts live-vs-tombstone entries and compacts the heap in
+place when tombstones outnumber live events, so pathological
+cancel/re-schedule patterns stay O(live) in memory.  The tombstone
+high-water mark and compaction count are exposed as telemetry.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 __all__ = ["EventHandle", "EventEngine"]
@@ -22,6 +39,11 @@ __all__ = ["EventHandle", "EventEngine"]
 # cheaper than constructing an order-enabled dataclass — measurable,
 # since every transfer schedules at least two events.
 
+#: Compaction trigger: rebuild the heap once at least this many
+#: tombstones accumulate *and* they outnumber live entries.  The floor
+#: keeps tiny heaps from compacting on every cancel.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 @dataclass
 class EventHandle:
@@ -29,10 +51,14 @@ class EventHandle:
 
     time: float
     callback: Callable[[], None] | None
+    _engine: "EventEngine | None" = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self.callback = None
+        if self.callback is not None:
+            self.callback = None
+            if self._engine is not None:
+                self._engine._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -41,12 +67,14 @@ class EventHandle:
 
 
 class EventEngine:
-    """Priority-queue event loop.
+    """Priority-queue event loop with pluggable dynamic time sources.
 
     Events scheduled for the same instant run in scheduling order.  The
     optional ``batch_hook`` runs after all events at one timestamp have
     fired and may itself schedule new events (including at the current
-    time, which extends the batch).
+    time, which extends the batch).  A batch driven purely by a dynamic
+    source contains no heap events — only the time-advance and batch
+    hooks run.
     """
 
     def __init__(self) -> None:
@@ -61,12 +89,25 @@ class EventEngine:
         self.peak_heap_depth = 0
         self.batch_hook: Callable[[], None] | None = None
         self.time_advance_hook: Callable[[float], None] | None = None
+        #: Dynamic wakeup sources: callables returning the next absolute
+        #: time they need the engine to wake, or ``None`` for "nothing".
+        self.dynamic_sources: list[Callable[[], float | None]] = []
+        self._dynamic_last_fired: list[float] = []
+        #: Cancelled entries still sitting in the heap.
+        self._tombstones = 0
+        #: Telemetry: tombstone high-water mark, heap rebuilds, batches
+        #: triggered by a dynamic source rather than a heap event.
+        self.peak_tombstones = 0
+        self.heap_compactions = 0
+        self.dynamic_wakeups = 0
+
+    # ---------------------------------------------------------------- heap
 
     def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at ``time`` (>= now) and return its handle."""
         if time < self.now - 1e-9:
             raise ValueError(f"cannot schedule at {time} before now {self.now}")
-        handle = EventHandle(time=max(time, self.now), callback=callback)
+        handle = EventHandle(time=max(time, self.now), callback=callback, _engine=self)
         heapq.heappush(self._heap, (handle.time, next(self._sequence), handle))
         if len(self._heap) > self.peak_heap_depth:
             self.peak_heap_depth = len(self._heap)
@@ -78,11 +119,61 @@ class EventEngine:
             raise ValueError("delay must be non-negative")
         return self.schedule(self.now + delay, callback)
 
+    def _note_cancelled(self) -> None:
+        """Account a live->tombstone transition; compact past the ratio."""
+        self._tombstones += 1
+        if self._tombstones > self.peak_tombstones:
+            self.peak_tombstones = self._tombstones
+        live = len(self._heap) - self._tombstones
+        if self._tombstones >= _COMPACT_MIN_TOMBSTONES and self._tombstones > live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the heap without tombstones (stable: entries keep their
+        ``(time, sequence)`` keys, so event order is unchanged)."""
+        if not self._tombstones:
+            return
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        self.heap_compactions += 1
+
     def peek_time(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._tombstones -= 1
         return self._heap[0][0] if self._heap else None
+
+    # ------------------------------------------------------------- dynamic
+
+    def add_dynamic_source(self, source: Callable[[], float | None]) -> None:
+        """Register a wakeup source polled before each batch.
+
+        A source returning ``t`` asks for a (possibly empty) batch at
+        ``t``; values in the past are clamped to ``now``.  Once the
+        engine runs a batch at ``T``, source values ``<= T`` are
+        considered served: the source must return a strictly later time
+        (or ``None``) to be woken again.  This gives one-shot semantics
+        without per-wakeup heap objects.
+        """
+        self.dynamic_sources.append(source)
+        self._dynamic_last_fired.append(float("-inf"))
+
+    def _poll_dynamic(self) -> list[tuple[float, int]]:
+        """Current ``(time, source_index)`` wakeup requests, clamped/filtered."""
+        requests: list[tuple[float, int]] = []
+        for index, source in enumerate(self.dynamic_sources):
+            time = source()
+            if time is None:
+                continue
+            time = max(time, self.now)
+            if time <= self._dynamic_last_fired[index]:
+                continue
+            requests.append((time, index))
+        return requests
+
+    # ----------------------------------------------------------------- run
 
     def run(self, until: float) -> None:
         """Process events up to and including time ``until``.
@@ -94,8 +185,19 @@ class EventEngine:
             raise ValueError("cannot run backwards")
         while True:
             next_time = self.peek_time()
+            requests = self._poll_dynamic()
+            heap_drives = next_time is not None
+            for time, _ in requests:
+                if next_time is None or time < next_time:
+                    next_time = time
+                    heap_drives = False
             if next_time is None or next_time > until:
                 break
+            for time, index in requests:
+                if time <= next_time:
+                    self._dynamic_last_fired[index] = next_time
+            if not heap_drives:
+                self.dynamic_wakeups += 1
             self.now = next_time
             if self.time_advance_hook is not None:
                 self.time_advance_hook(next_time)
@@ -103,11 +205,12 @@ class EventEngine:
             while True:
                 while self._heap and self._heap[0][2].cancelled:
                     heapq.heappop(self._heap)
+                    self._tombstones -= 1
                 if not self._heap or self._heap[0][0] > self.now + 1e-12:
                     break
                 handle = heapq.heappop(self._heap)[2]
                 callback = handle.callback
-                handle.cancel()
+                handle.callback = None
                 if callback is not None:
                     self.events_processed += 1
                     callback()
@@ -119,4 +222,4 @@ class EventEngine:
     @property
     def pending(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for _, _, handle in self._heap if not handle.cancelled)
+        return len(self._heap) - self._tombstones

@@ -29,7 +29,7 @@ from ..util.randomness import RandomSource
 from ..workload.generator import WorkloadSchedule, generate_schedule
 from ..workload.job import JobRuntime
 from ..workload.runtime import JobExecutor
-from .engine import EventEngine, EventHandle
+from .engine import EventEngine
 from .linkloads import LinkLoadTracker
 from .transport import FluidTransport, Transfer, TransferMeta
 
@@ -91,11 +91,15 @@ class Simulator:
             telemetry=self.telemetry,
         )
         self.transfers: list[Transfer] = []
-        self._completion_event: EventHandle | None = None
         self._last_recompute = -float("inf")
-        self._recompute_wakeup: EventHandle | None = None
         self.engine.time_advance_hook = self._on_time_advance
         self.engine.batch_hook = self._after_batch
+        # Wakeups ride dynamic time sources instead of heap events: the
+        # transport's completion frontier supplies the earliest-completion
+        # time per rate epoch, and the recompute source re-arms itself at
+        # the edge of the rate-limit window whenever rates are dirty.
+        self.engine.add_dynamic_source(self.transport.next_completion_wakeup)
+        self.engine.add_dynamic_source(self._recompute_wakeup_time)
         self._batch_size_hist = self.telemetry.histogram("engine.batch_size")
         self._events_at_last_batch = 0
         self._wall_start: float | None = None
@@ -180,19 +184,14 @@ class Simulator:
             return
         now = self.engine.now
         interval = self.config.rate_update_interval
-        # The epsilon tolerance matters: a wakeup scheduled at exactly
+        # The epsilon tolerance matters: a dynamic wakeup at exactly
         # last+interval can arrive with now-last a float ulp short of the
-        # interval, and re-scheduling at the same instant would livelock.
+        # interval, and deferring again at the same instant would stall.
         if now - self._last_recompute >= interval - 1e-9:
             self.transport.recompute_rates()
             self._last_recompute = now
-            self._reschedule_completion()
-        elif self._recompute_wakeup is None or self._recompute_wakeup.cancelled:
-            # Wake the batch hook once the rate-limit window has passed;
-            # the event body is empty — reaching the timestamp suffices.
-            self._recompute_wakeup = self.engine.schedule(
-                max(self._last_recompute + interval, now + 1e-9), lambda: None
-            )
+        # else: rates stay dirty and the recompute dynamic source wakes
+        # the engine at the edge of the rate-limit window.
 
     def _run_inline_validation(self) -> None:
         """Run the cheap inline checkers against the live state.
@@ -213,13 +212,16 @@ class Simulator:
                 )
         report.raise_if_violations()
 
-    def _reschedule_completion(self) -> None:
-        if self._completion_event is not None:
-            self._completion_event.cancel()
-            self._completion_event = None
-        next_time = self.transport.next_completion_time()
-        if next_time is not None:
-            self._completion_event = self.engine.schedule(next_time, lambda: None)
+    def _recompute_wakeup_time(self) -> float | None:
+        """Dynamic wakeup: edge of the rate-limit window while dirty.
+
+        ``None`` while rates are clean; otherwise the first instant the
+        batch hook is allowed to recompute.  The engine clamps times in
+        the past to ``now``, covering the initial ``-inf`` sentinel.
+        """
+        if not self.transport.rates_dirty:
+            return None
+        return self._last_recompute + self.config.rate_update_interval
 
     # ------------------------------------------------------------ streaming
 
@@ -313,11 +315,23 @@ class Simulator:
         tele.counter("engine.events_processed").inc(self.engine.events_processed)
         tele.counter("engine.batches_processed").inc(self.engine.batches_processed)
         tele.gauge("engine.peak_heap_depth").max(self.engine.peak_heap_depth)
+        tele.counter("engine.dynamic_wakeups").inc(self.engine.dynamic_wakeups)
+        tele.gauge("engine.peak_tombstones").max(self.engine.peak_tombstones)
+        if self.engine.heap_compactions:
+            tele.counter("engine.heap_compactions").inc(self.engine.heap_compactions)
         tele.counter("transport.transfers_started").inc(
             self.transport.transfers_started
         )
         tele.counter("transport.rate_recomputes").inc(self.transport.rate_recomputes)
         tele.gauge("transport.peak_active_flows").max(self.transport.peak_active)
+        tele.counter("transport.frontier_rebuilds").inc(
+            self.transport.frontier_rebuilds
+        )
+        if self.transport._inc is not None:
+            inc = self.transport._inc
+            tele.counter("transport.incremental_full_solves").inc(inc.full_solves)
+            tele.counter("transport.incremental_solves").inc(inc.incremental_solves)
+            tele.counter("transport.incremental_expansions").inc(inc.expansions)
         tele.counter("linkloads.intervals_integrated").inc(
             self.link_loads.intervals_integrated
         )

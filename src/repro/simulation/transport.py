@@ -14,13 +14,26 @@ ablation and a cross-check on the exact allocator.
 All per-flow state lives in preallocated numpy arrays indexed by slot so
 that the per-event work — integrating rates into link-load bins and
 re-running the water-filling — is vectorised.  The water-filling itself
-lives in :mod:`repro.simulation.waterfill`, which provides two
-bit-identical allocators: the round-based reference loop and the
-production vectorized/heap allocator (selected by the ``impl``
-constructor argument, surfaced as ``SimulationConfig.transport_impl``).
-The active set's ``(paths, valid)`` view and the allocator's incidence
-structures are cached against a flow-set version counter so consecutive
-allocation passes over an unchanged active set skip the rebuild.
+lives in :mod:`repro.simulation.waterfill`, which provides the four
+``impl`` choices surfaced as ``SimulationConfig.transport_impl``:
+``reference`` (the round-based ground-truth loop), ``vectorized`` (the
+bit-identical adaptive heap/CSR replay), ``csr`` (the batched CSR
+elimination pinned regardless of active-set size), and ``incremental``
+(the paper-scale allocator that re-solves only the affected bottleneck
+subgraph on each arrival/departure — tolerance-based, see
+:data:`~repro.simulation.waterfill.INCREMENTAL_RTOL`).  The active
+set's ``(paths, valid)`` view and the allocator's incidence structures
+are cached against a flow-set version counter so consecutive allocation
+passes over an unchanged active set skip the rebuild.
+
+Completion scheduling is structure-of-arrays: instead of per-transfer
+event objects, the transport keeps a **completion frontier** — the next
+:data:`_FRONTIER_DEPTH` completion times, selected with one
+``argpartition`` over ``remaining / rate`` and invalidated by a rate
+*epoch* bump on each allocation pass.  The engine polls
+:meth:`FluidTransport.next_completion_wakeup` as a dynamic time source,
+so cancelling/re-scheduling a completion is a version bump, never a
+heap tombstone.
 """
 
 from __future__ import annotations
@@ -33,12 +46,22 @@ import numpy as np
 from ..cluster.topology import ClusterTopology
 from .waterfill import (
     FlowIncidence,
+    IncrementalMaxMin,
     bottleneck_rates,
     maxmin_rates_reference,
     maxmin_rates_vectorized,
 )
 
 __all__ = ["TransferMeta", "Transfer", "FluidTransport", "LoadSink"]
+
+#: Accepted ``impl`` constructor values (mirrored by
+#: ``SimulationConfig.transport_impl``).
+TRANSPORT_IMPLS = ("vectorized", "reference", "csr", "incremental")
+
+#: Completion-frontier depth: how many upcoming completion times are
+#: materialised per rate epoch.  Deep enough to absorb a burst of
+#: completions inside one rate-update window without a rescan.
+_FRONTIER_DEPTH = 64
 
 #: A flow is considered drained when this many bytes remain (absorbs
 #: floating-point integration error; far below any real transfer size).
@@ -119,7 +142,7 @@ class FluidTransport:
     ) -> None:
         if fairness not in ("maxmin", "bottleneck"):
             raise ValueError(f"unknown fairness mode {fairness!r}")
-        if impl not in ("vectorized", "reference"):
+        if impl not in TRANSPORT_IMPLS:
             raise ValueError(f"unknown transport impl {impl!r}")
         self.topology = topology
         self.fairness = fairness
@@ -157,6 +180,29 @@ class FluidTransport:
         #: Telemetry: fair-share allocation passes and concurrency peak.
         self.rate_recomputes = 0
         self.peak_active = 0
+
+        #: Incremental allocator state (``impl="incremental"`` only).
+        self._inc: IncrementalMaxMin | None = (
+            IncrementalMaxMin(self.capacities, self.num_links)
+            if impl == "incremental"
+            else None
+        )
+
+        #: Rate epoch: bumped by every allocation pass.  The completion
+        #: frontier below is valid for exactly one epoch; invalidating it
+        #: is this counter bump, replacing per-transfer event cancel.
+        self.rates_epoch = 0
+        self._frontier_epoch = -1
+        self._frontier_times: np.ndarray = np.empty(0)
+        self._frontier_slots: np.ndarray = np.empty(0, dtype=np.int64)
+        self._frontier_pos = 0
+        self._frontier_truncated = False
+        #: Slot/time of the earliest completion at the epoch rebuild; the
+        #: engine's wakeup source fires once per epoch on this head (the
+        #: legacy scheduler's single completion event, minus the heap).
+        self._frontier_head_slot = -1
+        self._frontier_head_time = 0.0
+        self.frontier_rebuilds = 0
 
     # ---------------------------------------------------------------- slots
 
@@ -215,6 +261,8 @@ class FluidTransport:
         self._dst[slot] = dst
         self._sizes[slot] = size
         self._start_times[slot] = self.now
+        if self._inc is not None:
+            self._inc.on_add(slot, path_links)
         self.rates_dirty = True
         self._flows_version += 1
         self.transfers_started += 1
@@ -282,6 +330,8 @@ class FluidTransport:
         )
         self._completed_buffer.append((transfer, self._on_complete[slot]))
         self._next_transfer_id += 1
+        if self._inc is not None:
+            self._inc.on_remove(slot)
         self._active[slot] = False
         self._rates[slot] = 0.0
         self._meta[slot] = None
@@ -305,12 +355,13 @@ class FluidTransport:
     def recompute_rates(self) -> None:
         """Re-run the fair-share allocation for the current active set."""
         self.rate_recomputes += 1
+        self.rates_epoch += 1
         active_idx, paths, valid = self._active_view()
         if active_idx.size == 0:
             self.rates_dirty = False
             return
         if self.fairness == "maxmin":
-            rates = self._maxmin_rates(paths, valid)
+            rates = self._maxmin_rates(active_idx, paths, valid)
         else:
             rates = self._bottleneck_rates(paths, valid)
         self._rates[active_idx] = np.maximum(rates, _MIN_RATE)
@@ -329,16 +380,28 @@ class FluidTransport:
             self._incidence_version = self._flows_version
         return self._incidence
 
-    def _maxmin_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    def _maxmin_rates(
+        self, active_idx: np.ndarray, paths: np.ndarray, valid: np.ndarray
+    ) -> np.ndarray:
         """Max-min fair allocation via the configured allocator.
 
-        Both implementations live in :mod:`repro.simulation.waterfill`
-        and produce bit-identical rates; ``impl="reference"`` runs the
-        original round-based loop for differential checking.
+        All implementations live in :mod:`repro.simulation.waterfill`.
+        ``reference``, ``vectorized``, and ``csr`` produce bit-identical
+        rates; ``incremental`` re-solves only the affected bottleneck
+        subgraph and is equivalent within
+        :data:`~repro.simulation.waterfill.INCREMENTAL_RTOL`.
         """
         if self.impl == "reference":
             return maxmin_rates_reference(
                 paths, valid, self.capacities, self.num_links
+            )
+        if self.impl == "incremental":
+            assert self._inc is not None
+            return self._inc.solve(
+                active_idx,
+                paths,
+                valid,
+                incidence=self._flow_incidence(paths, valid),
             )
         return maxmin_rates_vectorized(
             paths,
@@ -346,25 +409,89 @@ class FluidTransport:
             self.capacities,
             self.num_links,
             incidence=self._flow_incidence(paths, valid),
+            regime="csr" if self.impl == "csr" else "auto",
         )
 
     def _bottleneck_rates(self, paths: np.ndarray, valid: np.ndarray) -> np.ndarray:
         """Equal split on each link; flow rate = min share along its path."""
         return bottleneck_rates(paths, valid, self.capacities, self.num_links)
 
-    def next_completion_time(self) -> float | None:
-        """Earliest time an active flow drains at current rates, or ``None``."""
+    # ------------------------------------------------------------- frontier
+
+    def _rebuild_frontier(self, *, set_head: bool) -> None:
+        """Materialise the next :data:`_FRONTIER_DEPTH` completion times.
+
+        One vectorised pass (``argpartition`` over ``remaining / rate``)
+        replaces per-transfer completion events.  Rates are constant
+        within an epoch and ``remaining`` is integrated to ``self.now``
+        before any query, so absolute completion times computed here stay
+        exact for the whole epoch.  ``set_head`` records the epoch head
+        for :meth:`next_completion_wakeup`; mid-epoch rebuilds (frontier
+        exhausted after a truncation) keep the original head.
+        """
+        self.frontier_rebuilds += 1
         active_idx = self._active_view()[0]
         if active_idx.size == 0:
+            horizons = np.empty(0)
+            sel = np.empty(0, dtype=np.int64)
+        else:
+            rates = self._rates[active_idx]
+            remaining = self._remaining[active_idx]
+            with np.errstate(divide="ignore"):
+                horizons = np.where(rates > 0, remaining / rates, np.inf)
+            if horizons.size > _FRONTIER_DEPTH:
+                sel = np.argpartition(horizons, _FRONTIER_DEPTH - 1)[:_FRONTIER_DEPTH]
+            else:
+                sel = np.arange(horizons.size)
+            sel = sel[np.argsort(horizons[sel], kind="stable")]
+            sel = sel[np.isfinite(horizons[sel])]
+        self._frontier_times = self.now + horizons[sel]
+        self._frontier_slots = active_idx[sel] if sel.size else sel
+        self._frontier_pos = 0
+        self._frontier_truncated = active_idx.size > sel.size and bool(
+            sel.size == _FRONTIER_DEPTH
+        )
+        self._frontier_epoch = self.rates_epoch
+        if set_head:
+            if sel.size:
+                self._frontier_head_slot = int(self._frontier_slots[0])
+                self._frontier_head_time = float(self._frontier_times[0])
+            else:
+                self._frontier_head_slot = -1
+
+    def next_completion_time(self) -> float | None:
+        """Earliest time an active flow drains at current rates, or ``None``."""
+        if self._frontier_epoch != self.rates_epoch:
+            self._rebuild_frontier(set_head=True)
+        for _ in range(2):
+            times, slots = self._frontier_times, self._frontier_slots
+            while self._frontier_pos < times.size:
+                pos = self._frontier_pos
+                if self._active[slots[pos]]:
+                    return max(float(times[pos]), self.now)
+                self._frontier_pos += 1
+            if not self._frontier_truncated:
+                return None
+            # The materialised prefix drained entirely within this epoch;
+            # rescan the survivors (same rates, so times stay exact).
+            self._rebuild_frontier(set_head=False)
+        return None
+
+    def next_completion_wakeup(self) -> float | None:
+        """Dynamic engine wakeup: this epoch's earliest completion.
+
+        Fires once per rate epoch — after the head flow drains the next
+        wakeup is the rate recompute, which starts a fresh epoch.  This
+        reproduces the legacy scheduler exactly (it kept one completion
+        event, re-armed only on recompute), so event logs stay
+        bit-identical while cancel/re-schedule becomes an epoch bump.
+        """
+        if self._frontier_epoch != self.rates_epoch:
+            self._rebuild_frontier(set_head=True)
+        head = self._frontier_head_slot
+        if head < 0 or not self._active[head]:
             return None
-        rates = self._rates[active_idx]
-        remaining = self._remaining[active_idx]
-        with np.errstate(divide="ignore"):
-            horizons = np.where(rates > 0, remaining / rates, np.inf)
-        soonest = horizons.min()
-        if not np.isfinite(soonest):
-            return None
-        return self.now + float(soonest)
+        return max(self._frontier_head_time, self.now)
 
     # ------------------------------------------------------------- inspection
 

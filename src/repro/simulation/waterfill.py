@@ -40,6 +40,23 @@ holds the three interchangeable implementations:
     The cheap ablation mode: equal split on each link, no leftover
     redistribution.  Shared by every implementation.
 
+``IncrementalMaxMin``
+    The paper-scale allocator, selected with
+    ``SimulationConfig.transport_impl = "incremental"``.  Instead of
+    re-running water-filling over *all* active flows on every arrival
+    and departure, it maintains the bottleneck structure — per-link
+    consumed bandwidth, link→flow adjacency, and each flow's bottleneck
+    link — across events and re-solves only the **affected bottleneck
+    subgraph**: the flows touching a dirtied link, expanded outward
+    while frozen neighbours would be left more than
+    :data:`INCREMENTAL_RTOL` away from their fair share.  The
+    re-solve itself reuses the exact allocators above on the reduced
+    subproblem (frozen flows appear as capacity already consumed), so
+    it never oversubscribes a link; unlike ``vectorized`` it is
+    *tolerance-based*, not bit-identical — see the module constant and
+    the ``transport.incremental_equivalence`` checker in
+    :mod:`repro.validate`.
+
 The :class:`FlowIncidence` cache holds the per-active-set structures
 (flat incidence arrays, link->flow adjacency, initial shares) keyed by
 the transport's flow-set version, so back-to-back recomputations — e.g.
@@ -55,6 +72,8 @@ import numpy as np
 
 __all__ = [
     "FlowIncidence",
+    "IncrementalMaxMin",
+    "INCREMENTAL_RTOL",
     "bottleneck_rates",
     "maxmin_rates_reference",
     "maxmin_rates_vectorized",
@@ -232,6 +251,7 @@ def maxmin_rates_vectorized(
     capacities: np.ndarray,
     num_links: int,
     incidence: FlowIncidence | None = None,
+    regime: str = "auto",
 ) -> np.ndarray:
     """Bit-identical fast replay of :func:`maxmin_rates_reference`.
 
@@ -239,13 +259,17 @@ def maxmin_rates_vectorized(
     rounds) and the CSR regime (large active sets, batched NumPy
     elimination) on ``_CSR_FLOW_THRESHOLD``; both produce the exact
     floats of the reference loop, so the choice never shows up in an
-    event log.
+    event log.  ``regime`` forces one path ("heap" or "csr") — that is
+    how ``transport_impl = "csr"`` pins the batched elimination for
+    differential tests regardless of the active-set size.
     """
     if paths.shape[0] == 0:
         return np.zeros(0)
     if incidence is None:
         incidence = FlowIncidence(paths, valid, capacities, num_links)
-    if incidence.num_flows >= _CSR_FLOW_THRESHOLD:
+    if regime == "csr" or (
+        regime == "auto" and incidence.num_flows >= _CSR_FLOW_THRESHOLD
+    ):
         return _maxmin_csr(paths, valid, capacities, num_links, incidence)
     return _maxmin_heap(paths, valid, capacities, num_links, incidence)
 
@@ -398,3 +422,531 @@ def _maxmin_csr(
             paths[ids], valid[ids], capacities, num_links
         )
     return rates
+
+
+
+# --------------------------------------------------------------- incremental
+
+#: Relative tolerance of the incremental allocator's rates against a
+#: from-scratch reference allocation over the same active set.  The
+#: allocator corrects itself whenever a flow's achievable rate drifts
+#: past this bound (the starvation sweep) or a link accumulates this
+#: much capacity-relative churn (the budget), and the reference itself
+#: groups links saturating within ``_LEVEL_GROUPING`` of each other, so
+#: even exact local corrections regroup rounds differently.  The
+#: ``transport.incremental_equivalence`` checker and the Hypothesis
+#: interleaving property assert agreement at this bound.
+INCREMENTAL_RTOL = 0.15
+
+#: Full from-scratch re-anchor cadence (in solves).  Bounds any drift an
+#: adversarial event sequence could accumulate in frozen rates; costs
+#: one vectorized allocation per this many events.
+_REANCHOR_INTERVAL = 64
+
+#: Fraction of :data:`INCREMENTAL_RTOL` a link may accumulate in
+#: capacity-relative bandwidth churn before the flows crossing it are
+#: re-solved exactly.  Half the tolerance leaves the other half for
+#: admission error and the reference's own level grouping.
+_CHURN_BUDGET = 1.0
+
+#: Affected-set fraction beyond which a full solve is cheaper than the
+#: subproblem bookkeeping.
+_MAX_AFFECTED_FRACTION = 0.75
+
+#: Starvation-sweep rounds per solve.  Each round lifts every starved
+#: flow by exactly re-solving it with the flows crossing its limiting
+#: link; a lift can expose starvation one hop away, so a few rounds let
+#: it diffuse.  A state still starved after the last round is
+#: re-anchored with a full solve.
+_SWEEP_ROUNDS = 4
+
+class IncrementalMaxMin:
+    """Max-min allocator state maintained across flow arrivals/departures.
+
+    The from-scratch allocators above cost ``O(rounds x incidences)``
+    per call regardless of how little changed; at paper scale (tens of
+    thousands of concurrent flows) that dominates the whole simulation.
+    The observation that makes an incremental allocator viable is that
+    datacenter bottlenecks are *shared*: hundreds of flows sit at the
+    fair level of the same core or uplink bottleneck, so one arrival or
+    departure moves each cohort member's fair share by ``~1/cohort`` —
+    far inside the documented :data:`INCREMENTAL_RTOL`.  Re-solving the
+    whole network on every event buys precision nobody asked for at the
+    full allocator's price.
+
+    Events are absorbed with tolerance-aware local work:
+
+    1. **Admit** (arrival): the newcomer is granted the minimum over
+       its path links of each link's projected fair level
+       ``(cohort_level x n + residual) / (n + 1)``; on links where that
+       exceeds the free residual, the bottleneck cohort is scaled down
+       pro rata to make room (one vectorized pass over the cohort's
+       incidence).
+    2. **Release** (departure): the departed flow's bandwidth is
+       returned to the residual of its links; nobody else's rate moves
+       until a correction trigger fires.
+    3. **Correction triggers**, evaluated after every event batch:
+
+       - *churn budget*: grants, steals and releases accumulate per
+         link; a link past :data:`_CHURN_BUDGET` x rtol of its capacity
+         has drifted in aggregate.
+       - *starvation sweep*: a vectorized pass computes every flow's
+         achievable rate — the minimum over its path of saturated-link
+         fair levels (the max rate crossing the link) and free residual
+         headroom.  A flow whose achievable rate exceeds its allocated
+         rate by more than rtol is *starved*: the direct, per-flow
+         measure of the error the equivalence checker bounds.  This is
+         what the churn budget alone cannot see — a lone flow starved
+         under hundreds of correctly-allocated neighbours moves its
+         link by well under any link-relative budget.
+
+       All hot links and every starved flow's limiting link have their
+       *crossing flows* re-solved exactly against the frozen
+       complement — crossing flows, not just the resident cohort,
+       because correcting a starved flow requires pulling drifted-high
+       pass-through flows back down.  Frozen consumption is subtracted
+       from capacities, so a correction can never oversubscribe a link.
+       Corrections run for up to :data:`_SWEEP_ROUNDS` rounds (each
+       exact fix can expose starvation one hop away); anything still
+       dirty after that — or touching more than
+       :data:`_MAX_AFFECTED_FRACTION` of the active flows — falls back
+       to a full solve.
+    4. **Re-anchor**: a full vectorized solve additionally runs every
+       :data:`_REANCHOR_INTERVAL` solves, re-grounding bottleneck
+       assignments and clearing all budgets.
+
+    Per-link consumption is re-derived from the live rates at the top
+    of every solve, so accounting noise never compounds.  All state is
+    slot-indexed to match
+    :class:`~repro.simulation.transport.FluidTransport`, and the solve
+    machinery gathers subproblems from slot-indexed path arrays so the
+    per-event cost is vectorized over the flows involved, never a
+    Python loop over flows.
+    """
+
+    def __init__(
+        self,
+        capacities: np.ndarray,
+        num_links: int,
+        *,
+        rtol: float = INCREMENTAL_RTOL,
+        reanchor_interval: int = _REANCHOR_INTERVAL,
+    ) -> None:
+        self.capacities = np.asarray(capacities, dtype=float)
+        self.num_links = num_links
+        self.rtol = rtol
+        self.reanchor_interval = reanchor_interval
+        #: Total allocated bandwidth per link under the current rates.
+        self.link_consumed = np.zeros(num_links)
+        #: Unredistributed bandwidth churn per link since it was last
+        #: solved exactly.
+        self.churn = np.zeros(num_links)
+        #: Slots of the flows crossing each link.
+        self.link_flows: list[set[int]] = [set() for _ in range(num_links)]
+        #: Path (tuple of link ids) per registered slot.
+        self.flow_links: dict[int, tuple[int, ...]] = {}
+        #: Allocated rate per slot (grown on demand).
+        self.rates_by_slot = np.zeros(256)
+        #: Tightest link on each flow's path as of its last solve.
+        self.bottleneck_by_slot = np.full(256, -1, dtype=np.int64)
+        #: Slot-indexed path rows (-1 padded), mirroring the transport's
+        #: layout so subproblem gathers are one fancy index.
+        self.paths_by_slot = np.full((256, 8), -1, dtype=np.int64)
+        #: Flows added since the last solve, admitted in slot order.
+        self.pending_new: set[int] = set()
+        self._anchored = False
+        self._solves_since_anchor = 0
+        # Telemetry, folded into the run metrics by the simulator.
+        self.full_solves = 0
+        self.incremental_solves = 0
+        #: Exact subgraph corrections (budget- or starvation-triggered).
+        self.expansions = 0
+        self.affected_flows_total = 0
+
+    # ------------------------------------------------------------- events
+
+    def _ensure_slot(self, slot: int) -> None:
+        size = self.rates_by_slot.size
+        if slot >= size:
+            new = max(size * 2, slot + 1)
+            self.rates_by_slot = np.concatenate(
+                [self.rates_by_slot, np.zeros(new - size)]
+            )
+            self.bottleneck_by_slot = np.concatenate(
+                [self.bottleneck_by_slot,
+                 np.full(new - size, -1, dtype=np.int64)]
+            )
+            self.paths_by_slot = np.vstack([
+                self.paths_by_slot,
+                np.full((new - size, self.paths_by_slot.shape[1]), -1,
+                        dtype=np.int64),
+            ])
+
+    def on_add(self, slot: int, links: tuple[int, ...]) -> None:
+        """Register an arriving flow (admitted at the next solve)."""
+        self._ensure_slot(slot)
+        width = self.paths_by_slot.shape[1]
+        if len(links) > width:
+            pad = np.full(
+                (self.paths_by_slot.shape[0], len(links) - width), -1,
+                dtype=np.int64,
+            )
+            self.paths_by_slot = np.hstack([self.paths_by_slot, pad])
+        self.flow_links[slot] = tuple(links)
+        self.rates_by_slot[slot] = 0.0
+        self.bottleneck_by_slot[slot] = -1
+        self.paths_by_slot[slot, :] = -1
+        self.paths_by_slot[slot, : len(links)] = links
+        for link in links:
+            self.link_flows[link].add(slot)
+        self.pending_new.add(slot)
+
+    def on_remove(self, slot: int) -> None:
+        """Unregister a departing flow and release its bandwidth."""
+        links = self.flow_links.pop(slot, None)
+        if links is None:
+            return
+        rate = float(self.rates_by_slot[slot])
+        self.rates_by_slot[slot] = 0.0
+        self.bottleneck_by_slot[slot] = -1
+        self.paths_by_slot[slot, :] = -1
+        self.pending_new.discard(slot)
+        for link in links:
+            self.link_flows[link].discard(slot)
+            self.link_consumed[link] -= rate
+            self.churn[link] += rate
+        np.maximum(self.link_consumed, 0.0, out=self.link_consumed)
+
+    # ------------------------------------------------------------- solves
+
+    def solve(
+        self,
+        active_idx: np.ndarray,
+        paths: np.ndarray,
+        valid: np.ndarray,
+        incidence: FlowIncidence | None = None,
+    ) -> np.ndarray:
+        """Rates for ``active_idx`` after absorbing pending events.
+
+        ``paths``/``valid``/``incidence`` describe the current active
+        set exactly as the transport's cached view provides them.
+        """
+        num_active = active_idx.size
+        if num_active == 0:
+            self.pending_new.clear()
+            self.churn[:] = 0.0
+            self._anchored = True
+            return np.zeros(0)
+        if (
+            not self._anchored
+            or self._solves_since_anchor >= self.reanchor_interval
+        ):
+            return self._full_solve(active_idx, paths, valid, incidence)
+        # Flat incidence view, shared by the consumption rebuild and the
+        # starvation sweeps (paths/valid stay fixed within one solve).
+        # The transport's version-cached FlowIncidence already carries
+        # these arrays; fall back to computing them here for direct use.
+        if incidence is not None:
+            counts = incidence.lens
+            flat = incidence.flat
+        else:
+            counts = valid.sum(axis=1)
+            flat = paths[valid]
+        bounds = np.zeros(counts.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=bounds[1:])
+        # Re-derive per-link consumption exactly from the live rates so
+        # accounting noise (steal clamps, float drift) never compounds.
+        self.link_consumed = np.bincount(
+            flat,
+            weights=np.repeat(self.rates_by_slot[active_idx], counts),
+            minlength=self.num_links,
+        ).astype(float)
+        cohort_cache: dict[int, np.ndarray] = {}
+        for slot in sorted(self.pending_new):
+            self._admit(slot, cohort_cache)
+        self.pending_new.clear()
+        hot = np.flatnonzero(
+            self.churn
+            > _CHURN_BUDGET * self.rtol * np.maximum(self.capacities, 1.0)
+        )
+        if hot.size:
+            affected: set[int] = set()
+            for link in hot:
+                cohort = cohort_cache.get(int(link))
+                if cohort is None:
+                    cohort = self._cohort(int(link))
+                affected.update(cohort.tolist())
+            if len(affected) > _MAX_AFFECTED_FRACTION * num_active:
+                return self._full_solve(active_idx, paths, valid, incidence)
+            if affected and not self._subgraph_solve(affected):
+                return self._full_solve(active_idx, paths, valid, incidence)
+            self.churn[hot] = 0.0
+        # Starvation corrections: lift each starved flow by re-solving
+        # it together with everything crossing its limiting link.  One
+        # lift can expose starvation a hop away, so sweep a few rounds;
+        # a state that will not settle locally is re-anchored globally.
+        for _ in range(_SWEEP_ROUNDS):
+            starved_rows, limiting = self._starved(
+                active_idx, paths, valid, flat, counts, bounds
+            )
+            if starved_rows.size == 0:
+                break
+            affected = set(active_idx[starved_rows].tolist())
+            for link in limiting:
+                affected.update(self.link_flows[int(link)])
+            if len(affected) > _MAX_AFFECTED_FRACTION * num_active:
+                return self._full_solve(active_idx, paths, valid, incidence)
+            if not self._subgraph_solve(affected):
+                return self._full_solve(active_idx, paths, valid, incidence)
+        else:
+            starved_rows, _ = self._starved(
+                active_idx, paths, valid, flat, counts, bounds
+            )
+            if starved_rows.size:
+                return self._full_solve(active_idx, paths, valid, incidence)
+        self.incremental_solves += 1
+        self._solves_since_anchor += 1
+        return self.rates_by_slot[active_idx]
+
+    def _starved(
+        self,
+        active_idx: np.ndarray,
+        paths: np.ndarray,
+        valid: np.ndarray,
+        flat: np.ndarray,
+        counts: np.ndarray,
+        bounds: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rows of flows starved beyond the tolerance, and their limits.
+
+        A flow is starved when its *achievable* rate — the minimum over
+        its path of each saturated link's fair level (the maximum rate
+        crossing it) and each unsaturated link's free headroom — beats
+        its allocated rate by more than the tolerance.  This is the
+        direct per-flow measure of the error the equivalence checker
+        bounds, and the one failure mode link-level churn budgets cannot
+        see: a lone flow starved under hundreds of correctly-allocated
+        neighbours moves its link by well under any link-relative
+        budget.
+        """
+        rates = self.rates_by_slot[active_idx]
+        flat_rates = np.repeat(rates, counts)
+        level = np.zeros(self.num_links)
+        np.maximum.at(level, flat, flat_rates)
+        residual = np.maximum(self.capacities - self.link_consumed, 0.0)
+        # A link's free residual would be water-filled across the flows
+        # sitting *at* its level (anyone lower is capped elsewhere), so
+        # each level-setter's entitlement grows by residual / their
+        # count: the whole residual for a lone top flow, a negligible
+        # sliver inside a hundreds-strong cohort.  Even an exact
+        # solution leaves ~_LEVEL_GROUPING of slack on bottlenecks, so
+        # treating the residual as any one flow's headroom would flag
+        # entire cohorts as starved against a reference that grouped
+        # the same slack away.
+        level_flat = level[flat]
+        top = np.bincount(
+            flat,
+            weights=(
+                flat_rates >= (1.0 - 2.0 * _LEVEL_GROUPING) * level_flat
+            ).astype(float),
+            minlength=self.num_links,
+        )
+        share = residual / np.maximum(top, 1.0)
+        # Per-link ceiling: fairness entitles a flow up to the level,
+        # and the level-setters additionally split the free residual.
+        # Everything runs on the flat incidence (segmented by ``bounds``)
+        # to avoid materialising padded flows x width temporaries.
+        flat_ceiling = share[flat]
+        flat_ceiling += flat_rates
+        np.maximum(flat_ceiling, level_flat, out=flat_ceiling)
+        achievable = np.minimum.reduceat(flat_ceiling, bounds)
+        achievable[counts == 0] = np.inf
+        rows = np.flatnonzero(
+            np.isfinite(achievable)
+            & (achievable - rates > self.rtol * np.maximum(rates, 1.0))
+        )
+        if rows.size == 0:
+            return rows, np.empty(0, dtype=np.int64)
+        limiting: set[int] = set()
+        for row in rows:
+            start = bounds[row]
+            segment = flat_ceiling[start : start + counts[row]]
+            limiting.add(int(flat[start + int(segment.argmin())]))
+        return rows, np.fromiter(limiting, dtype=np.int64, count=len(limiting))
+
+    def _cohort(self, link: int) -> np.ndarray:
+        """Slots of the flows currently bottlenecked on ``link``."""
+        crossing = self.link_flows[link]
+        if not crossing:
+            return np.empty(0, dtype=np.int64)
+        arr = np.fromiter(crossing, dtype=np.int64, count=len(crossing))
+        return arr[self.bottleneck_by_slot[arr] == link]
+
+    def _admit(self, slot: int, cohort_cache: dict[int, np.ndarray]) -> None:
+        """Grant an arriving flow its projected fair share.
+
+        The grant is the minimum over the flow's links of the projected
+        fair level ``(level x n + residual) / (n + 1)`` — what a fresh
+        water-filling would hand the newcomer if each link's cohort and
+        free residual were split ``n + 1`` ways.  Links whose residual
+        cannot cover the grant have their cohort scaled down pro rata;
+        the freed bandwidth on *other* links those cohort flows cross is
+        charged to their churn budgets, as is the grant itself.
+        """
+        links = self.flow_links[slot]
+        link_arr = np.fromiter(links, dtype=np.int64, count=len(links))
+        caps = self.capacities[link_arr]
+        residual = np.maximum(caps - self.link_consumed[link_arr], 0.0)
+        entitle = np.empty(link_arr.size)
+        for i, link in enumerate(links):
+            cohort = cohort_cache.get(link)
+            if cohort is None:
+                cohort = self._cohort(link)
+                cohort_cache[link] = cohort
+            n = cohort.size
+            if n:
+                level = float(self.rates_by_slot[cohort].max())
+                entitle[i] = (level * n + residual[i]) / (n + 1)
+            else:
+                entitle[i] = residual[i]
+        grant = float(entitle.min())
+        bottleneck = int(link_arr[int(entitle.argmin())])
+        if grant > 0.0:
+            need = grant - residual
+            for i in np.flatnonzero(need > 1e-9 * grant):
+                link = links[int(i)]
+                cohort = cohort_cache[link]
+                rates = self.rates_by_slot[cohort]
+                total = float(rates.sum())
+                if total <= 0.0:
+                    continue
+                shrink = min(float(need[i]) / total, 1.0)
+                delta = rates * shrink
+                self.rates_by_slot[cohort] = rates - delta
+                cpaths = self.paths_by_slot[cohort]
+                cvalid = cpaths >= 0
+                freed = np.bincount(
+                    cpaths[cvalid],
+                    weights=np.repeat(delta, cvalid.sum(axis=1)),
+                    minlength=self.num_links,
+                )
+                self.link_consumed -= freed
+                np.maximum(self.link_consumed, 0.0, out=self.link_consumed)
+                self.churn += freed
+            self.link_consumed[link_arr] = np.minimum(
+                self.link_consumed[link_arr] + grant, caps
+            )
+            np.add.at(self.churn, link_arr, grant)
+        self.rates_by_slot[slot] = grant
+        self.bottleneck_by_slot[slot] = bottleneck
+        cached = cohort_cache.get(bottleneck)
+        if cached is not None:
+            cohort_cache[bottleneck] = np.append(cached, slot)
+
+    def _subgraph_solve(self, affected: "set[int] | frozenset[int]") -> bool:
+        """Exactly re-solve ``affected`` against the frozen complement.
+
+        Returns ``False`` when the gathered subproblem is degenerate and
+        the caller should fall back to a full solve.  The frozen
+        complement's consumption is subtracted from capacities first, so
+        the sub-allocation can never oversubscribe a link.  The shifts
+        this causes on neighbouring links are *not* charged to their
+        budgets: the per-event charges (grants, releases) are already
+        first-order complete, and charging corrections too
+        double-counts — it makes every correction look like fresh drift
+        and cascades sub-solves across the whole core.  Second-order
+        drift is caught by the starvation sweep and the periodic
+        re-anchor.
+        """
+        flow_arr = np.fromiter(affected, dtype=np.int64, count=len(affected))
+        flow_arr.sort()
+        paths_global = self.paths_by_slot[flow_arr]
+        sub_valid = paths_global >= 0
+        if not sub_valid.any():
+            return False
+        link_arr = np.unique(paths_global[sub_valid])
+        sub_paths = np.full_like(paths_global, -1)
+        sub_paths[sub_valid] = np.searchsorted(link_arr, paths_global[sub_valid])
+        counts = sub_valid.sum(axis=1)
+        num_sub_links = link_arr.size
+        internal_old = np.bincount(
+            sub_paths[sub_valid],
+            weights=np.repeat(self.rates_by_slot[flow_arr], counts),
+            minlength=num_sub_links,
+        )
+        external = self.link_consumed[link_arr] - internal_old
+        np.maximum(external, 0.0, out=external)
+        sub_caps = np.maximum(self.capacities[link_arr] - external, 0.0)
+        # Mid-size subproblems (hundreds of flows) sit below the global
+        # CSR threshold but already favour batched elimination over the
+        # heap walk; tiny cohorts stay on the adaptive default.
+        sub_rates = maxmin_rates_vectorized(
+            sub_paths,
+            sub_valid,
+            sub_caps,
+            num_sub_links,
+            regime="csr" if flow_arr.size >= 256 else None,
+        )
+        internal_new = np.bincount(
+            sub_paths[sub_valid],
+            weights=np.repeat(sub_rates, counts),
+            minlength=num_sub_links,
+        )
+        self.rates_by_slot[flow_arr] = sub_rates
+        self.link_consumed[link_arr] = external + internal_new
+        self._refresh_bottlenecks(flow_arr, paths_global, sub_valid)
+        self.expansions += 1
+        self.affected_flows_total += flow_arr.size
+        return True
+
+    def _full_solve(
+        self,
+        active_idx: np.ndarray,
+        paths: np.ndarray,
+        valid: np.ndarray,
+        incidence: FlowIncidence | None,
+    ) -> np.ndarray:
+        rates = maxmin_rates_vectorized(
+            paths, valid, self.capacities, self.num_links, incidence=incidence
+        )
+        self._ensure_slot(int(active_idx.max(initial=0)))
+        self.rates_by_slot[active_idx] = rates
+        flat = paths[valid]
+        per_link = np.repeat(rates, valid.sum(axis=1))
+        self.link_consumed = np.bincount(
+            flat, weights=per_link, minlength=self.num_links
+        ).astype(float)
+        self._refresh_bottlenecks(active_idx, paths, valid)
+        self.churn[:] = 0.0
+        self.pending_new.clear()
+        self._anchored = True
+        self._solves_since_anchor = 0
+        self.full_solves += 1
+        return rates
+
+    def _refresh_bottlenecks(
+        self, slots: np.ndarray, paths: np.ndarray, valid: np.ndarray
+    ) -> None:
+        """``bottleneck_by_slot`` ← the path link with the lowest fair level.
+
+        In a max-min allocation a flow's bottleneck is the saturated
+        link whose fair-share level equals the flow's rate; that level
+        is observable as the maximum rate among the flows crossing the
+        link.  Unsaturated links are ranked after every saturated one (a
+        flow is never bottlenecked where capacity is left over).
+        """
+        if slots.size == 0:
+            return
+        level = np.zeros(self.num_links)
+        flat = paths[valid]
+        np.maximum.at(
+            level, flat, np.repeat(self.rates_by_slot[slots], valid.sum(axis=1))
+        )
+        residual = self.capacities - self.link_consumed
+        saturated = residual <= self.rtol * np.maximum(self.capacities, 1.0)
+        rank = np.where(saturated, level, level.max(initial=0.0) + 1.0 + residual)
+        padded = np.where(valid, rank[np.maximum(paths, 0)], np.inf)
+        tightest = padded.argmin(axis=1)
+        self.bottleneck_by_slot[slots] = paths[
+            np.arange(slots.size), tightest
+        ]

@@ -751,3 +751,71 @@ def check_allocator_equivalence(ctx) -> list[Violation]:
             max_abs_difference=worst,
         )]
     return []
+
+
+@checker(
+    "transport.incremental_equivalence",
+    tags=("inline", "cheap", "transport"),
+    requires=("simulator",),
+)
+def check_incremental_equivalence(ctx) -> list[Violation]:
+    """The incremental allocator's live rates match a from-scratch solve
+    within its documented tolerance.
+
+    ``transport_impl="incremental"`` re-solves only the affected
+    bottleneck subgraph per arrival/departure, so its rates are
+    path-dependent and *not* bit-identical to the reference loop — the
+    contract is agreement within
+    :data:`~repro.simulation.waterfill.INCREMENTAL_RTOL` (relative to
+    each flow's fair share, with an absolute floor for near-zero rates).
+    The check also re-verifies the safety property the construction
+    guarantees: no link is oversubscribed.  A no-op on every other
+    ``transport_impl``.
+    """
+    from ..simulation.waterfill import INCREMENTAL_RTOL, maxmin_rates_reference
+
+    transport = ctx.simulator.transport
+    if transport._inc is None or transport.fairness != "maxmin":
+        return []
+    active_idx, paths, valid = transport._active_view()
+    if active_idx.size == 0:
+        return []
+    violations: list[Violation] = []
+    incremental = transport._inc.rates_by_slot[active_idx]
+    reference = maxmin_rates_reference(
+        paths, valid, transport.capacities, transport.num_links
+    )
+    scale = np.maximum(np.abs(reference), 1.0)
+    relative = np.abs(incremental - reference) / scale
+    if transport.rates_dirty:
+        # Between the event and the next allocation pass the incremental
+        # state is legitimately stale; only the oversubscription check
+        # below is meaningful here.
+        relative = np.zeros_like(relative)
+    if (relative > INCREMENTAL_RTOL).any():
+        worst = int(np.argmax(relative))
+        violations.append(make_violation(
+            "transport.incremental_equivalence",
+            "incremental allocator outside tolerance of reference solve",
+            flows=int(active_idx.size),
+            diverged=int((relative > INCREMENTAL_RTOL).sum()),
+            max_relative_difference=float(relative[worst]),
+            rtol=INCREMENTAL_RTOL,
+        ))
+    link_rates = np.bincount(
+        paths[valid],
+        weights=np.repeat(incremental, valid.sum(axis=1)),
+        minlength=transport.num_links,
+    )
+    over = link_rates > transport.capacities * (1.0 + 1e-9) + 1e-6
+    if over.any():
+        worst_link = int(np.argmax(link_rates / np.maximum(transport.capacities, 1.0)))
+        violations.append(make_violation(
+            "transport.incremental_equivalence",
+            "incremental allocation oversubscribes a link",
+            links=int(over.sum()),
+            worst_link=worst_link,
+            load=float(link_rates[worst_link]),
+            capacity=float(transport.capacities[worst_link]),
+        ))
+    return violations

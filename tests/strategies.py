@@ -23,7 +23,31 @@ from repro.instrumentation.events import (
 )
 from repro.workload.generator import WorkloadConfig
 
-__all__ = ["cluster_specs", "event_logs", "simulation_configs", "topologies"]
+__all__ = [
+    "churn_ops",
+    "cluster_specs",
+    "event_logs",
+    "simulation_configs",
+    "topologies",
+]
+
+
+def churn_ops(max_ops: int = 40) -> st.SearchStrategy[list[tuple]]:
+    """Random flow arrival/departure interleavings.
+
+    Each op is ``("add", src_pick, dst_pick)`` or ``("finish", pick)``;
+    the integer picks are resolved modulo the live endpoint/flow
+    population by the consuming test, so every generated sequence is
+    applicable to any topology regardless of size.  Used to drive the
+    incremental allocator against the reference solver step by step.
+    """
+    add = st.tuples(
+        st.just("add"),
+        st.integers(min_value=0, max_value=2**16),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    finish = st.tuples(st.just("finish"), st.integers(min_value=0, max_value=2**16))
+    return st.lists(st.one_of(add, finish), min_size=1, max_size=max_ops)
 
 
 def cluster_specs(max_racks: int = 4) -> st.SearchStrategy[ClusterSpec]:

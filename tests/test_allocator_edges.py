@@ -1,0 +1,217 @@
+"""Allocator edge cases across every ``transport_impl``, plus the
+add/finish interleaving property test.
+
+The four water-filling implementations share one contract: no link is
+ever oversubscribed, and rates agree with the round-based reference —
+bitwise for the exact impls, within ``INCREMENTAL_RTOL`` for the
+incremental allocator.  The edge cases here are the shapes a campaign
+hits rarely but fatally: zero-capacity links, a path saturated end to
+end, arrivals and departures folded into one batch, and the active set
+draining to empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.routing import Router
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+from repro.simulation.waterfill import (
+    INCREMENTAL_RTOL,
+    IncrementalMaxMin,
+    maxmin_rates_reference,
+    maxmin_rates_vectorized,
+)
+
+from strategies import churn_ops
+
+IMPLS = ["reference", "vectorized", "csr", "incremental"]
+
+#: Equivalence bound per impl: the exact impls must be bitwise-tight,
+#: the incremental allocator is tolerance-based by design.
+RTOL = {impl: 1e-9 for impl in ("reference", "vectorized", "csr")}
+RTOL["incremental"] = INCREMENTAL_RTOL
+
+
+def _paths_array(flows, width: int | None = None):
+    """Padded (paths, valid) arrays from a list of link tuples."""
+    width = width or max((len(links) for links in flows), default=1)
+    paths = np.full((len(flows), max(width, 1)), -1, dtype=np.int64)
+    for row, links in enumerate(flows):
+        paths[row, : len(links)] = links
+    return paths, paths >= 0
+
+
+def _solve(impl: str, flows, capacities: np.ndarray) -> np.ndarray:
+    """One-shot solve of ``flows`` (list of link tuples) under ``impl``."""
+    num_links = capacities.size
+    paths, valid = _paths_array(flows)
+    if impl == "reference":
+        return maxmin_rates_reference(paths, valid, capacities, num_links)
+    if impl in ("vectorized", "csr"):
+        return maxmin_rates_vectorized(
+            paths, valid, capacities, num_links,
+            regime="csr" if impl == "csr" else "auto",
+        )
+    inc = IncrementalMaxMin(capacities, num_links)
+    for slot, links in enumerate(flows):
+        inc.on_add(slot, tuple(links))
+    return inc.solve(np.arange(len(flows), dtype=np.int64), paths, valid)
+
+
+def _assert_feasible(flows, rates, capacities):
+    """No link carries more than its capacity (float slack only)."""
+    paths, valid = _paths_array(flows)
+    consumed = np.bincount(
+        paths[valid],
+        weights=np.repeat(rates, valid.sum(axis=1)),
+        minlength=capacities.size,
+    )
+    assert (consumed <= capacities * (1.0 + 1e-6) + 1e-9).all()
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_zero_capacity_link_starves_only_its_flows(impl):
+    """Flows crossing a dead link get rate zero; everyone else shares
+    the live links as if the dead flows were absent."""
+    capacities = np.array([100.0, 0.0, 100.0])
+    flows = [(0,), (1,), (0, 2), (1, 2)]
+    rates = _solve(impl, flows, capacities)
+    assert rates[1] == 0.0
+    assert rates[3] == 0.0
+    ref = _solve("reference", flows, capacities)
+    np.testing.assert_allclose(rates, ref, rtol=RTOL[impl], atol=1e-9)
+    _assert_feasible(flows, rates, capacities)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_fully_saturated_path_splits_the_bottleneck(impl):
+    """Identical flows over one end-to-end path split its tightest link
+    equally and leave the wider links unsaturated."""
+    capacities = np.array([50.0, 10.0, 50.0])
+    flows = [(0, 1, 2)] * 5
+    rates = _solve(impl, flows, capacities)
+    np.testing.assert_allclose(rates, 2.0, rtol=RTOL[impl])
+    _assert_feasible(flows, rates, capacities)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_simultaneous_arrival_and_departure_batch(impl):
+    """Departures and arrivals folded into one rate recomputation.
+
+    The incremental allocator sees them as queued ``on_remove`` and
+    ``on_add`` events absorbed by a single ``solve``; the stateless
+    impls simply solve the final set.  Both must land on the reference
+    allocation of the final set.
+    """
+    capacities = np.array([100.0, 100.0, 100.0, 100.0])
+    first = [(0, 1), (1, 2), (2, 3)]
+    final = [(0, 1), (0, 3), (1, 3)]
+    if impl == "incremental":
+        inc = IncrementalMaxMin(capacities, capacities.size)
+        for slot, links in enumerate(first):
+            inc.on_add(slot, links)
+        paths, valid = _paths_array(first)
+        inc.solve(np.arange(3, dtype=np.int64), paths, valid)
+        # One batch: two departures and two arrivals, then one solve.
+        inc.on_remove(1)
+        inc.on_remove(2)
+        inc.on_add(3, (0, 3))
+        inc.on_add(4, (1, 3))
+        paths, valid = _paths_array(final)
+        rates = inc.solve(np.array([0, 3, 4], dtype=np.int64), paths, valid)
+    else:
+        rates = _solve(impl, final, capacities)
+    ref = _solve("reference", final, capacities)
+    np.testing.assert_allclose(rates, ref, rtol=RTOL[impl], atol=1e-9)
+    _assert_feasible(final, rates, capacities)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_empty_active_set_after_mass_completion(impl):
+    """Draining every flow yields an empty solve; the next arrival gets
+    the full link back."""
+    capacities = np.array([100.0])
+    if impl == "incremental":
+        inc = IncrementalMaxMin(capacities, 1)
+        inc.on_add(0, (0,))
+        inc.on_add(1, (0,))
+        paths, valid = _paths_array([(0,), (0,)])
+        inc.solve(np.array([0, 1], dtype=np.int64), paths, valid)
+        inc.on_remove(0)
+        inc.on_remove(1)
+        empty = inc.solve(
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 1), dtype=np.int64),
+            np.empty((0, 1), dtype=bool),
+        )
+        assert empty.size == 0
+        # Recovery: a fresh arrival is granted the freed capacity.
+        inc.on_add(2, (0,))
+        paths, valid = _paths_array([(0,)])
+        rates = inc.solve(np.array([2], dtype=np.int64), paths, valid)
+        np.testing.assert_allclose(rates, [100.0], rtol=INCREMENTAL_RTOL)
+    else:
+        empty = _solve(impl, [], capacities)
+        assert empty.size == 0
+
+
+# ------------------------------------------------------- property test
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=churn_ops())
+def test_incremental_tracks_reference_over_interleavings(ops):
+    """Any add/finish interleaving stays within ``INCREMENTAL_RTOL``.
+
+    Drives the stateful incremental allocator through a random arrival/
+    departure sequence on a real routed topology and, after *every*
+    step, compares its live rates against a from-scratch reference
+    solve of the same flow set — the exact bound the
+    ``transport.incremental_equivalence`` checker enforces inline — and
+    re-checks link feasibility.
+    """
+    topo = ClusterTopology(
+        ClusterSpec(racks=4, servers_per_rack=3, racks_per_vlan=2,
+                    external_hosts=0)
+    )
+    router = Router(topo)
+    capacities = topo.capacities
+    num_links = topo.num_links
+    endpoints = topo.endpoints()
+    inc = IncrementalMaxMin(capacities, num_links)
+    active: dict[int, tuple[int, ...]] = {}
+    next_slot = 0
+
+    for op in ops:
+        if op[0] == "add":
+            src = endpoints[op[1] % len(endpoints)]
+            others = [e for e in endpoints if e != src]
+            dst = others[op[2] % len(others)]
+            links = tuple(
+                int(link) for link in router.path_links(int(src), int(dst))
+            )
+            inc.on_add(next_slot, links)
+            active[next_slot] = links
+            next_slot += 1
+        else:
+            if not active:
+                continue
+            slots = sorted(active)
+            slot = slots[op[1] % len(slots)]
+            inc.on_remove(slot)
+            del active[slot]
+
+        slots = np.array(sorted(active), dtype=np.int64)
+        flows = [active[int(slot)] for slot in slots]
+        paths, valid = _paths_array(flows, width=8)
+        rates = inc.solve(slots, paths, valid)
+        if slots.size == 0:
+            assert rates.size == 0
+            continue
+        ref = maxmin_rates_reference(paths, valid, capacities, num_links)
+        err = np.abs(rates - ref) / np.maximum(np.abs(ref), 1.0)
+        assert float(err.max()) <= INCREMENTAL_RTOL + 1e-9
+        _assert_feasible(flows, rates, capacities)

@@ -130,3 +130,97 @@ class TestHooks:
         engine.schedule(1.0, lambda: None)
         engine.run(until=2.0)
         assert fired == ["late"]
+
+
+class TestCompaction:
+    def test_tombstone_majority_triggers_compaction(self):
+        from repro.simulation.engine import _COMPACT_MIN_TOMBSTONES
+
+        engine = EventEngine()
+        fired = []
+        keep = [
+            engine.schedule(float(i), lambda i=i: fired.append(i))
+            for i in range(50)
+        ]
+        doomed = [
+            engine.schedule(1000.0 + i, lambda: fired.append("doomed"))
+            for i in range(_COMPACT_MIN_TOMBSTONES + 10)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        # Tombstones outnumber live events past the floor: the heap was
+        # rebuilt in place and the telemetry counters recorded it.
+        assert engine.heap_compactions >= 1
+        assert engine.peak_tombstones >= _COMPACT_MIN_TOMBSTONES
+        # Cancels after the rebuild may leave fresh tombstones, but the
+        # heap never again holds the full cancelled backlog.
+        assert engine._tombstones < _COMPACT_MIN_TOMBSTONES
+        assert len(engine._heap) == len(keep) + engine._tombstones
+        # Compaction is invisible to delivery: survivors fire in order.
+        engine.run(until=100.0)
+        assert fired == list(range(50))
+
+    def test_small_heaps_never_compact(self):
+        engine = EventEngine()
+        for _ in range(10):
+            engine.schedule(1.0, lambda: None).cancel()
+        assert engine.heap_compactions == 0
+        assert engine.peak_tombstones == 10
+
+    def test_explicit_compact_is_stable(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"))
+        stale = engine.schedule(1.0, lambda: fired.append("stale"))
+        engine.schedule(1.0, lambda: fired.append("b"))
+        stale.cancel()
+        engine.compact()
+        assert engine._tombstones == 0
+        engine.run(until=2.0)
+        # Same-timestamp FIFO order survives the rebuild.
+        assert fired == ["a", "b"]
+
+
+class TestDynamicSources:
+    def test_source_drives_a_batch(self):
+        engine = EventEngine()
+        wakeups = []
+        engine.add_dynamic_source(lambda: 5.0 if not wakeups else None)
+        engine.time_advance_hook = lambda now: wakeups.append(now)
+        engine.run(until=10.0)
+        assert wakeups == [5.0]
+        assert engine.dynamic_wakeups == 1
+        assert engine.now == 10.0
+
+    def test_source_fires_once_per_timestamp(self):
+        # A source that keeps requesting the same instant must not spin
+        # the loop: the per-source last-fired guard suppresses repeats.
+        engine = EventEngine()
+        batches = []
+        engine.add_dynamic_source(lambda: 3.0)
+        engine.batch_hook = lambda: batches.append(engine.now)
+        engine.run(until=10.0)
+        assert batches == [3.0]
+        assert engine.dynamic_wakeups == 1
+
+    def test_heap_event_at_same_time_counts_as_heap_drive(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(4.0, lambda: fired.append("heap"))
+        engine.add_dynamic_source(lambda: 4.0)
+        engine.run(until=10.0)
+        assert fired == ["heap"]
+        # The heap supplied the batch time; the source rode along.
+        assert engine.dynamic_wakeups == 0
+
+    def test_past_requests_are_clamped_to_now(self):
+        engine = EventEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run(until=6.0)
+        batches = []
+        engine.add_dynamic_source(lambda: 1.0 if not batches else None)
+        engine.batch_hook = lambda: batches.append(engine.now)
+        engine.run(until=10.0)
+        # The stale request (t=1 < now=6) fires immediately at now, not
+        # in the past.
+        assert batches == [6.0]

@@ -1,12 +1,17 @@
-"""Differential test: vectorized vs reference transport, end to end.
+"""Differential test: the four transport impls, end to end.
 
 Runs the seeded fuzz configs from :mod:`test_differential` through full
-campaigns under both ``transport_impl`` settings and asserts the outputs
-are *identical* — socket-event logs column for column, reconstructed
-flow tables, link-load matrices, and congestion episodes.  Unlike the
-three-path trace fuzz (which is ``slow``-marked), these configs are
-small enough to run in the tier-1 suite, so any float divergence in the
-vectorized allocator fails fast on every push.
+campaigns under every ``transport_impl`` setting.  ``vectorized`` and
+``csr`` must be *identical* to ``reference`` — socket-event logs column
+for column, reconstructed flow tables, link-load matrices, and
+congestion episodes.  ``incremental`` is tolerance-based by design
+(documented ``INCREMENTAL_RTOL``): those campaigns are checked for
+matching workload structure plus the inline
+``transport.incremental_equivalence`` validator on every batch, which
+bounds rate drift against a from-scratch reference solve throughout the
+run.  Unlike the three-path trace fuzz (which is ``slow``-marked),
+these configs are small enough to run in the tier-1 suite, so any float
+divergence fails fast on every push.
 """
 
 from __future__ import annotations
@@ -24,10 +29,11 @@ from repro.trace.analyze import _flow_tables_equal
 from test_differential import _random_configs
 
 
+@pytest.mark.parametrize("impl", ["vectorized", "csr"])
 @pytest.mark.parametrize("index,config", list(enumerate(_random_configs(3))))
-def test_vectorized_matches_reference(index, config):
+def test_exact_impls_match_reference(index, config, impl):
     result_vec = simulate(
-        dataclasses.replace(config, transport_impl="vectorized")
+        dataclasses.replace(config, transport_impl=impl)
     )
     result_ref = simulate(
         dataclasses.replace(config, transport_impl="reference")
@@ -66,3 +72,48 @@ def test_vectorized_matches_reference(index, config):
 
     # And the run-level stats counters.
     assert result_vec.stats == result_ref.stats
+
+
+@pytest.mark.parametrize("index,config", list(enumerate(_random_configs(2))))
+def test_incremental_tracks_reference_within_tolerance(index, config):
+    """Incremental campaigns finish the same workload with continuously
+    validated rates.
+
+    ``validate_every_n_batches=1`` runs the
+    ``transport.incremental_equivalence`` checker after *every* engine
+    batch: any live rate further than ``INCREMENTAL_RTOL`` from a
+    from-scratch reference solve, or any oversubscribed link, aborts the
+    run.  Workload-level outputs (jobs, transfer population, byte
+    volume) must agree with the reference campaign — completion
+    *timestamps* may legitimately drift within the rate tolerance.
+    """
+    result_inc = simulate(
+        dataclasses.replace(
+            config, transport_impl="incremental", validate_every_n_batches=1
+        )
+    )
+    result_ref = simulate(
+        dataclasses.replace(config, transport_impl="reference")
+    )
+
+    assert result_inc.stats["jobs_submitted"] == result_ref.stats["jobs_submitted"]
+    assert result_inc.stats["jobs_finished"] == result_ref.stats["jobs_finished"]
+    assert (
+        result_inc.stats["transfers_started"]
+        == result_ref.stats["transfers_started"]
+    )
+
+    # Completed-transfer population: same flows (src, dst, size), order-
+    # and timing-insensitive.
+    def population(result):
+        return sorted(
+            (t.src, t.dst, t.size, t.meta.kind) for t in result.transfers
+        )
+
+    assert population(result_inc) == population(result_ref)
+
+    # Byte conservation at the link level: total bytes moved agree to the
+    # documented tolerance (drifted completions shift bins, not volume).
+    bytes_inc = result_inc.link_loads.byte_matrix().sum()
+    bytes_ref = result_ref.link_loads.byte_matrix().sum()
+    assert bytes_inc == pytest.approx(bytes_ref, rel=0.05)

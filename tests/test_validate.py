@@ -53,6 +53,7 @@ class TestRegistry:
             "tomography.link_consistency", "inline.engine_time",
             "inline.linkloads", "inline.transport",
             "transport.allocator_equivalence",
+            "transport.incremental_equivalence",
         ):
             assert expected in names
 
@@ -253,7 +254,8 @@ class TestInlineMode:
         run = {r.name for r in report.results}
         assert run == {"inline.engine_time", "inline.linkloads",
                        "inline.transport",
-                       "transport.allocator_equivalence"}
+                       "transport.allocator_equivalence",
+                       "transport.incremental_equivalence"}
 
     def test_inline_violation_aborts_run(self):
         import dataclasses
