@@ -94,6 +94,53 @@ def test_event_latency_reference(benchmark, num_flows):
     assert harness.transport.utilization_snapshot().max() <= 1.05
 
 
+def test_event_latency_queued(benchmark, bench_record):
+    """Tick-stepping cost of the queued (DCTCP) transport under load.
+
+    A 32-to-1 incast holds every queue busy, so each measured span pays
+    the full per-tick path: pacing, queue integration, marking, round
+    closes.  The recorded metric is wall time per simulated tick — the
+    queued transports' unit of work, as arrival/departure churn is for
+    the fluid allocators.
+    """
+    from repro.simulation.cc import CongestionControlConfig
+    from repro.simulation.cc.transport import QueuedTransport
+
+    params = CongestionControlConfig()
+    spec = ClusterSpec(racks=2, servers_per_rack=32, racks_per_vlan=2,
+                       external_hosts=0)
+    topo = ClusterTopology(spec)
+    router = Router(topo)
+    transport = QueuedTransport(topo, impl="dctcp", params=params)
+    victim = 0
+    meta = TransferMeta(kind="incast")
+    for src in topo.servers_in_rack(1):
+        transport.add_flow(
+            int(src), victim, 1e12, router.path_links(int(src), victim), meta,
+        )
+
+    span = 200 * params.tick
+    cursor = {"now": 0.0}
+
+    def advance():
+        cursor["now"] += span
+        transport.advance_to(cursor["now"])
+
+    benchmark(advance)
+    assert int(transport.ticks) > 0
+    # The timing entry's wall_seconds divided by ticks_per_round is the
+    # per-tick latency; recorded here so `repro bench compare` keeps a
+    # flat timing list while the scale metrics stay self-describing.
+    bench_record(
+        "queued_transport_tick",
+        {
+            "flows": 32,
+            "ticks_per_round": 200,
+            "ticks_total": int(transport.ticks),
+        },
+    )
+
+
 def test_paper_scale_campaign(benchmark, bench_record, report):
     """End-to-end 1536-server campaign: wall-clock plus peak RSS."""
     from repro.config import SimulationConfig

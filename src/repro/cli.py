@@ -250,8 +250,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the cross-layer invariant checkers over a trace or config")
     validate.add_argument(
         "target", nargs="?", default="small",
-        help="a .reprotrace directory, or 'small'/'standard' to build "
-             "that campaign dataset and validate it (default: small)")
+        help="a .reprotrace directory, 'small'/'standard' to build that "
+             "campaign dataset, or 'incast' to run a tiny DCTCP incast "
+             "through the queued transport and validate it "
+             "(default: small)")
     validate.add_argument("--checkers", default=None, metavar="NAMES",
                           help="comma-separated checker names (default: all "
                                "non-inline checkers; see --list)")
@@ -858,9 +860,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"building the {args.target} campaign dataset "
               f"(seed {config.seed})...")
         source = build_dataset(config)
+    elif args.target == "incast":
+        from .simulation.cc import incast_result
+
+        print("running a small DCTCP incast through the queued transport...")
+        result = incast_result("dctcp", 8, duration=5.0)
+        config = result.config
+        source = result
     else:
         print(f"{args.target!r} is neither a trace directory nor "
-              "'small'/'standard'", file=sys.stderr)
+              "'small'/'standard'/'incast'", file=sys.stderr)
         return 2
     tele = Telemetry()
     with tele.span("cli.validate", target=str(args.target)):

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field, replace
 
 from .cluster.topology import ClusterSpec
 from .instrumentation.collector import CollectorConfig
+from .simulation.cc.params import CongestionControlConfig
+from .simulation.impls import transport_impl_names
 from .workload.generator import WorkloadConfig
 
 __all__ = ["SimulationConfig"]
@@ -29,17 +31,24 @@ class SimulationConfig:
     seed: int = 0
     #: Bandwidth-sharing model: "maxmin" (default) or "bottleneck".
     fairness: str = "maxmin"
-    #: Water-filling implementation: "vectorized" (default, the fast
-    #: adaptive allocator), "reference" (the original round-based loop),
-    #: "csr" (the batched CSR elimination pinned on for every active-set
-    #: size), or "incremental" (paper-scale: re-solves only the affected
-    #: bottleneck subgraph per arrival/departure).  The first three
-    #: produce bit-identical event logs — the switch exists so
-    #: differential tests and ``repro validate`` can prove it;
-    #: "incremental" is equivalent within a documented tolerance
-    #: (``repro.simulation.waterfill.INCREMENTAL_RTOL``) checked by the
-    #: ``transport.incremental_equivalence`` validator.
+    #: Transport implementation, resolved through the shared registry in
+    #: :mod:`repro.simulation.impls`.  The fluid family: "vectorized"
+    #: (default, the fast adaptive allocator), "reference" (the original
+    #: round-based loop), "csr" (the batched CSR elimination pinned on
+    #: for every active-set size), and "incremental" (paper-scale:
+    #: re-solves only the affected bottleneck subgraph per
+    #: arrival/departure).  The first three produce bit-identical event
+    #: logs — the switch exists so differential tests and ``repro
+    #: validate`` can prove it; "incremental" is equivalent within a
+    #: documented tolerance (``repro.simulation.waterfill.INCREMENTAL_RTOL``)
+    #: checked by the ``transport.incremental_equivalence`` validator.
+    #: The queued family ("dctcp", "reno", "ecn_taildrop") swaps in the
+    #: discrete-stepped congestion-control transport from
+    #: :mod:`repro.simulation.cc`, parameterised by :attr:`cc`.
     transport_impl: str = "vectorized"
+    #: Knobs of the queued transports (tick, buffer depth, marking
+    #: threshold K, RTO ...); ignored by the fluid family.
+    cc: CongestionControlConfig = field(default_factory=CongestionControlConfig)
     #: A link is a hot-spot when its one-second average utilisation is at
     #: least this (paper §4.2 uses C = 70%).
     congestion_threshold: float = 0.7
@@ -59,8 +68,12 @@ class SimulationConfig:
             raise ValueError("duration must be positive")
         if self.fairness not in ("maxmin", "bottleneck"):
             raise ValueError(f"unknown fairness mode {self.fairness!r}")
-        if self.transport_impl not in ("vectorized", "reference", "csr", "incremental"):
-            raise ValueError(f"unknown transport impl {self.transport_impl!r}")
+        valid_impls = transport_impl_names()
+        if self.transport_impl not in valid_impls:
+            raise ValueError(
+                f"unknown transport impl {self.transport_impl!r}; "
+                f"expected one of {valid_impls}"
+            )
         if not 0.0 < self.congestion_threshold <= 1.0:
             raise ValueError("congestion_threshold must lie in (0, 1]")
         if self.rate_update_interval < 0:

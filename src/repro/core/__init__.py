@@ -38,7 +38,12 @@ from .flow_stats import (
 )
 from .flows import DEFAULT_INACTIVITY_TIMEOUT, FlowTable, reconstruct_flows
 from .impact import DailyImpact, ImpactStudy, read_failure_impact
-from .incast import IncastAudit, incast_audit, max_concurrent_inbound
+from .incast import (
+    IncastAudit,
+    incast_audit,
+    incast_report,
+    max_concurrent_inbound,
+)
 from .patterns import (
     CorrespondentStats,
     PairByteStats,
@@ -98,6 +103,7 @@ __all__ = [
     "kind_of_flows",
     "IncastAudit",
     "incast_audit",
+    "incast_report",
     "max_concurrent_inbound",
     "TrafficCharacterization",
     "characterize",

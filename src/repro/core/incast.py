@@ -13,18 +13,34 @@ preconditions rarely co-occur in this cluster:
 This module audits those preconditions in a reconstructed flow table:
 the distribution of simultaneous inbound flows per server (synchronised
 fan-in is what triggers incast), locality shares, and job multiplexing.
+
+Under the fluid transports the audit can only *assert* risk — the
+ideal-by-construction allocator never collapses.  When a queue-aware
+transport ran (``SimulationResult.cc`` is populated),
+:func:`incast_report` replaces the asserted-precondition path with
+*measured* collapse: delivered goodput against the bottleneck fair
+share, plus the RTO and retransmission counters that caused it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..cluster.topology import ClusterTopology
 from .flows import FlowTable
 
-__all__ = ["IncastAudit", "incast_audit", "max_concurrent_inbound"]
+if TYPE_CHECKING:
+    from ..simulation.simulator import SimulationResult
+
+__all__ = [
+    "IncastAudit",
+    "incast_audit",
+    "incast_report",
+    "max_concurrent_inbound",
+]
 
 
 def max_concurrent_inbound(
@@ -127,3 +143,74 @@ def incast_audit(
         median_concurrent_jobs=median_jobs,
         connection_cap=connection_cap,
     )
+
+
+def incast_report(
+    result: "SimulationResult",
+    connection_cap: int = 4,
+    resolution: float = 0.01,
+) -> dict:
+    """The §4.4 incast summary for one campaign, measured when possible.
+
+    Fluid transports cannot exhibit collapse, so their report wraps the
+    precondition audit and is tagged ``"asserted": True``.  Queued
+    transports produce a *measured* report (``"asserted": False``):
+    per-server delivered goodput against the access-link fair share over
+    each server's busy window, the worst (lowest) goodput ratio, and the
+    RTO/retransmission counters behind it.
+    """
+    report = getattr(result, "cc", None)
+    if report is None:
+        from .flows import reconstruct_flows
+
+        flows = reconstruct_flows(result.socket_log)
+        audit = incast_audit(
+            flows, result.topology,
+            connection_cap=connection_cap, resolution=resolution,
+        )
+        return {
+            "asserted": True,
+            "transport_impl": result.config.transport_impl,
+            "peak_fan_in": audit.peak_fan_in,
+            "frac_servers_exceeding_cap": audit.frac_servers_exceeding_cap,
+            "frac_flows_in_rack": audit.frac_flows_in_rack,
+            "median_concurrent_jobs": audit.median_concurrent_jobs,
+        }
+
+    topology = result.topology
+    transfers = result.transfers
+    # Per-receiver delivered goodput over its own busy window, against
+    # the receiver's access downlink capacity (the incast bottleneck).
+    worst_ratio = float("inf")
+    worst_server = -1
+    peak_fan_in = 0
+    for server in {t.dst for t in transfers}:
+        if not 0 <= server < topology.num_servers:
+            continue
+        inbound = [t for t in transfers if t.dst == server]
+        window = max(t.end_time for t in inbound) - min(
+            t.start_time for t in inbound
+        )
+        if window <= 0:
+            continue
+        capacity = topology.link_between(
+            topology.tor_of_rack(topology.rack_of(server)), server
+        ).capacity
+        ratio = sum(t.size for t in inbound) / window / capacity
+        if ratio < worst_ratio:
+            worst_ratio = ratio
+            worst_server = server
+        peak_fan_in = max(peak_fan_in, len(inbound))
+    if worst_server < 0:
+        worst_ratio = 0.0
+    return {
+        "asserted": False,
+        "transport_impl": result.config.transport_impl,
+        "peak_fan_in": peak_fan_in,
+        "worst_goodput_ratio": worst_ratio,
+        "worst_server": worst_server,
+        "timeouts": report.total_timeouts,
+        "retransmitted_bytes": report.total_retransmitted_bytes,
+        "dropped_packets": report.dropped_packets,
+        "marked_packets": report.marked_packets,
+    }

@@ -10,6 +10,7 @@ the CLI, the viz layer and the multi-seed
 
 from . import (
     ablations,
+    cc_study,
     ext_roleprior,
     ext_sampling,
     fig02,
@@ -103,6 +104,7 @@ __all__ = [
     "table_s2",
     "tomography_study",
     "ablations",
+    "cc_study",
     "ext_roleprior",
     "ext_sampling",
 ]

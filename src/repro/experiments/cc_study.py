@@ -1,0 +1,377 @@
+"""Congestion-control studies: what §4.4 could not measure.
+
+The paper *asserts* that incast preconditions rarely co-occur; it cannot
+show collapse because SNMP counters hide sub-second queue dynamics.
+These experiments run the queued transports
+(:mod:`repro.simulation.cc`) through the canonical synchronized-incast
+scenario and measure what the paper's instrumentation could not:
+
+* **cc_fct** — flow-completion-time and queueing-delay distributions
+  under the same burst for each variant (DCTCP vs Reno vs fixed-K ECN
+  tail-drop);
+* **cc_ecn_sweep** — the fixed-threshold trade-off: low K keeps queues
+  (and RTTs) short but marks early enough to shave throughput, high K
+  buys throughput back at the cost of standing queueing delay;
+* **cc_incast** — goodput against the bottleneck share as the sender
+  fan-in N grows: loss-driven Reno and fixed-K tail-drop collapse into
+  synchronized RTOs, DCTCP's proportional backoff degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..simulation.cc import (
+    CongestionControlConfig,
+    run_incast,
+    run_incast_with_report,
+)
+from ..simulation.cc.scenarios import IncastRunResult
+from .registry import experiment
+from .reporting import Row
+
+__all__ = [
+    "VariantFctProfile",
+    "FctStudy",
+    "run_fct_study",
+    "EcnSweepPoint",
+    "EcnSweep",
+    "run_ecn_sweep",
+    "IncastCollapseStudy",
+    "run_incast_collapse",
+]
+
+#: The variants every study sweeps, in presentation order.
+VARIANTS = ("dctcp", "reno", "ecn_taildrop")
+
+#: Fan-in sweep for the collapse study.  Chosen to straddle the collapse
+#: onset under loss-driven variants while staying cheap; deliberately a
+#: power-of-two ladder (synchronized windows interleave most adversarially
+#: when every sender is identical).
+INCAST_FAN_IN = (2, 4, 8, 16, 32, 64)
+
+#: ECN thresholds (packets) for the fixed-K sweep.
+ECN_THRESHOLDS = (10, 30, 60)
+
+
+# ------------------------------------------------------------------ cc_fct
+
+
+@dataclass(frozen=True)
+class VariantFctProfile:
+    """Per-variant FCT / queue-delay distribution for one shared burst."""
+
+    variant: str
+    #: Sorted per-flow completion times, seconds (the FCT CDF support).
+    fct: tuple[float, ...]
+    #: Sorted per-flow mean queueing delays, seconds.
+    queue_delay: tuple[float, ...]
+    goodput_ratio: float
+    timeouts: float
+
+    @property
+    def median_fct(self) -> float:
+        """Median flow completion time, seconds."""
+        return float(np.median(self.fct)) if self.fct else 0.0
+
+    @property
+    def p99_fct(self) -> float:
+        """99th-percentile flow completion time, seconds."""
+        return float(np.quantile(self.fct, 0.99)) if self.fct else 0.0
+
+    @property
+    def median_queue_delay(self) -> float:
+        """Median per-flow mean queueing delay, seconds."""
+        return float(np.median(self.queue_delay)) if self.queue_delay else 0.0
+
+
+@dataclass(frozen=True)
+class FctStudy:
+    """cc_fct: the same synchronized burst under each variant."""
+
+    n_senders: int
+    bytes_per_sender: float
+    ideal_fct: float
+    profiles: tuple[VariantFctProfile, ...]
+
+    def profile(self, variant: str) -> VariantFctProfile:
+        """The profile for one variant (KeyError when absent)."""
+        for entry in self.profiles:
+            if entry.variant == variant:
+                return entry
+        raise KeyError(variant)
+
+    @property
+    def dctcp_median_fct(self) -> float:
+        """DCTCP median FCT, seconds (campaign summary hook)."""
+        return self.profile("dctcp").median_fct
+
+    @property
+    def reno_median_fct(self) -> float:
+        """Reno median FCT, seconds (campaign summary hook)."""
+        return self.profile("reno").median_fct
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        rows = [Row("ideal burst FCT", "fair share", f"{self.ideal_fct * 1e3:.1f} ms")]
+        for p in self.profiles:
+            rows.append(Row(
+                f"{p.variant}: median / p99 FCT",
+                "dctcp lowest tail",
+                f"{p.median_fct * 1e3:.1f} / {p.p99_fct * 1e3:.1f} ms",
+            ))
+            rows.append(Row(
+                f"{p.variant}: median queue delay",
+                "dctcp smallest",
+                f"{p.median_queue_delay * 1e3:.2f} ms",
+            ))
+        return rows
+
+
+def _summarise_fct(result: FctStudy) -> dict[str, float]:
+    out: dict[str, float] = {"ideal_fct": result.ideal_fct}
+    for p in result.profiles:
+        out[f"{p.variant}.median_fct"] = p.median_fct
+        out[f"{p.variant}.p99_fct"] = p.p99_fct
+        out[f"{p.variant}.median_queue_delay"] = p.median_queue_delay
+        out[f"{p.variant}.goodput_ratio"] = p.goodput_ratio
+        out[f"{p.variant}.timeouts"] = p.timeouts
+    return out
+
+
+@experiment("cc_fct", figure="C1", title="FCT and queue delay by transport",
+            kind="ablation", summarise=_summarise_fct)
+def run_fct_study(
+    seed: int = 0,
+    n_senders: int = 8,
+    bytes_per_sender: float = 256_000.0,
+) -> FctStudy:
+    """Run the same synchronized burst under each queued variant.
+
+    The scenario is deterministic (no randomness is consumed), so
+    ``seed`` exists only for the uniform ablation calling convention.
+    """
+    profiles = []
+    ideal = 0.0
+    for variant in VARIANTS:
+        summary, report = run_incast_with_report(
+            variant, n_senders, bytes_per_sender=bytes_per_sender,
+        )
+        ideal = summary.ideal_fct
+        base_rtt = CongestionControlConfig().base_rtt
+        delays = np.maximum(report.flow_mean_rtt - base_rtt, 0.0)
+        profiles.append(VariantFctProfile(
+            variant=variant,
+            fct=tuple(float(x) for x in np.sort(report.flow_fct)),
+            queue_delay=tuple(float(x) for x in np.sort(delays)),
+            goodput_ratio=summary.goodput_ratio,
+            timeouts=summary.timeouts,
+        ))
+    return FctStudy(
+        n_senders=n_senders,
+        bytes_per_sender=bytes_per_sender,
+        ideal_fct=ideal,
+        profiles=tuple(profiles),
+    )
+
+
+# ------------------------------------------------------------ cc_ecn_sweep
+
+
+@dataclass(frozen=True)
+class EcnSweepPoint:
+    """One fixed-K operating point of the DCTCP transport."""
+
+    ecn_threshold_packets: int
+    goodput_ratio: float
+    mean_queue_delay: float
+    peak_queue_bytes: float
+
+
+@dataclass(frozen=True)
+class EcnSweep:
+    """cc_ecn_sweep: the marking-threshold trade-off (DCTCP §3 analysis)."""
+
+    n_senders: int
+    bytes_per_sender: float
+    points: tuple[EcnSweepPoint, ...]
+
+    @property
+    def delay_span(self) -> float:
+        """Queueing-delay increase from the lowest to the highest K, s."""
+        return self.points[-1].mean_queue_delay - self.points[0].mean_queue_delay
+
+    @property
+    def throughput_span(self) -> float:
+        """Goodput-ratio increase from the lowest to the highest K."""
+        return self.points[-1].goodput_ratio - self.points[0].goodput_ratio
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        rows = []
+        for p in self.points:
+            rows.append(Row(
+                f"K = {p.ecn_threshold_packets} pkts",
+                "delay grows with K",
+                f"goodput {p.goodput_ratio:.3f}, "
+                f"queue delay {p.mean_queue_delay * 1e3:.2f} ms",
+            ))
+        rows.append(Row("delay span (K max - K min)", "> 0",
+                        f"{self.delay_span * 1e3:.2f} ms"))
+        rows.append(Row("throughput span (K max - K min)", "> 0",
+                        f"{self.throughput_span:.3f}"))
+        return rows
+
+
+def _summarise_ecn(result: EcnSweep) -> dict[str, float]:
+    out = {
+        "delay_span": result.delay_span,
+        "throughput_span": result.throughput_span,
+    }
+    for p in result.points:
+        key = f"k{p.ecn_threshold_packets}"
+        out[f"{key}.goodput_ratio"] = p.goodput_ratio
+        out[f"{key}.mean_queue_delay"] = p.mean_queue_delay
+    return out
+
+
+@experiment("cc_ecn_sweep", figure="C2", title="fixed-K ECN threshold sweep",
+            kind="ablation", summarise=_summarise_ecn)
+def run_ecn_sweep(
+    seed: int = 0,
+    thresholds: tuple[int, ...] = ECN_THRESHOLDS,
+    n_senders: int = 2,
+    bytes_per_sender: float = 8_000_000.0,
+) -> EcnSweep:
+    """Sweep the marking threshold K under long-running DCTCP flows.
+
+    Two senders with large blocks hold the bottleneck near saturation
+    for many RTTs, so the standing-queue operating point K selects is
+    what the measurement sees (a short burst would measure slow-start
+    instead).  Deterministic; ``seed`` is the uniform convention.
+    """
+    points = []
+    for k in sorted(thresholds):
+        cc = replace(CongestionControlConfig(), ecn_threshold_packets=k)
+        run = run_incast(
+            "dctcp", n_senders, bytes_per_sender=bytes_per_sender, cc=cc,
+        )
+        points.append(EcnSweepPoint(
+            ecn_threshold_packets=k,
+            goodput_ratio=run.goodput_ratio,
+            mean_queue_delay=run.mean_queue_delay,
+            peak_queue_bytes=run.peak_queue_bytes,
+        ))
+    return EcnSweep(
+        n_senders=n_senders,
+        bytes_per_sender=bytes_per_sender,
+        points=tuple(points),
+    )
+
+
+# -------------------------------------------------------------- cc_incast
+
+
+@dataclass(frozen=True)
+class IncastCollapseStudy:
+    """cc_incast: goodput vs fan-in N for each variant."""
+
+    fan_in: tuple[int, ...]
+    bytes_per_sender: float
+    runs: tuple[IncastRunResult, ...]
+
+    #: Fan-in at which collapse can manifest: below this the burst fits
+    #: the buffer and low ratios only measure slow-start overhead.
+    COLLAPSE_REGION_MIN_N = 8
+
+    def curve(self, variant: str) -> list[IncastRunResult]:
+        """The goodput-vs-N curve of one variant, in fan-in order."""
+        return sorted(
+            (r for r in self.runs if r.variant == variant),
+            key=lambda r: r.n_senders,
+        )
+
+    def _region_min(self, variant: str) -> float:
+        region = [
+            r.goodput_ratio
+            for r in self.curve(variant)
+            if r.n_senders >= self.COLLAPSE_REGION_MIN_N
+        ]
+        return min(region) if region else min(
+            r.goodput_ratio for r in self.curve(variant)
+        )
+
+    @property
+    def dctcp_min_goodput_ratio(self) -> float:
+        """Worst DCTCP goodput ratio in the collapse region (stays high)."""
+        return self._region_min("dctcp")
+
+    @property
+    def reno_min_goodput_ratio(self) -> float:
+        """Worst Reno goodput ratio in the collapse region (collapses)."""
+        return self._region_min("reno")
+
+    @property
+    def collapse_margin(self) -> float:
+        """How much goodput DCTCP preserves over Reno at their worst."""
+        return self.dctcp_min_goodput_ratio - self.reno_min_goodput_ratio
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        rows = []
+        for variant in VARIANTS:
+            curve = self.curve(variant)
+            region = [
+                r for r in curve
+                if r.n_senders >= self.COLLAPSE_REGION_MIN_N
+            ] or curve
+            worst = min(region, key=lambda r: r.goodput_ratio)
+            timeouts = sum(r.timeouts for r in curve)
+            rows.append(Row(
+                f"{variant}: worst goodput ratio",
+                "dctcp high, reno collapses",
+                f"{worst.goodput_ratio:.3f} at N={worst.n_senders} "
+                f"({timeouts:.0f} RTOs)",
+            ))
+        rows.append(Row("dctcp - reno margin at worst", "large",
+                        f"{self.collapse_margin:.3f}"))
+        return rows
+
+
+def _summarise_incast(result: IncastCollapseStudy) -> dict[str, float]:
+    out = {
+        "dctcp_min_goodput_ratio": result.dctcp_min_goodput_ratio,
+        "reno_min_goodput_ratio": result.reno_min_goodput_ratio,
+        "collapse_margin": result.collapse_margin,
+    }
+    for run in result.runs:
+        key = f"{run.variant}.n{run.n_senders}"
+        out[f"{key}.goodput_ratio"] = run.goodput_ratio
+        out[f"{key}.timeouts"] = run.timeouts
+    return out
+
+
+@experiment("cc_incast", figure="C3", title="incast collapse vs fan-in",
+            kind="ablation", summarise=_summarise_incast)
+def run_incast_collapse(
+    seed: int = 0,
+    fan_in: tuple[int, ...] = INCAST_FAN_IN,
+    bytes_per_sender: float = 256_000.0,
+) -> IncastCollapseStudy:
+    """Sweep fan-in N for every variant over the synchronized incast.
+
+    Deterministic; ``seed`` is the uniform ablation convention.
+    """
+    runs = []
+    for variant in VARIANTS:
+        for n in fan_in:
+            runs.append(run_incast(
+                variant, n, bytes_per_sender=bytes_per_sender,
+            ))
+    return IncastCollapseStudy(
+        fan_in=tuple(sorted(fan_in)),
+        bytes_per_sender=bytes_per_sender,
+        runs=tuple(runs),
+    )

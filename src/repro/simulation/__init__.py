@@ -1,12 +1,21 @@
-"""Simulation substrate: event engine, fluid transport, link loads.
+"""Simulation substrate: event engine, transports, link loads.
+
+Two transport families share the engine: the fluid max-min allocators
+(:class:`FluidTransport`) and the queue-aware congestion-control
+variants in :mod:`repro.simulation.cc`; both register their impl names
+in :mod:`repro.simulation.impls`.
 
 ``Simulator``/``SimulationResult``/``simulate`` are exported lazily: the
 simulator imports the instrumentation layer, which imports the transport
 primitives from this package, so loading it eagerly here would create an
 import cycle whenever instrumentation is imported first.
+``QueuedTransport``/``CCReport`` are lazy for the same reason the
+simulator only imports them on demand: the cc package is needed only by
+queued campaigns.
 """
 
 from .engine import EventEngine, EventHandle
+from .impls import register_transport_impl, transport_family, transport_impl_names
 from .linkloads import LinkLoadTracker
 from .transport import FluidTransport, Transfer, TransferMeta
 
@@ -20,9 +29,15 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    "register_transport_impl",
+    "transport_family",
+    "transport_impl_names",
+    "QueuedTransport",
+    "CCReport",
 ]
 
 _LAZY = {"Simulator", "SimulationResult", "simulate"}
+_LAZY_CC = {"QueuedTransport", "CCReport"}
 
 
 def __getattr__(name: str):
@@ -30,4 +45,8 @@ def __getattr__(name: str):
         from . import simulator
 
         return getattr(simulator, name)
+    if name in _LAZY_CC:
+        from .cc import transport as cc_transport
+
+        return getattr(cc_transport, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,96 @@
+"""Per-round congestion-window state machines.
+
+Pure, vectorised update functions over per-flow numpy arrays: the queued
+transport closes one *round* (one RTT's worth of accounting) per flow
+and applies exactly one of these transitions.  Keeping them free of
+transport state makes the unit tests direct: DCTCP's
+EWMA-of-marked-fraction multiplicative decrease, Reno's halving on loss,
+fixed-K ECN's halve-once-per-round, slow-start doubling and its exit at
+``ssthresh``, and the RTO collapse on a whole-window loss.
+
+All windows are in *packets* (floats — the fluid-window model sends
+fractional packets per tick); conversion to bytes happens in the
+transport.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CC_VARIANTS",
+    "dctcp_update_alpha",
+    "dctcp_cut",
+    "halve",
+    "grow",
+    "timeout_collapse",
+]
+
+#: The queued ``transport_impl`` variants this module implements.
+CC_VARIANTS = ("dctcp", "reno", "ecn_taildrop")
+
+
+def dctcp_update_alpha(
+    alpha: np.ndarray, marked_fraction: np.ndarray, gain: float
+) -> np.ndarray:
+    """One DCTCP EWMA step: ``alpha = (1 - g) * alpha + g * F``.
+
+    ``F`` is the fraction of the round's delivered bytes that carried a
+    CE mark.  Runs every round, marked or not — that is what lets alpha
+    decay back toward zero once the queue drains below K.
+    """
+    return (1.0 - gain) * alpha + gain * np.asarray(marked_fraction)
+
+
+def dctcp_cut(
+    cwnd: np.ndarray, alpha: np.ndarray, min_cwnd: float
+) -> np.ndarray:
+    """DCTCP's proportional decrease: ``cwnd *= 1 - alpha / 2``.
+
+    Applied once per marked round; with alpha near 0 the cut is gentle,
+    with persistent marking (alpha -> 1) it approaches Reno's halving.
+    """
+    return np.maximum(cwnd * (1.0 - np.asarray(alpha) / 2.0), min_cwnd)
+
+
+def halve(
+    cwnd: np.ndarray, min_cwnd: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reno's multiplicative decrease; returns ``(cwnd, ssthresh)``.
+
+    Used on packet loss by every variant, and on CE marks by the
+    fixed-K ``ecn_taildrop`` variant (classic ECN semantics: a mark is
+    treated exactly like a loss, minus the retransmission).
+    """
+    ssthresh = np.maximum(cwnd / 2.0, min_cwnd)
+    return np.maximum(ssthresh, min_cwnd), ssthresh
+
+
+def grow(
+    cwnd: np.ndarray, ssthresh: np.ndarray, max_cwnd: float
+) -> np.ndarray:
+    """One clean round's growth: slow start below ``ssthresh``, else AI.
+
+    Slow start doubles the window per RTT; crossing ``ssthresh`` exits
+    into additive increase of one packet per RTT (congestion
+    avoidance).  The doubling is clipped at ``ssthresh`` so a flow never
+    overshoots its exit point inside a single round.
+    """
+    doubled = np.minimum(cwnd * 2.0, ssthresh)
+    slow_start = cwnd < ssthresh
+    grown = np.where(slow_start, np.maximum(doubled, cwnd), cwnd + 1.0)
+    return np.minimum(grown, max_cwnd)
+
+
+def timeout_collapse(
+    cwnd: np.ndarray, min_cwnd: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """RTO response: ``ssthresh = cwnd / 2``, window back to the floor.
+
+    A whole-window loss leaves no acks to clock fast recovery, so the
+    flow re-enters slow start from ``min_cwnd`` after sitting out the
+    retransmission timeout — the serialisation that produces incast
+    goodput collapse.
+    """
+    ssthresh = np.maximum(cwnd / 2.0, 2.0 * min_cwnd)
+    return np.full_like(np.asarray(cwnd, dtype=float), min_cwnd), ssthresh

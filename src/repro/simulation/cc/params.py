@@ -1,0 +1,87 @@
+"""Parameters of the queue-aware congestion-control transports.
+
+One frozen dataclass carried by ``SimulationConfig.cc`` so that a
+queued-transport campaign is fully reproducible from its config
+fingerprint.  Defaults model the paper-era commodity fabric the fluid
+campaigns already use: 1500-byte MTU, ~100-packet switch buffers, a
+DCTCP-style marking threshold of 30 packets and a 200 ms minimum RTO
+(the incast-collapse timescale, Vasudevan et al. SIGCOMM'09).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CongestionControlConfig"]
+
+
+@dataclass(frozen=True)
+class CongestionControlConfig:
+    """Knobs shared by every queued ``transport_impl`` variant."""
+
+    #: Discrete stepping interval, seconds.  Queue and window dynamics
+    #: are integrated once per tick; RTT-scale behaviour needs the tick
+    #: well under ``base_rtt``.
+    tick: float = 0.0005
+    #: Packet size used to convert between bytes and packets.
+    mtu_bytes: float = 1500.0
+    #: Per-link FIFO buffer depth, packets.  Arrivals beyond this are
+    #: tail-dropped.
+    queue_capacity_packets: int = 100
+    #: Fixed ECN marking threshold K, packets: CE-mark arrivals while
+    #: the queue is at or above K (ignored by the ``reno`` variant).
+    ecn_threshold_packets: int = 30
+    #: Zero-load round-trip time, seconds; queueing delay is added on
+    #: top per path from live queue occupancy.
+    base_rtt: float = 0.002
+    #: Initial congestion window, packets.  Deliberately conservative
+    #: (RFC 2581-era) so a synchronized burst's first window is shaped
+    #: by congestion feedback rather than guaranteed buffer overflow.
+    initial_cwnd_packets: float = 2.0
+    #: Congestion-window floor, packets.
+    min_cwnd_packets: float = 1.0
+    #: Congestion-window ceiling, packets (keeps slow-start doubling
+    #: from racing to absurd windows on an empty fabric).
+    max_cwnd_packets: float = 1024.0
+    #: DCTCP EWMA gain g: ``alpha = (1 - g) * alpha + g * F`` per round.
+    dctcp_gain: float = 0.0625
+    #: Minimum retransmission timeout, seconds.  A whole-window loss
+    #: stalls the flow for this long — the incast-collapse mechanism.
+    min_rto: float = 0.2
+    #: A round counts as a whole-window loss (RTO, not fast recovery)
+    #: when at least this fraction of its bytes were dropped.
+    timeout_loss_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0:
+            raise ValueError("cc tick must be positive")
+        if self.mtu_bytes <= 0:
+            raise ValueError("cc mtu_bytes must be positive")
+        if self.queue_capacity_packets < 1:
+            raise ValueError("cc queue_capacity_packets must be >= 1")
+        if self.ecn_threshold_packets < 1:
+            raise ValueError("cc ecn_threshold_packets must be >= 1")
+        if self.base_rtt <= 0:
+            raise ValueError("cc base_rtt must be positive")
+        if self.min_cwnd_packets <= 0:
+            raise ValueError("cc min_cwnd_packets must be positive")
+        if self.initial_cwnd_packets < self.min_cwnd_packets:
+            raise ValueError("cc initial_cwnd_packets below the floor")
+        if self.max_cwnd_packets < self.initial_cwnd_packets:
+            raise ValueError("cc max_cwnd_packets below the initial window")
+        if not 0.0 < self.dctcp_gain <= 1.0:
+            raise ValueError("cc dctcp_gain must lie in (0, 1]")
+        if self.min_rto <= 0:
+            raise ValueError("cc min_rto must be positive")
+        if not 0.0 < self.timeout_loss_fraction <= 1.0:
+            raise ValueError("cc timeout_loss_fraction must lie in (0, 1]")
+
+    @property
+    def queue_capacity_bytes(self) -> float:
+        """Buffer depth in bytes."""
+        return self.queue_capacity_packets * self.mtu_bytes
+
+    @property
+    def ecn_threshold_bytes(self) -> float:
+        """Marking threshold K in bytes."""
+        return self.ecn_threshold_packets * self.mtu_bytes

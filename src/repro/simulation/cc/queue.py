@@ -1,0 +1,107 @@
+"""Per-link FIFO queue model: occupancy, ECN marking, tail-drop.
+
+One vectorised state array per directed link.  Each tick the transport
+offers aggregate arrival bytes per link; the queue services up to
+``capacity * dt`` (backlog first — FIFO), CE-marks arrivals while the
+post-service occupancy sits at or above the fixed threshold K, and
+tail-drops whatever exceeds the buffer.  The class keeps exact
+enqueued/dequeued/dropped byte ledgers per link, so the
+``transport.queue_conservation`` invariant (enqueued == dequeued +
+dropped + resident) is checkable at any instant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import CongestionControlConfig
+
+__all__ = ["LinkQueues"]
+
+
+class LinkQueues:
+    """Vectorised FIFO queues for every directed link in the topology."""
+
+    def __init__(
+        self,
+        num_links: int,
+        capacities: np.ndarray,
+        params: CongestionControlConfig,
+    ) -> None:
+        self.num_links = num_links
+        self.capacities = np.asarray(capacities, dtype=float)
+        self.params = params
+        self.capacity_bytes = params.queue_capacity_bytes
+        self.threshold_bytes = params.ecn_threshold_bytes
+        #: Current occupancy, bytes per link.
+        self.backlog_bytes = np.zeros(num_links)
+        #: Lifetime ledgers, bytes per link.
+        self.enqueued_bytes = np.zeros(num_links)
+        self.dequeued_bytes = np.zeros(num_links)
+        self.dropped_bytes = np.zeros(num_links)
+        #: Lifetime ledgers, (fractional fluid) packets per link.
+        self.marked_packets = np.zeros(num_links)
+        self.dropped_packets = np.zeros(num_links)
+        self.forwarded_packets = np.zeros(num_links)
+
+    @property
+    def resident_bytes(self) -> np.ndarray:
+        """Bytes currently sitting in each queue (the conservation term)."""
+        return self.backlog_bytes.copy()
+
+    def queueing_delay(self) -> np.ndarray:
+        """Seconds a packet arriving now waits at each link's queue."""
+        return self.backlog_bytes / self.capacities
+
+    def step(
+        self, arrivals_bytes: np.ndarray, dt: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Advance every queue by ``dt`` with the given arrivals.
+
+        Returns ``(serviced_bytes, drop_fraction, mark_fraction)`` per
+        link.  ``drop_fraction`` is the share of this tick's *arrivals*
+        tail-dropped (resident backlog is never dropped); ``mark_fraction``
+        is the share of surviving arrivals CE-marked under the fixed-K
+        rule.  Service is work-conserving and bounded by
+        ``capacity * dt``, which is what keeps the link-load sinks inside
+        the ``linkloads.sane`` utilisation invariant.
+        """
+        arrivals = np.asarray(arrivals_bytes, dtype=float)
+        offered = self.backlog_bytes + arrivals
+        serviced = np.minimum(offered, self.capacities * dt)
+        level = offered - serviced
+        overflow = np.maximum(level - self.capacity_bytes, 0.0)
+        # Tail-drop: only arriving bytes can be dropped, so the drop is
+        # capped by what arrived this tick (service drains backlog first,
+        # which can leave level > capacity only via arrivals).
+        dropped = np.minimum(overflow, arrivals)
+        self.backlog_bytes = level - dropped
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            drop_fraction = np.where(arrivals > 0, dropped / arrivals, 0.0)
+        # Fixed-K marking: CE-mark arrivals that land in (or behind) a
+        # queue at/above K once this tick's service has run.
+        marked = (arrivals > 0) & (
+            self.backlog_bytes >= self.threshold_bytes - 1e-9
+        )
+        mark_fraction = marked.astype(float)
+
+        mtu = self.params.mtu_bytes
+        surviving = arrivals - dropped
+        self.enqueued_bytes += surviving
+        self.dequeued_bytes += serviced
+        self.dropped_bytes += dropped
+        self.forwarded_packets += serviced / mtu
+        self.dropped_packets += dropped / mtu
+        self.marked_packets += (surviving / mtu) * mark_fraction
+        return serviced, drop_fraction, mark_fraction
+
+    def conservation_residual(self) -> np.ndarray:
+        """Per-link ``enqueued - (dequeued + resident)`` in bytes.
+
+        Dropped bytes never enter the ``enqueued`` ledger, so a healthy
+        queue keeps this near zero (floating-point accumulation only).
+        Exposed for the ``transport.queue_conservation`` checker and the
+        Hypothesis property test.
+        """
+        return self.enqueued_bytes - (self.dequeued_bytes + self.backlog_bytes)

@@ -1,0 +1,223 @@
+"""Canonical scenarios for the queued transports: synchronized incast.
+
+The paper's §4.4 flags many-senders-to-one-receiver patterns as incast
+risks but can only *assert* them under the fluid transport.  These
+builders construct the actual experiment: ``N`` synchronized senders in
+one rack each push a block to a single victim server in another rack,
+so the victim's 1 Gbps access downlink is the bottleneck and the
+collapse dynamics (buffer overflow → whole-window loss → synchronized
+RTOs) play out in the queued transport.  The same scenario at moderate
+``N`` with large blocks doubles as the steady-state congestion fixture
+for the ECN-threshold sweep and the FCT-by-variant study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...cluster.topology import ClusterSpec
+from ...workload.generator import WorkloadSchedule
+from ..transport import TransferMeta
+from .params import CongestionControlConfig
+
+if TYPE_CHECKING:  # deferred: repro.config imports this package's params
+    from ...config import SimulationConfig
+
+__all__ = [
+    "IncastRunResult",
+    "empty_schedule",
+    "incast_config",
+    "incast_result",
+    "run_incast",
+    "run_incast_with_report",
+]
+
+#: Default synchronized start time: late enough that the engine has a
+#: heap event to reach, early enough to waste no simulated time.
+_DEFAULT_START = 0.01
+
+
+def empty_schedule(duration: float) -> WorkloadSchedule:
+    """A workload schedule with no jobs — traffic is injected manually."""
+    return WorkloadSchedule(
+        jobs=[], ingestions=[], evacuations=[], duration=duration
+    )
+
+
+def incast_config(
+    variant: str,
+    n_senders: int,
+    cc: CongestionControlConfig | None = None,
+    duration: float = 60.0,
+    seed: int = 0,
+) -> SimulationConfig:
+    """A two-rack cluster sized for an ``n_senders``-to-one incast.
+
+    Rack 0 houses the victim (server 0), rack 1 the senders; both racks
+    share one VLAN so every sender crosses the victim's ToR access
+    downlink — the bottleneck.  No external hosts, no background jobs.
+    """
+    from ...config import SimulationConfig
+
+    if n_senders < 1:
+        raise ValueError("incast needs at least one sender")
+    cluster = ClusterSpec(
+        racks=2,
+        servers_per_rack=max(2, n_senders),
+        racks_per_vlan=2,
+        external_hosts=0,
+    )
+    return SimulationConfig(
+        cluster=cluster,
+        duration=duration,
+        seed=seed,
+        transport_impl=variant,
+        cc=cc if cc is not None else CongestionControlConfig(),
+    )
+
+
+@dataclass(frozen=True)
+class IncastRunResult:
+    """Measured outcome of one incast run."""
+
+    variant: str
+    n_senders: int
+    bytes_per_sender: float
+    #: Capacity of the victim's access downlink (the bottleneck), B/s.
+    bottleneck_capacity: float
+    #: Flows that finished within the campaign window.
+    completed: int
+    #: First sender start to last completion, seconds.
+    completion_window: float
+    #: Delivered application bytes over the completion window, B/s.
+    goodput: float
+    #: ``goodput / bottleneck_capacity`` — 1.0 is a perfectly kept pipe.
+    goodput_ratio: float
+    #: Whole-window RTO events summed over flows.
+    timeouts: float
+    #: Bytes re-sent after loss, summed over flows.
+    retransmitted_bytes: float
+    #: Mean per-flow RTT minus the base RTT: average queueing delay
+    #: experienced, seconds.
+    mean_queue_delay: float
+    #: Peak queue occupancy anywhere in the fabric, bytes.
+    peak_queue_bytes: float
+
+    @property
+    def ideal_fct(self) -> float:
+        """Fair-share completion time of the whole burst, seconds."""
+        total = self.n_senders * self.bytes_per_sender
+        return total / self.bottleneck_capacity
+
+
+def run_incast(
+    variant: str,
+    n_senders: int,
+    bytes_per_sender: float = 256_000.0,
+    cc: CongestionControlConfig | None = None,
+    duration: float = 60.0,
+    start: float = _DEFAULT_START,
+) -> IncastRunResult:
+    """Simulate one synchronized incast and measure its goodput.
+
+    All senders start their block transfer at the same instant
+    (``start``); the run ends when every flow drains or the campaign
+    window closes, whichever comes first.
+    """
+    summary, _ = run_incast_with_report(
+        variant, n_senders, bytes_per_sender=bytes_per_sender,
+        cc=cc, duration=duration, start=start,
+    )
+    return summary
+
+
+def incast_result(
+    variant: str,
+    n_senders: int,
+    bytes_per_sender: float = 256_000.0,
+    cc: CongestionControlConfig | None = None,
+    duration: float = 60.0,
+    start: float = _DEFAULT_START,
+):
+    """Run the synchronized incast and return the raw
+    :class:`~repro.simulation.simulator.SimulationResult` (with its
+    ``cc`` report attached) — the source the validation pipeline and the
+    trace recorder consume."""
+    from ..simulator import Simulator
+
+    config = incast_config(variant, n_senders, cc=cc, duration=duration)
+    simulator = Simulator(config)
+    topology = simulator.topology
+    victim = 0
+    senders = list(topology.servers_in_rack(1))[:n_senders]
+
+    def launch(src: int) -> None:
+        simulator.start_transfer(
+            src,
+            victim,
+            bytes_per_sender,
+            TransferMeta(kind="incast", connection_key=(src, victim)),
+            on_complete=lambda transfer: None,
+        )
+
+    for sender in senders:
+        simulator.engine.schedule(start, lambda src=sender: launch(src))
+
+    return simulator.run(schedule=empty_schedule(duration))
+
+
+def run_incast_with_report(
+    variant: str,
+    n_senders: int,
+    bytes_per_sender: float = 256_000.0,
+    cc: CongestionControlConfig | None = None,
+    duration: float = 60.0,
+    start: float = _DEFAULT_START,
+):
+    """:func:`run_incast`, but also returning the full per-flow
+    :class:`~repro.simulation.cc.transport.CCReport` (FCT/RTT arrays)
+    for analyses that need more than the scalar summary."""
+    result = incast_result(
+        variant, n_senders, bytes_per_sender=bytes_per_sender,
+        cc=cc, duration=duration, start=start,
+    )
+    config = result.config
+    topology = result.topology
+    victim = 0
+    report = result.cc
+    assert report is not None, "incast scenarios require a queued transport"
+
+    # The bottleneck: the victim's ToR -> server access downlink.
+    access = topology.link_between(topology.tor_of_rack(0), victim)
+    capacity = access.capacity
+
+    transfers = result.transfers
+    if transfers:
+        window_end = max(t.end_time for t in transfers)
+        window = max(window_end - start, 1e-12)
+        delivered = sum(t.size for t in transfers)
+        goodput = delivered / window
+    else:
+        window = duration - start
+        goodput = 0.0
+    queue_delay = (
+        float((report.flow_mean_rtt - config.cc.base_rtt).mean())
+        if report.flow_mean_rtt.size
+        else 0.0
+    )
+    summary = IncastRunResult(
+        variant=variant,
+        n_senders=n_senders,
+        bytes_per_sender=bytes_per_sender,
+        bottleneck_capacity=capacity,
+        completed=len(transfers),
+        completion_window=window,
+        goodput=goodput,
+        goodput_ratio=goodput / capacity,
+        timeouts=report.total_timeouts,
+        retransmitted_bytes=report.total_retransmitted_bytes,
+        mean_queue_delay=queue_delay,
+        peak_queue_bytes=report.peak_queue_bytes,
+    )
+    return summary, report

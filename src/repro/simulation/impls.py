@@ -1,0 +1,84 @@
+"""Transport implementation registry: one shared catalogue of impls.
+
+``SimulationConfig.transport_impl`` historically validated against a
+tuple inlined in the config module, which drifted the moment a new
+transport family appeared.  This registry is now the single source of
+truth: the fluid allocators (:mod:`repro.simulation.transport`) and the
+queue-aware congestion-control variants (:mod:`repro.simulation.cc`)
+each register their names with a *family* tag, and the config validator,
+the simulator dispatch and the validate layer all resolve through it.
+
+Families:
+
+* ``"fluid"`` — rate-based max-min allocators (``vectorized``,
+  ``reference``, ``csr``, ``incremental``); ideal-by-construction, no
+  queues, no loss.
+* ``"queued"`` — discrete-stepped window-based transports with per-link
+  FIFO queues, ECN marking and tail-drop (``dctcp``, ``reno``,
+  ``ecn_taildrop``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TRANSPORT_FAMILIES",
+    "register_transport_impl",
+    "transport_impl_names",
+    "transport_family",
+]
+
+#: The recognised transport families.
+TRANSPORT_FAMILIES = ("fluid", "queued")
+
+_REGISTRY: dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def register_transport_impl(name: str, family: str) -> None:
+    """Register a ``transport_impl`` name under a family.
+
+    Re-registering the same (name, family) pair is idempotent; moving a
+    name between families is an error — names are the config contract.
+    """
+    if family not in TRANSPORT_FAMILIES:
+        raise ValueError(
+            f"unknown transport family {family!r}; "
+            f"expected one of {TRANSPORT_FAMILIES}"
+        )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing != family:
+        raise ValueError(
+            f"transport impl {name!r} already registered as {existing!r}"
+        )
+    _REGISTRY[name] = family
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in transport modules so they self-register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Import order fixes the name order: fluid impls first (the
+    # historical tuple), then the congestion-control variants.
+    from . import transport as _transport  # noqa: F401  (registers fluid)
+    from . import cc as _cc  # noqa: F401  (registers queued)
+
+    _BUILTINS_LOADED = True
+
+
+def transport_impl_names() -> tuple[str, ...]:
+    """Every registered ``transport_impl`` name, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def transport_family(name: str) -> str:
+    """The family (``fluid`` or ``queued``) of a registered impl name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport impl {name!r}; "
+            f"registered: {', '.join(_REGISTRY)}"
+        ) from None

@@ -32,6 +32,10 @@ class LinkLoadTracker:
         self._bins = BinAccumulator(
             num_keys=topology.num_links, bin_width=bin_width, horizon=horizon
         )
+        #: Queue-occupancy bins (byte-seconds), allocated lazily on the
+        #: first contribution — only queued transports produce any.
+        self._queue_bins: BinAccumulator | None = None
+        self._horizon = horizon
         #: Telemetry: (link, interval) contributions integrated so far.
         self.intervals_integrated = 0
 
@@ -49,6 +53,27 @@ class LinkLoadTracker:
         self.intervals_integrated += len(keys)
         self._bins.add_interval_bulk(keys, rates, start, end, unique_keys=unique_keys)
 
+    def add_queue_depth_bulk(
+        self,
+        keys: np.ndarray,
+        depths: np.ndarray,
+        start: float,
+        end: float,
+    ) -> None:
+        """Queued-transport sink: integrate queue occupancy (bytes) over
+        an interval.  Bins accumulate byte-seconds; dividing by the bin
+        width (see :meth:`queue_depth_matrix`) recovers the time-averaged
+        occupancy per bin."""
+        if self._queue_bins is None:
+            self._queue_bins = BinAccumulator(
+                num_keys=self.topology.num_links,
+                bin_width=self.bin_width,
+                horizon=self._horizon,
+            )
+        self._queue_bins.add_interval_bulk(
+            keys, depths, start, end, unique_keys=True
+        )
+
     # ------------------------------------------------------------- accessors
 
     @property
@@ -65,6 +90,26 @@ class LinkLoadTracker:
         bytes_per_bin = self._bins.matrix()
         capacity_per_bin = self.capacities[:, None] * self.bin_width
         return bytes_per_bin / capacity_per_bin
+
+    @property
+    def has_queue_depth(self) -> bool:
+        """Whether any queue-occupancy contributions were recorded."""
+        return self._queue_bins is not None
+
+    def queue_depth_matrix(self) -> np.ndarray | None:
+        """``(num_links, num_bins)`` mean queue occupancy (bytes) per bin,
+        or ``None`` when no queued transport contributed.  Padded with
+        zero columns to match :meth:`byte_matrix` when occupancy stopped
+        accumulating before the last load bin."""
+        if self._queue_bins is None:
+            return None
+        depth = self._queue_bins.matrix() / self.bin_width
+        columns = self._bins.num_bins
+        if depth.shape[1] < columns:
+            padded = np.zeros((depth.shape[0], columns))
+            padded[:, : depth.shape[1]] = depth
+            depth = padded
+        return depth
 
     def utilization_series(self, link_id: int) -> np.ndarray:
         """Utilisation over time for one link."""

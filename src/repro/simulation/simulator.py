@@ -30,8 +30,12 @@ from ..workload.generator import WorkloadSchedule, generate_schedule
 from ..workload.job import JobRuntime
 from ..workload.runtime import JobExecutor
 from .engine import EventEngine
+from .impls import transport_family
 from .linkloads import LinkLoadTracker
 from .transport import FluidTransport, Transfer, TransferMeta
+
+if TYPE_CHECKING:
+    from .cc.transport import CCReport
 
 __all__ = ["SimulationResult", "Simulator", "simulate"]
 
@@ -52,6 +56,9 @@ class SimulationResult:
     jobs: dict[int, JobRuntime]
     duration: float
     stats: dict[str, float] = field(default_factory=dict)
+    #: Congestion-control observables (queue ledgers, per-flow FCT and
+    #: retransmit counts); ``None`` for fluid transports.
+    cc: "CCReport | None" = None
 
 
 class Simulator:
@@ -69,12 +76,22 @@ class Simulator:
         self.link_loads = LinkLoadTracker(
             self.topology, bin_width=1.0, horizon=config.duration
         )
-        self.transport = FluidTransport(
-            self.topology,
-            sinks=[self.link_loads],
-            fairness=config.fairness,
-            impl=config.transport_impl,
-        )
+        if transport_family(config.transport_impl) == "queued":
+            from .cc.transport import QueuedTransport
+
+            self.transport: FluidTransport | QueuedTransport = QueuedTransport(
+                self.topology,
+                sinks=[self.link_loads],
+                impl=config.transport_impl,
+                params=config.cc,
+            )
+        else:
+            self.transport = FluidTransport(
+                self.topology,
+                sinks=[self.link_loads],
+                fairness=config.fairness,
+                impl=config.transport_impl,
+            )
         self.collector = ClusterCollector(
             self.topology,
             rng=self.randomness.stream("collector"),
@@ -332,6 +349,19 @@ class Simulator:
             tele.counter("transport.incremental_full_solves").inc(inc.full_solves)
             tele.counter("transport.incremental_solves").inc(inc.incremental_solves)
             tele.counter("transport.incremental_expansions").inc(inc.expansions)
+        if getattr(self.transport, "family", "fluid") == "queued":
+            queues = self.transport.queues
+            tele.counter("cc.ticks").inc(self.transport.ticks)
+            tele.counter("cc.marked_packets").inc(
+                int(queues.marked_packets.sum())
+            )
+            tele.counter("cc.dropped_packets").inc(
+                int(queues.dropped_packets.sum())
+            )
+            tele.counter("cc.forwarded_packets").inc(
+                int(queues.forwarded_packets.sum())
+            )
+            tele.gauge("cc.peak_queue_bytes").max(self.transport.peak_queue_bytes)
         tele.counter("linkloads.intervals_integrated").inc(
             self.link_loads.intervals_integrated
         )
@@ -401,6 +431,14 @@ class Simulator:
             "jobs_finished": float(len(self.applog.job_ends)),
             "evacuations": float(len(self.applog.evacuations)),
         }
+        cc_report = None
+        if getattr(self.transport, "family", "fluid") == "queued":
+            cc_report = self.transport.cc_report()
+            stats["cc_ticks"] = float(cc_report.ticks)
+            stats["cc_timeouts"] = cc_report.total_timeouts
+            stats["cc_retransmitted_bytes"] = cc_report.total_retransmitted_bytes
+            stats["cc_dropped_packets"] = cc_report.dropped_packets
+            stats["cc_marked_packets"] = cc_report.marked_packets
         return SimulationResult(
             config=config,
             topology=self.topology,
@@ -412,6 +450,7 @@ class Simulator:
             jobs=self.executor.jobs,
             duration=config.duration,
             stats=stats,
+            cc=cc_report,
         )
 
 

@@ -44,6 +44,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..cluster.topology import ClusterTopology
+from .impls import register_transport_impl
 from .waterfill import (
     FlowIncidence,
     IncrementalMaxMin,
@@ -55,8 +56,13 @@ from .waterfill import (
 __all__ = ["TransferMeta", "Transfer", "FluidTransport", "LoadSink"]
 
 #: Accepted ``impl`` constructor values (mirrored by
-#: ``SimulationConfig.transport_impl``).
+#: ``SimulationConfig.transport_impl``; registered in the shared
+#: transport-impl registry below).
 TRANSPORT_IMPLS = ("vectorized", "reference", "csr", "incremental")
+
+for _impl in TRANSPORT_IMPLS:
+    register_transport_impl(_impl, "fluid")
+del _impl
 
 #: Completion-frontier depth: how many upcoming completion times are
 #: materialised per rate epoch.  Deep enough to absorb a burst of
@@ -131,6 +137,9 @@ class Transfer:
 
 class FluidTransport:
     """Shared-bandwidth fluid flow simulator over a cluster topology."""
+
+    #: Family tag used by the simulator dispatch and the validate layer.
+    family = "fluid"
 
     def __init__(
         self,

@@ -56,11 +56,13 @@ class TraceLinkLoads:
         capacities: np.ndarray,
         bin_width: float,
         observed_links: np.ndarray,
+        queue_depth: np.ndarray | None = None,
     ) -> None:
         self._bytes = byte_counts
         self.capacities = capacities
         self.bin_width = float(bin_width)
         self.observed_links = observed_links
+        self._queue_depth = queue_depth
 
     @property
     def num_links(self) -> int:
@@ -80,6 +82,16 @@ class TraceLinkLoads:
         """(links, bins) utilisation in [0, 1]-ish (same expression as
         :meth:`~repro.simulation.linkloads.LinkLoadTracker.utilization_matrix`)."""
         return self._bytes / (self.capacities[:, None] * self.bin_width)
+
+    @property
+    def has_queue_depth(self) -> bool:
+        """Whether the recording stored queue-occupancy bins."""
+        return self._queue_depth is not None
+
+    def queue_depth_matrix(self) -> np.ndarray | None:
+        """(links, bins) mean queue occupancy in bytes, or ``None`` for
+        fluid recordings (same surface as the live tracker)."""
+        return self._queue_depth
 
 
 class TraceReader:
@@ -208,9 +220,10 @@ class TraceReader:
             except _CORRUPTION_ERRORS:
                 bad.append(loads_entry["file"])
             else:
-                digest = content_hash(
-                    arrays, ["bytes", "capacities", "bin_width", "observed_links"]
-                )
+                hashed = ["bytes", "capacities", "bin_width", "observed_links"]
+                if "queue_depth" in arrays:
+                    hashed.append("queue_depth")
+                digest = content_hash(arrays, hashed)
                 if digest != loads_entry["sha256"]:
                     bad.append(loads_entry["file"])
         return bad
@@ -234,6 +247,11 @@ class TraceReader:
                     capacities=archive["capacities"],
                     bin_width=float(archive["bin_width"]),
                     observed_links=archive["observed_links"],
+                    queue_depth=(
+                        archive["queue_depth"]
+                        if "queue_depth" in archive.files
+                        else None
+                    ),
                 )
         except _CORRUPTION_ERRORS as error:
             raise TraceCorruptionError(

@@ -48,6 +48,7 @@ def trace_meta(config: SimulationConfig) -> dict:
         "kind": "socket-events",
         "seed": config.seed,
         "duration": config.duration,
+        "transport_impl": config.transport_impl,
         "day_length": config.workload.day_length,
         "cluster_spec": asdict(config.cluster),
         "clock_skew_max": config.collector.clock_skew_max,
@@ -95,7 +96,8 @@ def record_trace(
         dtype=np.int64,
     )
     writer.set_linkloads(
-        loads.byte_matrix(), loads.capacities, loads.bin_width, observed
+        loads.byte_matrix(), loads.capacities, loads.bin_width, observed,
+        queue_depth=loads.queue_depth_matrix(),
     )
     manifest = writer.close()
     return RecordResult(path=str(writer.path), manifest=manifest, result=result)

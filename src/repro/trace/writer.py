@@ -144,12 +144,15 @@ class TraceWriter:
         capacities: np.ndarray,
         bin_width: float,
         observed_links: np.ndarray,
+        queue_depth: np.ndarray | None = None,
     ) -> None:
         """Attach the campaign's SNMP-grade link byte counters.
 
         Stored whole (a link-loads matrix is tiny next to the events);
         the congestion analyses read it back through
-        :class:`~repro.trace.reader.TraceLinkLoads`.
+        :class:`~repro.trace.reader.TraceLinkLoads`.  ``queue_depth``
+        (mean queue occupancy in bytes, same shape as ``byte_matrix``)
+        rides along when a queued transport produced one.
         """
         if self._closed:
             raise RuntimeError("cannot attach linkloads to a closed trace writer")
@@ -159,6 +162,8 @@ class TraceWriter:
             "bin_width": np.float64(bin_width),
             "observed_links": np.asarray(observed_links, dtype=np.int64),
         }
+        if queue_depth is not None:
+            self._linkloads["queue_depth"] = np.asarray(queue_depth, dtype=float)
 
     # -------------------------------------------------------------- closing
 
@@ -185,14 +190,16 @@ class TraceWriter:
         if self._linkloads is not None:
             arrays = self._linkloads
             np.savez_compressed(self.path / LINKLOADS_NAME, **arrays)
+            hashed = ["bytes", "capacities", "bin_width", "observed_links"]
+            if "queue_depth" in arrays:
+                hashed.append("queue_depth")
             manifest["linkloads"] = {
                 "file": LINKLOADS_NAME,
                 "num_links": int(arrays["bytes"].shape[0]),
                 "num_bins": int(arrays["bytes"].shape[1]),
                 "bin_width": float(arrays["bin_width"]),
-                "sha256": content_hash(
-                    arrays, ["bytes", "capacities", "bin_width", "observed_links"]
-                ),
+                "has_queue_depth": "queue_depth" in arrays,
+                "sha256": content_hash(arrays, hashed),
             }
         write_manifest(self.path, manifest)
         self._closed = True

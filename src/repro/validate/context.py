@@ -47,6 +47,7 @@ class ValidationContext:
         inactivity_timeout: float | None = None,
         threshold: float | None = None,
         clock_skew_max: float | None = None,
+        cc=None,
     ) -> None:
         self.config = config
         self.reader = reader
@@ -62,6 +63,9 @@ class ValidationContext:
         self._inactivity_timeout = inactivity_timeout
         self._threshold = threshold
         self._clock_skew_max = clock_skew_max
+        #: Congestion-control observables: a CCReport, a live LinkQueues
+        #: (both expose the queue byte ledgers), or None for fluid runs.
+        self._cc = cc
         self._congestion = _UNSET
 
     # ------------------------------------------------------------ builders
@@ -121,6 +125,7 @@ class ValidationContext:
             window=float(dataset.tm10.window),
             threshold=dataset.config.congestion_threshold,
             clock_skew_max=dataset.config.collector.clock_skew_max,
+            cc=getattr(result, "cc", None),
         )
 
     @classmethod
@@ -139,6 +144,7 @@ class ValidationContext:
             duration=result.duration,
             threshold=result.config.congestion_threshold,
             clock_skew_max=result.config.collector.clock_skew_max,
+            cc=getattr(result, "cc", None),
         )
 
     @classmethod
@@ -158,6 +164,12 @@ class ValidationContext:
     @classmethod
     def from_simulator(cls, simulator) -> "ValidationContext":
         """Context over a *live* simulator (the inline validation hook)."""
+        transport = simulator.transport
+        queues = (
+            transport.queues
+            if getattr(transport, "family", "fluid") == "queued"
+            else None
+        )
         return cls(
             config=simulator.config,
             topology=simulator.topology,
@@ -166,6 +178,7 @@ class ValidationContext:
             simulator=simulator,
             threshold=simulator.config.congestion_threshold,
             clock_skew_max=simulator.config.collector.clock_skew_max,
+            cc=queues,
         )
 
     # -------------------------------------------------------- capabilities
@@ -193,6 +206,8 @@ class ValidationContext:
             return self.duration is not None
         if requirement == "simulator":
             return self.simulator is not None
+        if requirement == "cc":
+            return self._cc is not None
         raise ValueError(f"unknown checker requirement {requirement!r}")
 
     # ----------------------------------------------------------- accessors
@@ -314,3 +329,33 @@ class ValidationContext:
     def clock_skew_max(self) -> float:
         """Maximum per-server clock offset, seconds (0 when unknown)."""
         return self._clock_skew_max if self._clock_skew_max is not None else 0.0
+
+    @property
+    def cc(self):
+        """Congestion-control observables, or ``None`` for fluid runs.
+
+        Either an archived :class:`~repro.simulation.cc.transport.CCReport`
+        or a live :class:`~repro.simulation.cc.queue.LinkQueues` — both
+        expose the ``enqueued_bytes`` / ``dequeued_bytes`` /
+        ``dropped_bytes`` / ``resident_bytes`` ledgers checkers need.
+        """
+        return self._cc
+
+    @property
+    def transport_family(self) -> str:
+        """Which transport family produced this campaign.
+
+        Resolved from the config when present, from trace metadata for
+        trace-backed contexts, defaulting to ``"fluid"`` for artefacts
+        predating the queued transports.
+        """
+        impl = None
+        if self.config is not None:
+            impl = self.config.transport_impl
+        elif self.reader is not None:
+            impl = self.reader.meta.get("transport_impl")
+        if impl is None:
+            return "fluid"
+        from ..simulation.impls import transport_family
+
+        return transport_family(impl)

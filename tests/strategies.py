@@ -21,15 +21,67 @@ from repro.instrumentation.events import (
     DIRECTION_SEND,
     SocketEventLog,
 )
+from repro.simulation.cc import CongestionControlConfig
 from repro.workload.generator import WorkloadConfig
 
 __all__ = [
+    "cc_configs",
     "churn_ops",
     "cluster_specs",
     "event_logs",
     "simulation_configs",
     "topologies",
 ]
+
+
+def cc_configs() -> st.SearchStrategy[CongestionControlConfig]:
+    """Valid congestion-control parameter sets.
+
+    Built so every draw satisfies ``CongestionControlConfig``'s
+    validation: the marking threshold is derived as a fraction of the
+    buffer depth and the window bounds are ordered by construction.
+    """
+
+    def build(
+        tick: float,
+        mtu: float,
+        capacity: int,
+        threshold_fraction: float,
+        base_rtt: float,
+        initial_cwnd: float,
+        max_cwnd: float,
+        gain: float,
+        min_rto: float,
+        loss_fraction: float,
+    ) -> CongestionControlConfig:
+        threshold = max(1, min(int(capacity * threshold_fraction), capacity))
+        return CongestionControlConfig(
+            tick=tick,
+            mtu_bytes=mtu,
+            queue_capacity_packets=capacity,
+            ecn_threshold_packets=threshold,
+            base_rtt=base_rtt,
+            initial_cwnd_packets=initial_cwnd,
+            min_cwnd_packets=1.0,
+            max_cwnd_packets=max_cwnd,
+            dctcp_gain=gain,
+            min_rto=min_rto,
+            timeout_loss_fraction=loss_fraction,
+        )
+
+    return st.builds(
+        build,
+        tick=st.floats(min_value=1e-4, max_value=2e-3),
+        mtu=st.sampled_from([576.0, 1500.0, 9000.0]),
+        capacity=st.integers(min_value=4, max_value=256),
+        threshold_fraction=st.floats(min_value=0.05, max_value=1.0),
+        base_rtt=st.floats(min_value=5e-4, max_value=1e-2),
+        initial_cwnd=st.floats(min_value=1.0, max_value=10.0),
+        max_cwnd=st.floats(min_value=64.0, max_value=2048.0),
+        gain=st.floats(min_value=0.01, max_value=1.0),
+        min_rto=st.floats(min_value=0.01, max_value=1.0),
+        loss_fraction=st.floats(min_value=0.1, max_value=1.0),
+    )
 
 
 def churn_ops(max_ops: int = 40) -> st.SearchStrategy[list[tuple]]:

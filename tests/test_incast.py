@@ -1,10 +1,10 @@
-"""Incast precondition audit (§4.4)."""
+"""Incast precondition audit (§4.4) and the measured-collapse report."""
 
 import numpy as np
 import pytest
 
 from repro.core.flows import FlowTable
-from repro.core.incast import incast_audit, max_concurrent_inbound
+from repro.core.incast import incast_audit, incast_report, max_concurrent_inbound
 
 
 def make_flows(rows):
@@ -91,3 +91,38 @@ class TestAudit:
         assert audit.frac_flows_in_vlan >= audit.frac_flows_in_rack
         assert audit.median_concurrent_jobs >= 1.0
         assert audit.peak_fan_in < dataset.result.topology.num_servers
+
+
+class TestIncastReport:
+    """incast_report: asserted preconditions (fluid) vs measured collapse
+    (queued)."""
+
+    def test_fluid_report_is_asserted(self, dataset):
+        report = incast_report(dataset.result)
+        assert report["asserted"] is True
+        assert report["transport_impl"] == dataset.config.transport_impl
+        assert report["peak_fan_in"] >= 0
+        assert 0.0 <= report["frac_servers_exceeding_cap"] <= 1.0
+
+    def test_queued_report_is_measured(self):
+        from repro.simulation.cc import incast_result
+
+        result = incast_result("reno", 8, duration=10.0)
+        report = incast_report(result)
+        assert report["asserted"] is False
+        assert report["transport_impl"] == "reno"
+        assert report["peak_fan_in"] == 8
+        # Reno at fan-in 8 collapses: RTOs fire and goodput craters.
+        assert report["timeouts"] > 0
+        assert report["worst_goodput_ratio"] < 0.3
+        assert report["dropped_packets"] > 0
+
+    def test_queued_dctcp_keeps_goodput(self):
+        from repro.simulation.cc import incast_result
+
+        result = incast_result("dctcp", 8, duration=10.0)
+        report = incast_report(result)
+        assert report["asserted"] is False
+        assert report["timeouts"] == 0
+        assert report["worst_goodput_ratio"] > 0.6
+        assert report["marked_packets"] > 0

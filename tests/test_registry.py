@@ -18,7 +18,10 @@ EXPECTED_FIGURES = {
     "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "table_s2",
     "ext_roleprior", "ext_sampling",
 }
-EXPECTED_ABLATIONS = {"locality", "conncap", "gravity"}
+EXPECTED_ABLATIONS = {
+    "locality", "conncap", "gravity",
+    "cc_fct", "cc_ecn_sweep", "cc_incast",
+}
 
 
 class TestDiscovery:

@@ -346,3 +346,50 @@ class TestTraceCli:
         captured = capsys.readouterr()
         assert code == 1
         assert "CORRUPT" in captured.err
+
+
+class TestQueueDepthSidecar:
+    """The queued transports' queue-occupancy series rides the linkloads
+    sidecar; fluid recordings are untouched (no array, hash unchanged)."""
+
+    def _write(self, tmp_path, queue_depth):
+        path = tmp_path / "t.reprotrace"
+        with TraceWriter(path, chunk_size=50,
+                         meta={"transport_impl": "dctcp"}) as writer:
+            writer.append_log(synthetic_log(num_events=20))
+            writer.set_linkloads(
+                np.ones((3, 4)), np.ones(3), 1.0,
+                np.array([0, 1], dtype=np.int64),
+                queue_depth=queue_depth,
+            )
+        return path
+
+    def test_roundtrip_and_hash(self, tmp_path):
+        depth = np.arange(12.0).reshape(3, 4)
+        path = self._write(tmp_path, depth)
+        reader = TraceReader(path)
+        assert reader.manifest["linkloads"]["has_queue_depth"] is True
+        assert reader.meta["transport_impl"] == "dctcp"
+        assert reader.verify() == []
+        loads = reader.linkloads()
+        assert loads.has_queue_depth
+        assert np.array_equal(loads.queue_depth_matrix(), depth)
+
+    def test_fluid_recordings_have_no_depth(self, tmp_path):
+        path = self._write(tmp_path, None)
+        reader = TraceReader(path)
+        assert reader.manifest["linkloads"]["has_queue_depth"] is False
+        assert reader.verify() == []
+        loads = reader.linkloads()
+        assert not loads.has_queue_depth
+        assert loads.queue_depth_matrix() is None
+
+    def test_depth_corruption_detected(self, tmp_path):
+        from repro.trace.format import LINKLOADS_NAME
+
+        path = self._write(tmp_path, np.arange(12.0).reshape(3, 4))
+        sidecar = path / LINKLOADS_NAME
+        arrays = dict(np.load(sidecar))
+        arrays["queue_depth"] = arrays["queue_depth"] + 1.0
+        np.savez_compressed(sidecar, **arrays)
+        assert TraceReader(path).verify() == [LINKLOADS_NAME]
