@@ -20,7 +20,7 @@ Each timed call covers ``_EVENTS_PER_ROUND`` churn events, so
 import numpy as np
 import pytest
 
-from repro.cluster.routing import Router
+from repro.cluster.routing import Router, make_router
 from repro.cluster.topology import ClusterSpec, ClusterTopology
 from repro.simulation.transport import FluidTransport, TransferMeta
 
@@ -28,6 +28,14 @@ from repro.simulation.transport import FluidTransport, TransferMeta
 #: 1536 servers, 3216 links (matches EXPERIMENTS.md scale defaults).
 PAPER_SPEC = ClusterSpec(
     racks=64, servers_per_rack=24, racks_per_vlan=8, external_hosts=0
+)
+
+#: The same server count on a k=16 fat-tree: 128 edge racks x 12
+#: servers.  Longer paths (up to 6 links) and 64-way cross-pod path
+#: diversity exercise the allocator's incidence structures harder than
+#: the tree's fixed 6-hop worst case.
+FAT_TREE_SPEC = ClusterSpec.fat_tree(
+    k=16, servers_per_rack=12, external_hosts=0
 )
 
 _EVENTS_PER_ROUND = 50
@@ -38,25 +46,39 @@ class _ChurnHarness:
 
     Every step retires one random active flow, admits one fresh random
     flow, and recomputes rates — the arrival/departure cycle the event
-    engine drives millions of times per campaign.
+    engine drives millions of times per campaign.  ``routing`` selects
+    the per-flow path policy (ECMP spreads flows across a multi-path
+    fabric's equal-cost sets; each flow gets a distinct hash key).
     """
 
-    def __init__(self, impl: str, num_flows: int, seed: int = 0) -> None:
-        self.topo = ClusterTopology(PAPER_SPEC)
-        self.router = Router(self.topo)
+    def __init__(
+        self,
+        impl: str,
+        num_flows: int,
+        seed: int = 0,
+        spec: ClusterSpec = PAPER_SPEC,
+        routing: str = "single",
+    ) -> None:
+        self.topo = ClusterTopology(spec)
+        self.router = make_router(self.topo, routing, seed=seed)
         self.transport = FluidTransport(self.topo, impl=impl)
         self.rng = np.random.default_rng(seed)
         self.meta = TransferMeta(kind="fetch")
         self.endpoints = self.topo.endpoints()
+        self._flow_serial = 0
         for _ in range(num_flows):
             self._add_one()
         self.transport.recompute_rates()
 
     def _add_one(self) -> None:
         src, dst = self.rng.choice(self.endpoints, size=2, replace=False)
+        self._flow_serial += 1
         self.transport.add_flow(
             int(src), int(dst), 1e12,
-            self.router.path_links(int(src), int(dst)), self.meta,
+            self.router.path_for_flow(
+                int(src), int(dst), key=self._flow_serial
+            ),
+            self.meta,
         )
 
     def churn(self, events: int = _EVENTS_PER_ROUND) -> None:
@@ -92,6 +114,35 @@ def test_event_latency_reference(benchmark, num_flows):
     harness = _ChurnHarness("reference", num_flows)
     benchmark(harness.churn)
     assert harness.transport.utilization_snapshot().max() <= 1.05
+
+
+@pytest.mark.parametrize("num_flows", [2000, 8000], ids=["n2000", "n8000"])
+def test_event_latency_fat_tree_ecmp(benchmark, bench_record, num_flows):
+    """Incremental-allocator churn on the paper-scale k=16 fat-tree.
+
+    ECMP routing spreads flows over up to 64 equal-cost cross-pod
+    paths, so the incidence matrix is denser and less tree-structured
+    than the 2-tier baseline — the realistic worst case for the
+    incremental solver's frontier updates.
+    """
+    harness = _ChurnHarness(
+        "incremental", num_flows, spec=FAT_TREE_SPEC, routing="ecmp",
+    )
+    benchmark(harness.churn)
+    assert harness.transport.utilization_snapshot().max() <= 1.05
+    inc = harness.transport._inc
+    assert inc.incremental_solves > inc.full_solves
+    bench_record(
+        f"fat_tree_allocator_n{num_flows}",
+        {
+            "servers": FAT_TREE_SPEC.racks * FAT_TREE_SPEC.servers_per_rack,
+            "fat_tree_k": FAT_TREE_SPEC.fat_tree_k,
+            "num_links": int(harness.topo.num_links),
+            "flows": num_flows,
+            "events_per_round": _EVENTS_PER_ROUND,
+            "routing": "ecmp",
+        },
+    )
 
 
 def test_event_latency_queued(benchmark, bench_record):

@@ -44,10 +44,41 @@ import pathlib
 import re
 import sys
 
-from .cluster.topology import ClusterSpec
+from .cluster.routing import ROUTING_IMPLS
+from .cluster.topology import TOPOLOGY_KINDS, ClusterSpec
 from .config import SimulationConfig
 from .util.units import GBPS, format_bytes, format_bytes_binary
 from .workload.generator import WorkloadConfig
+
+
+def _add_fabric_args(parser: argparse.ArgumentParser) -> None:
+    """Topology-family and routing flags shared by simulate/record."""
+    parser.add_argument("--topology", choices=TOPOLOGY_KINDS, default="tree",
+                        help="fabric to build (default: the paper's tree)")
+    parser.add_argument("--fat-tree-k", type=int, default=4, metavar="K",
+                        help="arity for --topology fat_tree (sets rack count "
+                             "to k*(k/2); --racks is ignored)")
+    parser.add_argument("--spines", type=int, default=2,
+                        help="spine count for --topology leaf_spine")
+    parser.add_argument("--routing", choices=ROUTING_IMPLS, default="single",
+                        help="per-flow path selection on multi-path fabrics")
+
+
+def _cluster_spec_from_args(args: argparse.Namespace) -> ClusterSpec:
+    """Build the cluster spec a simulate/record invocation asked for."""
+    common = dict(
+        servers_per_rack=args.servers_per_rack,
+        external_hosts=args.external_hosts,
+        tor_uplink_capacity=args.uplink_gbps * GBPS,
+    )
+    kind = getattr(args, "topology", "tree")
+    if kind == "fat_tree":
+        return ClusterSpec.fat_tree(k=args.fat_tree_k, **common)
+    if kind == "leaf_spine":
+        return ClusterSpec.leaf_spine(
+            racks=args.racks, spines=args.spines, **common)
+    return ClusterSpec(
+        racks=args.racks, racks_per_vlan=args.racks_per_vlan, **common)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--racks-per-vlan", type=int, default=3)
     sim.add_argument("--external-hosts", type=int, default=2)
     sim.add_argument("--uplink-gbps", type=float, default=2.5)
+    _add_fabric_args(sim)
     sim.add_argument("--duration", type=float, default=120.0)
     sim.add_argument("--arrival-rate", type=float, default=0.3,
                      help="job arrivals per second")
@@ -91,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_record.add_argument("--racks-per-vlan", type=int, default=3)
     trace_record.add_argument("--external-hosts", type=int, default=2)
     trace_record.add_argument("--uplink-gbps", type=float, default=2.5)
+    _add_fabric_args(trace_record)
     trace_record.add_argument("--duration", type=float, default=120.0)
     trace_record.add_argument("--arrival-rate", type=float, default=0.3,
                               help="job arrivals per second")
@@ -324,16 +357,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .simulation.simulator import simulate
 
     config = SimulationConfig(
-        cluster=ClusterSpec(
-            racks=args.racks,
-            servers_per_rack=args.servers_per_rack,
-            racks_per_vlan=args.racks_per_vlan,
-            external_hosts=args.external_hosts,
-            tor_uplink_capacity=args.uplink_gbps * GBPS,
-        ),
+        cluster=_cluster_spec_from_args(args),
         workload=WorkloadConfig(job_arrival_rate=args.arrival_rate),
         duration=args.duration,
         seed=args.seed,
+        routing_impl=args.routing,
     )
     telemetry_on = bool(args.telemetry or args.trace_out or args.manifest_out)
     if telemetry_on:
@@ -668,16 +696,11 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     from .trace.record import DEFAULT_FLUSH_INTERVAL
 
     config = SimulationConfig(
-        cluster=ClusterSpec(
-            racks=args.racks,
-            servers_per_rack=args.servers_per_rack,
-            racks_per_vlan=args.racks_per_vlan,
-            external_hosts=args.external_hosts,
-            tor_uplink_capacity=args.uplink_gbps * GBPS,
-        ),
+        cluster=_cluster_spec_from_args(args),
         workload=WorkloadConfig(job_arrival_rate=args.arrival_rate),
         duration=args.duration,
         seed=args.seed,
+        routing_impl=args.routing,
     )
     tele = Telemetry()
     try:

@@ -1,4 +1,5 @@
-"""Cluster substrate: topology (paper Fig 1) and tree routing.
+"""Cluster substrate: the topology family (paper Fig 1 and beyond) and
+single/multi-path routing.
 
 Models the instrumented cluster of Kandula et al.: racks of servers
 under top-of-rack switches, aggregated into VLANs under aggregation
@@ -6,25 +7,61 @@ switches, joined by a core — the canonical 2-level tree of the paper's
 Figure 1, plus optional external hosts reached through the core.
 :class:`ClusterSpec` is the declarative shape (racks, servers per rack,
 racks per VLAN, link speeds); :class:`ClusterTopology` realises it as
-numbered nodes and directed capacitated links.
+numbered nodes and directed capacitated links.  The tree is the default
+member of a topology family: ``ClusterSpec.fat_tree(k)`` and
+``ClusterSpec.leaf_spine(racks, spines)`` build the multi-path fabrics
+of :mod:`repro.cluster.fabrics` behind the same accessors.
 
-:class:`~repro.cluster.routing.Router` computes the unique tree path
+:class:`~repro.cluster.routing.Router` computes the canonical path
 between any two endpoints as a tuple of directed link ids — the
 representation every layer above (transport, link loads, tomography's
-A-matrix) shares.  ``bisection_bandwidth`` and ``tor_routing_matrix``
-support the oversubscription arithmetic and the tomography experiments
-(§5).
+A-matrix) shares.  :class:`~repro.cluster.routing.EcmpRouter` and
+:class:`~repro.cluster.routing.FlowletRouter` spread flows over the
+equal-cost sets of multi-path fabrics (``make_router`` selects by
+``SimulationConfig.routing_impl``).  ``bisection_bandwidth`` and
+``tor_routing_matrix`` support the oversubscription arithmetic and the
+tomography experiments (§5).
 """
 
-from .routing import Router, bisection_bandwidth, tor_routing_matrix
-from .topology import ClusterSpec, ClusterTopology, Link, NodeKind
+from .fabrics import FatTreeTopology, LeafSpineTopology
+from .routing import (
+    DEFAULT_FLOWLET_GAP,
+    ROUTING_IMPLS,
+    EcmpRouter,
+    FlowletRouter,
+    Router,
+    bisection_bandwidth,
+    flow_hash,
+    fold_flow_key,
+    make_router,
+    tor_routing_matrix,
+)
+from .topology import (
+    TOPOLOGY_KINDS,
+    ClusterSpec,
+    ClusterTopology,
+    Link,
+    NodeKind,
+    spec_from_mapping,
+)
 
 __all__ = [
     "ClusterSpec",
     "ClusterTopology",
+    "FatTreeTopology",
+    "LeafSpineTopology",
     "Link",
     "NodeKind",
+    "TOPOLOGY_KINDS",
+    "spec_from_mapping",
     "Router",
+    "EcmpRouter",
+    "FlowletRouter",
+    "ROUTING_IMPLS",
+    "DEFAULT_FLOWLET_GAP",
+    "make_router",
+    "flow_hash",
+    "fold_flow_key",
     "tor_routing_matrix",
     "bisection_bandwidth",
 ]

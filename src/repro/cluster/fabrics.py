@@ -1,0 +1,313 @@
+"""Multi-path fabrics: k-ary fat-tree and leaf-spine topologies.
+
+The paper's cluster is a 2-tier tree (§3), but its own §5.3 argues the
+observed traffic-matrix volatility makes topology/routing co-design the
+natural next question.  These builders answer it inside the same
+:class:`~repro.cluster.topology.ClusterTopology` contract: dense integer
+node ids (servers first, then ToR-role switches, one per rack), directed
+duplex :class:`~repro.cluster.topology.Link` pairs, and the tree-era
+accessors (``rack_of``, ``tor_of_rack``, ``vlan_of`` ...), so the
+workload executor, link-load tracker, traffic-matrix index and trace
+meta round-trip run unchanged on any fabric.
+
+What changes is path multiplicity: both fabrics override
+``equal_cost_node_paths`` with the full equal-cost set in a fixed
+deterministic order, which the ECMP/flowlet routers in
+:mod:`repro.cluster.routing` hash over.
+
+* **Fat-tree** (``ClusterSpec.fat_tree(k)``): ``k`` pods of ``k//2``
+  edge switches (one rack each, playing the ToR role) and ``k//2``
+  aggregation switches; ``(k//2)**2`` cores, where core ``j*(k//2)+i``
+  connects aggregation switch ``j`` of every pod.  Pods map onto VLANs.
+  Same-pod pairs have ``k//2`` equal-cost paths, cross-pod pairs
+  ``(k//2)**2``.
+* **Leaf-spine** (``ClusterSpec.leaf_spine(racks, spines)``): every leaf
+  (ToR role) meshes with every spine (core role); cross-rack pairs have
+  one equal-cost path per spine.
+
+External hosts attach to the first core/spine switch, the multi-path
+analogue of hanging off the tree's core router: ingest/egress traffic
+has a single deterministic attachment point while in-cluster traffic
+enjoys the full path diversity.
+"""
+
+from __future__ import annotations
+
+from .topology import ClusterSpec, ClusterTopology, NodeKind
+
+__all__ = ["FatTreeTopology", "LeafSpineTopology", "fabric_class"]
+
+
+class _MultiPathFabric(ClusterTopology):
+    """Shared machinery: path-set cache and endpoint classification."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        super().__init__(spec)
+        self._ecp_cache: dict[tuple[int, int], tuple[tuple[int, ...], ...]] = {}
+
+    def _edge_and_prefix(self, node: int) -> tuple[int, tuple[int, ...]]:
+        """The ToR-role switch a path enters the fabric through, plus the
+        node prefix before it (the server itself, or nothing for a ToR)."""
+        kind = self.node_kind(node)
+        if kind == NodeKind.SERVER:
+            return self.tor_of_rack(self.rack_of(node)), (node,)
+        if kind == NodeKind.TOR:
+            return node, ()
+        raise ValueError(
+            f"node {node} ({kind.value}) cannot originate or terminate paths"
+        )
+
+    def equal_cost_node_paths(
+        self, src: int, dst: int
+    ) -> tuple[tuple[int, ...], ...]:
+        if src == dst:
+            return ((src,),)
+        key = (src, dst)
+        cached = self._ecp_cache.get(key)
+        if cached is None:
+            cached = self._compute_equal_cost(src, dst)
+            self._ecp_cache[key] = cached
+        return cached
+
+    def _compute_equal_cost(
+        self, src: int, dst: int
+    ) -> tuple[tuple[int, ...], ...]:
+        raise NotImplementedError
+
+
+class FatTreeTopology(_MultiPathFabric):
+    """A k-ary fat-tree (Clos) fabric behind the tree accessors.
+
+    Node id layout (dense, in order): servers, edge switches (ToR role,
+    one per rack), aggregation switches (``k//2`` per pod), core
+    switches (``(k//2)**2``), external hosts.
+    """
+
+    kind = "fat_tree"
+
+    def _layout(self) -> None:
+        k = self.spec.fat_tree_k
+        self._k = k
+        self._half = k // 2
+        self._agg_base = self._tor_base + self.num_racks
+        # One aggregation switch per rack overall: k pods x k//2 each.
+        self._core_base = self._agg_base + self.num_racks
+        self._num_cores = self._half * self._half
+        self._external_base = self._core_base + self._num_cores
+        self.num_nodes = self._external_base + self.spec.external_hosts
+
+    def _build_links(self) -> None:
+        spec = self.spec
+        half = self._half
+        for server in range(self.num_servers):
+            self._add_duplex(server, self.tor_of_rack(self.rack_of(server)),
+                             spec.server_nic_capacity)
+        for rack in range(self.num_racks):
+            pod = self.vlan_of_rack(rack)
+            edge = self.tor_of_rack(rack)
+            for j in range(half):
+                self._add_duplex(edge, self._agg_base + pod * half + j,
+                                 spec.tor_uplink_capacity)
+        for pod in range(self._k):
+            for j in range(half):
+                agg = self._agg_base + pod * half + j
+                for i in range(half):
+                    self._add_duplex(agg, self._core_base + j * half + i,
+                                     spec.agg_uplink_capacity)
+        for index in range(spec.external_hosts):
+            self._add_duplex(self._external_base + index, self._core_base,
+                             spec.external_link_capacity)
+
+    # ------------------------------------------------------------ lookups
+
+    def node_kind(self, node: int) -> NodeKind:
+        if node < 0 or node >= self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        if node < self._tor_base:
+            return NodeKind.SERVER
+        if node < self._agg_base:
+            return NodeKind.TOR
+        if node < self._core_base:
+            return NodeKind.AGG
+        if node < self._external_base:
+            return NodeKind.CORE
+        return NodeKind.EXTERNAL
+
+    def agg_of_vlan(self, vlan: int) -> int:
+        """First aggregation switch of a pod (see :meth:`aggs_of_pod`)."""
+        if not 0 <= vlan < self.num_vlans:
+            raise ValueError(f"vlan {vlan} out of range")
+        return self._agg_base + vlan * self._half
+
+    def aggs_of_pod(self, pod: int) -> range:
+        """All ``k//2`` aggregation switches of a pod."""
+        if not 0 <= pod < self._k:
+            raise ValueError(f"pod {pod} out of range")
+        start = self._agg_base + pod * self._half
+        return range(start, start + self._half)
+
+    def core_ids(self) -> range:
+        """All ``(k//2)**2`` core switch ids."""
+        return range(self._core_base, self._core_base + self._num_cores)
+
+    @property
+    def core_id(self) -> int:
+        """The first core switch (the external attachment point)."""
+        return self._core_base
+
+    # ---------------------------------------------------------- multi-path
+
+    def _compute_equal_cost(
+        self, src: int, dst: int
+    ) -> tuple[tuple[int, ...], ...]:
+        half = self._half
+        src_ext = self.is_external(src)
+        dst_ext = self.is_external(dst)
+        if src_ext and dst_ext:
+            return ((src, self._core_base, dst),)
+        if src_ext or dst_ext:
+            ext, inner = (src, dst) if src_ext else (dst, src)
+            edge, prefix = self._edge_and_prefix(inner)
+            pod = self.vlan_of_rack(edge - self._tor_base)
+            # Core 0 lives in core group 0: it reaches aggregation
+            # switch 0 of every pod, so external paths are unique.
+            path = (ext, self._core_base, self._agg_base + pod * half,
+                    edge) + prefix
+            if dst_ext:
+                path = tuple(reversed(path))
+            return (path,)
+        edge_s, prefix_s = self._edge_and_prefix(src)
+        edge_d, prefix_d = self._edge_and_prefix(dst)
+        suffix_d = tuple(reversed(prefix_d))
+        if edge_s == edge_d:
+            return (prefix_s + (edge_s,) + suffix_d,)
+        pod_s = self.vlan_of_rack(edge_s - self._tor_base)
+        pod_d = self.vlan_of_rack(edge_d - self._tor_base)
+        paths = []
+        if pod_s == pod_d:
+            for j in range(half):
+                agg = self._agg_base + pod_s * half + j
+                paths.append(prefix_s + (edge_s, agg, edge_d) + suffix_d)
+        else:
+            for j in range(half):
+                agg_s = self._agg_base + pod_s * half + j
+                agg_d = self._agg_base + pod_d * half + j
+                for i in range(half):
+                    core = self._core_base + j * half + i
+                    paths.append(prefix_s + (edge_s, agg_s, core, agg_d,
+                                             edge_d) + suffix_d)
+        return tuple(paths)
+
+    def describe(self) -> str:
+        spec = self.spec
+        return (
+            f"k={self._k} fat-tree: {self.num_servers} servers / "
+            f"{self.num_racks} edge racks ({spec.servers_per_rack} per rack) "
+            f"/ {self._k} pods / {self._num_cores} cores / "
+            f"{spec.external_hosts} external hosts / {self.num_links} links"
+        )
+
+
+class LeafSpineTopology(_MultiPathFabric):
+    """A two-tier leaf-spine mesh behind the tree accessors.
+
+    Node id layout (dense, in order): servers, leaf switches (ToR role,
+    one per rack), spine switches (core role), external hosts.  There is
+    no aggregation tier; :meth:`agg_of_vlan` raises.
+    """
+
+    kind = "leaf_spine"
+
+    def _layout(self) -> None:
+        self._spine_base = self._tor_base + self.num_racks
+        self._num_spines = self.spec.spine_count
+        self._external_base = self._spine_base + self._num_spines
+        self.num_nodes = self._external_base + self.spec.external_hosts
+
+    def _build_links(self) -> None:
+        spec = self.spec
+        for server in range(self.num_servers):
+            self._add_duplex(server, self.tor_of_rack(self.rack_of(server)),
+                             spec.server_nic_capacity)
+        for rack in range(self.num_racks):
+            leaf = self.tor_of_rack(rack)
+            for spine in range(self._num_spines):
+                self._add_duplex(leaf, self._spine_base + spine,
+                                 spec.tor_uplink_capacity)
+        for index in range(spec.external_hosts):
+            self._add_duplex(self._external_base + index, self._spine_base,
+                             spec.external_link_capacity)
+
+    # ------------------------------------------------------------ lookups
+
+    def node_kind(self, node: int) -> NodeKind:
+        if node < 0 or node >= self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        if node < self._tor_base:
+            return NodeKind.SERVER
+        if node < self._spine_base:
+            return NodeKind.TOR
+        if node < self._external_base:
+            return NodeKind.CORE
+        return NodeKind.EXTERNAL
+
+    def agg_of_vlan(self, vlan: int) -> int:
+        raise ValueError("leaf-spine fabric has no aggregation tier")
+
+    def spine_ids(self) -> range:
+        """All spine switch ids."""
+        return range(self._spine_base, self._spine_base + self._num_spines)
+
+    @property
+    def core_id(self) -> int:
+        """The first spine switch (the external attachment point)."""
+        return self._spine_base
+
+    # ---------------------------------------------------------- multi-path
+
+    def _compute_equal_cost(
+        self, src: int, dst: int
+    ) -> tuple[tuple[int, ...], ...]:
+        src_ext = self.is_external(src)
+        dst_ext = self.is_external(dst)
+        if src_ext and dst_ext:
+            return ((src, self._spine_base, dst),)
+        if src_ext or dst_ext:
+            ext, inner = (src, dst) if src_ext else (dst, src)
+            leaf, prefix = self._edge_and_prefix(inner)
+            path = (ext, self._spine_base, leaf) + prefix
+            if dst_ext:
+                path = tuple(reversed(path))
+            return (path,)
+        leaf_s, prefix_s = self._edge_and_prefix(src)
+        leaf_d, prefix_d = self._edge_and_prefix(dst)
+        suffix_d = tuple(reversed(prefix_d))
+        if leaf_s == leaf_d:
+            return (prefix_s + (leaf_s,) + suffix_d,)
+        return tuple(
+            prefix_s + (leaf_s, self._spine_base + spine, leaf_d) + suffix_d
+            for spine in range(self._num_spines)
+        )
+
+    def describe(self) -> str:
+        spec = self.spec
+        return (
+            f"leaf-spine: {self.num_servers} servers / {self.num_racks} "
+            f"leaves ({spec.servers_per_rack} per rack) / "
+            f"{self._num_spines} spines / {spec.external_hosts} external "
+            f"hosts / {self.num_links} links"
+        )
+
+
+_FABRICS: dict[str, type[ClusterTopology]] = {
+    "fat_tree": FatTreeTopology,
+    "leaf_spine": LeafSpineTopology,
+}
+
+
+def fabric_class(kind: str) -> type[ClusterTopology]:
+    """The :class:`ClusterTopology` subclass building ``kind``."""
+    try:
+        return _FABRICS[kind]
+    except KeyError:
+        raise ValueError(f"no fabric builder for topology kind {kind!r}")

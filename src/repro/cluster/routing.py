@@ -1,4 +1,5 @@
-"""Deterministic tree routing and the tomography routing matrix.
+"""Deterministic routing — single-path, ECMP and flowlet — plus the
+tomography routing matrix.
 
 Traffic in the measured cluster follows the only paths a tree offers: up
 from the source to the lowest common switch, then down to the destination.
@@ -6,26 +7,126 @@ from the source to the lowest common switch, then down to the destination.
 the transport engine consumes) and caches them, since a simulation reuses
 a small set of rack-pair paths millions of times.
 
+Multi-path fabrics (:mod:`repro.cluster.fabrics`) offer an *equal-cost
+set* per endpoint pair.  Two selection policies route over it:
+
+* :class:`EcmpRouter` — per-flow ECMP: a deterministic splitmix64 hash
+  of ``(seed, src, dst, flow label)`` picks one equal-cost path, the
+  same one for the flow's whole lifetime.  The hash uses no process
+  state (no ``PYTHONHASHSEED``), so path choices are reproducible
+  across processes and campaign workers.
+* :class:`FlowletRouter` — flowlet switching (SNIPPETS.md #3): the hash
+  additionally folds a per-connection *flowlet id* that increments
+  whenever the connection has been idle longer than ``idle_gap``, so
+  bursts separated by an idle gap may re-hash onto a different path
+  while packets inside a burst stay ordered.
+
+On a tree every equal-cost set has size one, so all three policies
+degenerate to the same single path — which is what keeps
+``topology_kind="tree"`` bit-identical regardless of
+``SimulationConfig.routing_impl``.
+
 ``tor_routing_matrix`` builds the classic tomography ``A`` matrix relating
 ToR-to-ToR traffic-matrix entries to inter-switch link loads, ``y = A x``
 (paper §5 methodology: link counts are computed from the ground-truth TM).
+With ``multipath=True`` each pair spreads ``1/n`` over its ``n``
+equal-cost paths — the expected ECMP split.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
 from .topology import ClusterTopology, NodeKind
 
-__all__ = ["Router", "tor_routing_matrix", "bisection_bandwidth"]
+__all__ = [
+    "Router",
+    "EcmpRouter",
+    "FlowletRouter",
+    "ROUTING_IMPLS",
+    "DEFAULT_FLOWLET_GAP",
+    "make_router",
+    "flow_hash",
+    "fold_flow_key",
+    "tor_routing_matrix",
+    "bisection_bandwidth",
+]
+
+#: Accepted ``SimulationConfig.routing_impl`` values.
+ROUTING_IMPLS = ("single", "ecmp", "flowlet")
+
+#: Default flowlet idle-gap threshold in seconds (50 ms, the gap the
+#: flowlet load-balancing exemplar uses: longer than any in-flight
+#: packet's residual delay, so re-hashing cannot reorder a burst).
+DEFAULT_FLOWLET_GAP = 0.05
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN64 = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a well-mixed 64-bit permutation."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def fold_flow_key(key) -> int:
+    """Deterministically fold a connection key into a 64-bit label.
+
+    Connection keys are ``None``, ints, strings, or (nested) tuples of
+    those (see ``TransferMeta.connection_key``).  Strings fold through
+    ``zlib.crc32`` and ints through identity, so the label never depends
+    on per-process hash randomisation.
+    """
+    if key is None:
+        return 0
+    if isinstance(key, (int, np.integer)):
+        return int(key) & _MASK64
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8")) & _MASK64
+    if isinstance(key, (tuple, list)):
+        folded = _GOLDEN64
+        for part in key:
+            folded = _mix64(folded ^ fold_flow_key(part))
+        return folded
+    return zlib.crc32(repr(key).encode("utf-8")) & _MASK64
+
+
+def flow_hash(seed: int, src: int, dst: int, label: int, flowlet: int = 0) -> int:
+    """The deterministic ECMP hash: 64 bits from the flow's identity.
+
+    The stand-in for a switch's 5-tuple hash: ``(src, dst, label)``
+    identifies the connection, ``flowlet`` is the flowlet-switching
+    epoch (always 0 for plain ECMP), ``seed`` diversifies campaigns.
+    """
+    h = _mix64((int(seed) & _MASK64) ^ _GOLDEN64)
+    for part in (src, dst, label, flowlet):
+        h = _mix64(h ^ (int(part) & _MASK64))
+    return h
 
 
 class Router:
-    """Computes and caches up/down tree paths between endpoints."""
+    """Computes and caches single paths between endpoints.
+
+    On a tree these are the unique up/down paths; on multi-path fabrics
+    the *canonical* (first) equal-cost path.  Subclasses override
+    :meth:`path_for_flow` to spread flows over the equal-cost set.
+    """
+
+    #: Routing policy name (mirrors ``SimulationConfig.routing_impl``).
+    impl = "single"
 
     def __init__(self, topology: ClusterTopology) -> None:
         self.topology = topology
         self._path_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._ecmp_cache: dict[tuple[int, int], tuple[tuple[int, ...], ...]] = {}
 
     def _ancestry(self, node: int) -> list[int]:
         """Chain of nodes from ``node`` up to the core router, inclusive."""
@@ -57,6 +158,8 @@ class Router:
         """
         if src == dst:
             return (src,)
+        if self.topology.kind != "tree":
+            return self.topology.equal_cost_node_paths(src, dst)[0]
         up = self._ancestry(src)
         down = self._ancestry(dst)
         up_set = {node: depth for depth, node in enumerate(up)}
@@ -84,9 +187,161 @@ class Router:
         """Number of links traversed between two endpoints."""
         return len(self.path_links(src, dst))
 
+    # ---------------------------------------------------------- multi-path
+
+    def _links_of(self, nodes: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(
+            self.topology.link_between(a, b).link_id
+            for a, b in zip(nodes[:-1], nodes[1:])
+        )
+
+    def equal_cost_paths(
+        self, src: int, dst: int
+    ) -> tuple[tuple[int, ...], ...]:
+        """All equal-cost link paths between two endpoints, cached.
+
+        Trees return the unique path; fabrics return the full set in the
+        topology's deterministic order (the order the ECMP hash indexes).
+        """
+        key = (src, dst)
+        cached = self._ecmp_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            paths: tuple[tuple[int, ...], ...] = ((),)
+        elif self.topology.kind == "tree":
+            paths = (self.path_links(src, dst),)
+        else:
+            paths = tuple(
+                self._links_of(nodes)
+                for nodes in self.topology.equal_cost_node_paths(src, dst)
+            )
+        self._ecmp_cache[key] = paths
+        return paths
+
+    def path_for_flow(
+        self, src: int, dst: int, key=None, now: float = 0.0
+    ) -> tuple[int, ...]:
+        """The link path a *flow* takes.  Single-path routing ignores the
+        flow's identity (``key``) and the clock; ECMP/flowlet use them."""
+        return self.path_links(src, dst)
+
+    def note_activity(self, src: int, dst: int, key, now: float) -> None:
+        """Record flow activity (a completion) at time ``now``.
+
+        A no-op except for flowlet switching, where activity postpones
+        the idle-gap expiry of the connection's current flowlet.
+        """
+
+
+class EcmpRouter(Router):
+    """Per-flow ECMP: hash the flow identity over the equal-cost set."""
+
+    impl = "ecmp"
+
+    def __init__(self, topology: ClusterTopology, seed: int = 0) -> None:
+        super().__init__(topology)
+        self.seed = int(seed)
+        self._label_cache: dict = {}
+
+    def flow_label(self, key) -> int:
+        """The 64-bit label for a connection key (memoised)."""
+        try:
+            return self._label_cache[key]
+        except (KeyError, TypeError):
+            label = fold_flow_key(key)
+            try:
+                self._label_cache[key] = label
+            except TypeError:
+                pass
+            return label
+
+    def path_for_flow(
+        self, src: int, dst: int, key=None, now: float = 0.0
+    ) -> tuple[int, ...]:
+        choices = self.equal_cost_paths(src, dst)
+        if len(choices) == 1:
+            return choices[0]
+        index = flow_hash(self.seed, src, dst, self.flow_label(key))
+        return choices[index % len(choices)]
+
+
+class FlowletRouter(EcmpRouter):
+    """Flowlet switching: ECMP that re-hashes after an idle gap.
+
+    Per connection ``(src, dst, label)`` the router tracks the last
+    activity time and a flowlet id.  A new flow arriving more than
+    ``idle_gap`` after the last activity starts a fresh flowlet — the id
+    increments and the path re-hashes — while flows inside the gap stick
+    to the current flowlet's path (no reordering within a burst).
+    """
+
+    impl = "flowlet"
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        seed: int = 0,
+        idle_gap: float = DEFAULT_FLOWLET_GAP,
+    ) -> None:
+        super().__init__(topology, seed=seed)
+        if idle_gap <= 0:
+            raise ValueError("flowlet idle gap must be positive")
+        self.idle_gap = float(idle_gap)
+        #: (src, dst, label) -> [last_activity_time, flowlet_id]
+        self._flowlets: dict[tuple[int, int, int], list] = {}
+        self.rehash_count = 0
+
+    def flowlet_id(self, src: int, dst: int, key=None) -> int:
+        """The connection's current flowlet id (0 if never seen)."""
+        state = self._flowlets.get((src, dst, self.flow_label(key)))
+        return 0 if state is None else state[1]
+
+    def path_for_flow(
+        self, src: int, dst: int, key=None, now: float = 0.0
+    ) -> tuple[int, ...]:
+        label = self.flow_label(key)
+        state = self._flowlets.get((src, dst, label))
+        if state is None:
+            state = [now, 0]
+            self._flowlets[(src, dst, label)] = state
+        elif now - state[0] > self.idle_gap:
+            state[1] += 1
+            self.rehash_count += 1
+        state[0] = now
+        choices = self.equal_cost_paths(src, dst)
+        if len(choices) == 1:
+            return choices[0]
+        index = flow_hash(self.seed, src, dst, label, flowlet=state[1])
+        return choices[index % len(choices)]
+
+    def note_activity(self, src: int, dst: int, key, now: float) -> None:
+        state = self._flowlets.get((src, dst, self.flow_label(key)))
+        if state is not None and now > state[0]:
+            state[0] = now
+
+
+def make_router(
+    topology: ClusterTopology,
+    impl: str = "single",
+    seed: int = 0,
+    flowlet_idle_gap: float = DEFAULT_FLOWLET_GAP,
+) -> Router:
+    """Build the router for a ``SimulationConfig.routing_impl`` choice."""
+    if impl == "single":
+        return Router(topology)
+    if impl == "ecmp":
+        return EcmpRouter(topology, seed=seed)
+    if impl == "flowlet":
+        return FlowletRouter(topology, seed=seed, idle_gap=flowlet_idle_gap)
+    raise ValueError(
+        f"unknown routing impl {impl!r}; expected one of {ROUTING_IMPLS}"
+    )
+
 
 def tor_routing_matrix(
     topology: ClusterTopology,
+    multipath: bool = False,
 ) -> tuple[np.ndarray, list[tuple[int, int]], list[int]]:
     """Build the tomography routing matrix at ToR granularity.
 
@@ -97,7 +352,10 @@ def tor_routing_matrix(
       diagonal by construction, paper §3);
     * ``observed_links`` lists the link ids of inter-switch links whose
       byte counters SNMP exposes;
-    * ``A[l, k] == 1`` iff pair ``k``'s path crosses observed link ``l``.
+    * ``A[l, k] == 1`` iff pair ``k``'s canonical path crosses observed
+      link ``l``.  With ``multipath=True`` pair ``k`` instead spreads
+      ``1/n`` over each of its ``n`` equal-cost paths (the expected ECMP
+      split), so entries lie in ``[0, 1]``.
 
     The under-constrained nature the paper highlights is visible directly
     in the shape: ``len(observed_links)`` grows linearly with rack count
@@ -116,22 +374,61 @@ def tor_routing_matrix(
     for column, (i, j) in enumerate(pairs):
         src_tor = topology.tor_of_rack(i)
         dst_tor = topology.tor_of_rack(j)
-        for link_id in router.path_links(src_tor, dst_tor):
-            row = link_row.get(link_id)
-            if row is not None:
-                matrix[row, column] = 1.0
+        if multipath:
+            paths = router.equal_cost_paths(src_tor, dst_tor)
+        else:
+            paths = (router.path_links(src_tor, dst_tor),)
+        weight = 1.0 / len(paths)
+        for path in paths:
+            for link_id in path:
+                row = link_row.get(link_id)
+                if row is not None:
+                    matrix[row, column] += weight
     return matrix, pairs, observed
 
 
 def bisection_bandwidth(topology: ClusterTopology) -> float:
-    """One-directional bisection bandwidth of the tree (bytes/s).
+    """One-directional bisection bandwidth of the fabric (bytes/s).
 
-    The narrowest cut splitting the cluster in half runs through the
-    core: the sum of aggregation-to-core capacities.  The paper's Fig 10
-    observation ("the top of the spikes is more than half the full-duplex
-    bisection bandwidth") doubles this to count both directions.
+    The narrowest cut splitting the cluster in half:
+
+    * **tree** — runs through the core: the sum of aggregation-to-core
+      capacities.  The paper's Fig 10 observation ("the top of the
+      spikes is more than half the full-duplex bisection bandwidth")
+      doubles this to count both directions.
+    * **fat_tree** — the cut between the lower and upper half of the
+      pods crosses only aggregation-to-core links:
+      ``(k**3)/8 * agg_uplink_capacity``, the classic k-ary figure.
+    * **leaf_spine** — the cut between the lower and upper half of the
+      leaves crosses their spine uplinks:
+      ``(racks // 2) * spines * tor_uplink_capacity``.
     """
+    kind = topology.kind
     total = 0.0
+    if kind == "fat_tree":
+        lower_pods = topology.spec.fat_tree_k // 2
+        boundary = topology.agg_of_vlan(lower_pods - 1) + (
+            topology.spec.fat_tree_k // 2
+        )
+        for link in topology.inter_switch_links():
+            if (
+                topology.node_kind(link.src) == NodeKind.AGG
+                and topology.node_kind(link.dst) == NodeKind.CORE
+                and link.src < boundary
+            ):
+                total += link.capacity
+        return total
+    if kind == "leaf_spine":
+        lower_leaves = topology.num_racks // 2
+        boundary = topology.tor_of_rack(0) + lower_leaves
+        for link in topology.inter_switch_links():
+            if (
+                topology.node_kind(link.src) == NodeKind.TOR
+                and topology.node_kind(link.dst) == NodeKind.CORE
+                and link.src < boundary
+            ):
+                total += link.capacity
+        return total
     for link in topology.inter_switch_links():
         if (
             topology.node_kind(link.src) == NodeKind.AGG

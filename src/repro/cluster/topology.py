@@ -7,6 +7,17 @@ router ("core").  VLANs span small groups of racks to keep broadcast
 domains small.  A handful of *external* hosts outside the cluster upload
 new data and pull out results (the sparse far corner of Fig 2).
 
+The tree is one member of a small *topology family* selected by
+``ClusterSpec.topology_kind``: ``"tree"`` (the measured cluster, the
+default), ``"fat_tree"`` (a k-ary Clos fabric) and ``"leaf_spine"`` (a
+two-tier leaf/spine mesh), the latter two built by
+:mod:`repro.cluster.fabrics` behind the same :class:`ClusterTopology`
+accessors so every downstream consumer — traffic-matrix endpoint index,
+link loads, validation context, trace meta round-trip — works unchanged.
+Multi-path fabrics additionally expose
+:meth:`ClusterTopology.equal_cost_node_paths`, which the ECMP/flowlet
+routers in :mod:`repro.cluster.routing` hash over.
+
 Nodes and links are plain integers indexing dense arrays, because the
 transport engine manipulates thousands of paths per second and the
 tomography code needs a routing matrix; object graphs would be needlessly
@@ -16,13 +27,23 @@ slow.  :class:`ClusterTopology` provides the human-facing accessors.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from ..util.units import GBPS
 
-__all__ = ["NodeKind", "Link", "ClusterSpec", "ClusterTopology"]
+__all__ = [
+    "NodeKind",
+    "Link",
+    "ClusterSpec",
+    "ClusterTopology",
+    "TOPOLOGY_KINDS",
+    "spec_from_mapping",
+]
+
+#: Members of the topology family, in the order they were grown.
+TOPOLOGY_KINDS = ("tree", "fat_tree", "leaf_spine")
 
 
 class NodeKind(enum.Enum):
@@ -71,6 +92,19 @@ class ClusterSpec:
     tor_uplink_capacity: float = 10 * GBPS
     agg_uplink_capacity: float = 40 * GBPS
     external_link_capacity: float = 10 * GBPS
+    #: Which member of the topology family to build: "tree" (the paper's
+    #: 2-tier tree, the default), "fat_tree" (k-ary Clos), or
+    #: "leaf_spine" (two-tier mesh).  Non-tree fabrics are built by
+    #: :mod:`repro.cluster.fabrics`.
+    topology_kind: str = "tree"
+    #: Fat-tree arity (even, >= 2).  Required when
+    #: ``topology_kind == "fat_tree"``; the rack count must equal
+    #: ``k * (k // 2)`` (one rack per edge switch) and ``racks_per_vlan``
+    #: must equal ``k // 2`` so VLAN == pod.  Use :meth:`fat_tree`.
+    fat_tree_k: int = 0
+    #: Number of spine switches.  Required when
+    #: ``topology_kind == "leaf_spine"``.  Use :meth:`leaf_spine`.
+    spine_count: int = 0
 
     def __post_init__(self) -> None:
         if self.racks < 1:
@@ -81,6 +115,60 @@ class ClusterSpec:
             raise ValueError("VLANs need at least one rack")
         if self.external_hosts < 0:
             raise ValueError("external_hosts must be non-negative")
+        if self.topology_kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.topology_kind!r}; "
+                f"expected one of {TOPOLOGY_KINDS}"
+            )
+        if self.topology_kind == "fat_tree":
+            k = self.fat_tree_k
+            if k < 2 or k % 2:
+                raise ValueError("fat_tree_k must be an even integer >= 2")
+            if self.racks != k * (k // 2):
+                raise ValueError(
+                    f"a k={k} fat-tree has {k * (k // 2)} edge switches; "
+                    f"racks must equal that, got {self.racks}"
+                )
+            if self.racks_per_vlan != k // 2:
+                raise ValueError(
+                    "fat-tree VLANs are pods: racks_per_vlan must equal k//2"
+                )
+        if self.topology_kind == "leaf_spine" and self.spine_count < 1:
+            raise ValueError("leaf_spine needs at least one spine switch")
+
+    @classmethod
+    def fat_tree(cls, k: int = 4, servers_per_rack: int = 4,
+                 **overrides) -> "ClusterSpec":
+        """A k-ary fat-tree spec: ``k`` pods of ``k//2`` edge racks each.
+
+        Edge switches play the ToR role (one rack per edge switch), pods
+        play the VLAN role, so every tree-era accessor keeps working.
+        """
+        return cls(
+            racks=k * (k // 2),
+            servers_per_rack=servers_per_rack,
+            racks_per_vlan=k // 2,
+            topology_kind="fat_tree",
+            fat_tree_k=k,
+            **overrides,
+        )
+
+    @classmethod
+    def leaf_spine(cls, racks: int = 4, spines: int = 2,
+                   servers_per_rack: int = 4, **overrides) -> "ClusterSpec":
+        """A leaf-spine spec: every leaf (ToR) meshes with every spine.
+
+        All racks share one logical VLAN — the fabric has no aggregation
+        tier, so the VLAN grouping is purely a placement label.
+        """
+        return cls(
+            racks=racks,
+            servers_per_rack=servers_per_rack,
+            racks_per_vlan=racks,
+            topology_kind="leaf_spine",
+            spine_count=spines,
+            **overrides,
+        )
 
     @property
     def num_servers(self) -> int:
@@ -89,8 +177,21 @@ class ClusterSpec:
 
     @property
     def num_vlans(self) -> int:
-        """Number of VLANs (and aggregation switches, one per VLAN)."""
+        """Number of VLANs (tree: one aggregation switch per VLAN;
+        fat-tree: one pod per VLAN; leaf-spine: a placement label)."""
         return (self.racks + self.racks_per_vlan - 1) // self.racks_per_vlan
+
+
+def spec_from_mapping(data) -> ClusterSpec:
+    """Rebuild a :class:`ClusterSpec` from a mapping, e.g. trace meta.
+
+    Tolerant in both directions: keys a newer writer added that this
+    build does not know are dropped, and keys a seed-era trace lacks
+    (``topology_kind`` and friends) fall back to the dataclass defaults,
+    which reproduce the original tree.
+    """
+    known = {field.name for field in fields(ClusterSpec)}
+    return ClusterSpec(**{k: v for k, v in dict(data).items() if k in known})
 
 
 class ClusterTopology:
@@ -107,7 +208,29 @@ class ClusterTopology:
     External hosts hang off the core router directly; they stand in for
     "servers external to the cluster which upload new data into the
     cluster or pull out results from it" (paper §4.1).
+
+    Constructing ``ClusterTopology(spec)`` dispatches on
+    ``spec.topology_kind``: non-tree specs transparently build the
+    matching fabric subclass from :mod:`repro.cluster.fabrics`, so
+    callers never name the subclasses.
     """
+
+    #: The topology-family member this class builds (``spec.topology_kind``).
+    kind = "tree"
+
+    def __new__(cls, spec: ClusterSpec | None = None) -> "ClusterTopology":
+        # ``spec=None`` keeps default pickling (object.__reduce_ex__)
+        # working: unpickling calls ``cls.__new__(cls)`` with the already
+        # dispatched subclass and restores ``__dict__`` directly.
+        if (
+            cls is ClusterTopology
+            and spec is not None
+            and spec.topology_kind != "tree"
+        ):
+            from .fabrics import fabric_class
+
+            cls = fabric_class(spec.topology_kind)
+        return object.__new__(cls)
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
@@ -116,10 +239,7 @@ class ClusterTopology:
         self.num_vlans = spec.num_vlans
 
         self._tor_base = self.num_servers
-        self._agg_base = self._tor_base + self.num_racks
-        self._core_id = self._agg_base + self.num_vlans
-        self._external_base = self._core_id + 1
-        self.num_nodes = self._external_base + spec.external_hosts
+        self._layout()
 
         self._links: list[Link] = []
         #: map (src, dst) -> link id for direct edges
@@ -128,6 +248,13 @@ class ClusterTopology:
         self.capacities = np.array([link.capacity for link in self._links])
 
     # ------------------------------------------------------------------ build
+
+    def _layout(self) -> None:
+        """Assign the switch/external id ranges above the server block."""
+        self._agg_base = self._tor_base + self.num_racks
+        self._core_id = self._agg_base + self.num_vlans
+        self._external_base = self._core_id + 1
+        self.num_nodes = self._external_base + self.spec.external_hosts
 
     def _add_duplex(self, a: int, b: int, capacity: float) -> None:
         for src, dst in ((a, b), (b, a)):
@@ -291,6 +418,22 @@ class ClusterTopology:
             for link in self._links
             if NodeKind.SERVER in (self.node_kind(link.src), self.node_kind(link.dst))
         ]
+
+    # ---------------------------------------------------------- multi-path
+
+    def equal_cost_node_paths(
+        self, src: int, dst: int
+    ) -> tuple[tuple[int, ...], ...]:
+        """All shortest node paths between two endpoints (or ToRs).
+
+        The tree offers exactly one; multi-path fabrics override this
+        with the full equal-cost set, in a deterministic order the
+        ECMP/flowlet routers hash over.  ``src == dst`` yields the
+        single-node path (a local transfer crosses no links).
+        """
+        from .routing import Router
+
+        return (Router(self).path_nodes(src, dst),)
 
     def describe(self) -> str:
         """One-line structural summary."""

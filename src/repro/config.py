@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .cluster.routing import DEFAULT_FLOWLET_GAP, ROUTING_IMPLS
 from .cluster.topology import ClusterSpec
 from .instrumentation.collector import CollectorConfig
 from .simulation.cc.params import CongestionControlConfig
@@ -49,6 +50,16 @@ class SimulationConfig:
     #: Knobs of the queued transports (tick, buffer depth, marking
     #: threshold K, RTO ...); ignored by the fluid family.
     cc: CongestionControlConfig = field(default_factory=CongestionControlConfig)
+    #: Path-selection policy over the topology's equal-cost sets:
+    #: "single" (default: the canonical path — on a tree, the only one),
+    #: "ecmp" (deterministic per-flow hash) or "flowlet" (idle-gap
+    #: re-hashing, see :class:`~repro.cluster.routing.FlowletRouter`).
+    #: On ``topology_kind="tree"`` all three are bit-identical because
+    #: every equal-cost set has size one.
+    routing_impl: str = "single"
+    #: Idle-gap threshold (seconds) after which flowlet routing re-hashes
+    #: a connection's path; ignored unless ``routing_impl="flowlet"``.
+    flowlet_idle_gap: float = DEFAULT_FLOWLET_GAP
     #: A link is a hot-spot when its one-second average utilisation is at
     #: least this (paper §4.2 uses C = 70%).
     congestion_threshold: float = 0.7
@@ -74,6 +85,13 @@ class SimulationConfig:
                 f"unknown transport impl {self.transport_impl!r}; "
                 f"expected one of {valid_impls}"
             )
+        if self.routing_impl not in ROUTING_IMPLS:
+            raise ValueError(
+                f"unknown routing impl {self.routing_impl!r}; "
+                f"expected one of {ROUTING_IMPLS}"
+            )
+        if self.flowlet_idle_gap <= 0:
+            raise ValueError("flowlet_idle_gap must be positive")
         if not 0.0 < self.congestion_threshold <= 1.0:
             raise ValueError("congestion_threshold must lie in (0, 1]")
         if self.rate_update_interval < 0:

@@ -28,6 +28,7 @@ from . import (
     fig14,
     table_s2,
     tomography_study,
+    topo_study,
 )
 from .cache import (
     DatasetDiskCache,
@@ -103,6 +104,7 @@ __all__ = [
     "fig14",
     "table_s2",
     "tomography_study",
+    "topo_study",
     "ablations",
     "cc_study",
     "ext_roleprior",

@@ -1,0 +1,440 @@
+"""Topology studies: what the measured tree could not explore.
+
+The paper's cluster is a 1:5-oversubscribed two-tier tree — its
+congestion findings (§4.2) are partly artefacts of that fabric.  These
+experiments re-run matched workloads over the topology family
+(:mod:`repro.cluster.fabrics`) to separate the workload's contribution
+from the fabric's:
+
+* **topo_ecmp_vs_flowlet** — the classic ECMP pathology on a multi-path
+  fabric: adversarially-colliding flow labels pin every sender onto one
+  spine uplink, while flowlet switching re-hashes at burst boundaries
+  and spreads the same connections across the fabric.  Flowlet must win
+  on goodput and tail FCT — the canonical multi-path argument, made
+  deterministic.
+* **topo_fabric_sweep** — one empirical (DCT²Gen-style) workload at a
+  matched target load over the tree, a k=4 fat-tree and a leaf-spine
+  with the same server count, reporting bisection bandwidth, goodput
+  and FCT percentiles per fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.routing import EcmpRouter, Router
+from ..cluster.topology import ClusterSpec
+from ..config import SimulationConfig
+from ..simulation.cc.scenarios import empty_schedule
+from ..simulation.simulator import Simulator
+from ..simulation.transport import TransferMeta
+from ..synthetic.empirical import EmpiricalWorkload, flow_size_mix
+from ..util.units import GBPS
+from .registry import experiment
+from .reporting import Row
+
+__all__ = [
+    "RoutingRunProfile",
+    "EcmpFlowletStudy",
+    "run_ecmp_vs_flowlet",
+    "FabricRunProfile",
+    "FabricSweep",
+    "run_fabric_sweep",
+]
+
+#: Bursts per connection in the hotspot scenario.  Each inter-burst gap
+#: exceeds the flowlet idle gap, so flowlet routing gets this many
+#: re-hash opportunities per connection while ECMP stays pinned.
+HOTSPOT_BURSTS = 6
+
+#: Simulated gap between a burst's completion and the next launch, s.
+#: Chosen above ``DEFAULT_FLOWLET_GAP`` (0.05 s).
+HOTSPOT_GAP = 0.08
+
+#: Bytes per burst.  At the pinned 8-flows-on-one-2-Gbps-uplink rate a
+#: burst takes ~0.13 s — long enough to be bandwidth- not RTT-bound.
+HOTSPOT_BURST_BYTES = 4_000_000.0
+
+
+def _hotspot_spec() -> ClusterSpec:
+    """The hotspot fabric: 4 leaves x 2 spines, thin 2 Gbps uplinks.
+
+    Eight 1 Gbps senders on leaf 0 offer 8 Gbps against 2 x 2 Gbps of
+    uplink, so the fabric only delivers its fair share when both spines
+    carry traffic — exactly what pinned ECMP labels prevent.
+    """
+    return ClusterSpec.leaf_spine(
+        racks=4,
+        spines=2,
+        servers_per_rack=8,
+        tor_uplink_capacity=2 * GBPS,
+        external_hosts=0,
+    )
+
+
+def _pinned_keys(
+    topology, seed: int, pairs: list[tuple[int, int]]
+) -> list[tuple[int, int, int]]:
+    """Connection keys that all ECMP-hash onto the same spine.
+
+    For each (src, dst) pair, search a small salt space for a key whose
+    ECMP choice is the pair's *first* equal-cost path — the one through
+    spine 0.  With 2 spines a salt is found in ~2 tries; the search is
+    deterministic in ``seed`` so the whole scenario is.
+    """
+    router = EcmpRouter(topology, seed=seed)
+    keys = []
+    for src, dst in pairs:
+        target = router.equal_cost_paths(src, dst)[0]
+        for salt in range(256):
+            key = (src, dst, salt)
+            if router.path_for_flow(src, dst, key=key) == target:
+                keys.append(key)
+                break
+        else:  # pragma: no cover - 2^-256 under any sane hash
+            raise RuntimeError("no pinning salt found; hash degenerate?")
+    return keys
+
+
+@dataclass(frozen=True)
+class RoutingRunProfile:
+    """Measured outcome of the hotspot scenario under one routing impl."""
+
+    routing_impl: str
+    #: Flows (bursts) that completed inside the campaign window.
+    completed: int
+    #: First launch to last completion, seconds.
+    makespan: float
+    #: Delivered bytes over the makespan, B/s.
+    goodput: float
+    #: Sorted per-connection total completion times (first launch to
+    #: that connection's last burst), seconds.
+    connection_fct: tuple[float, ...]
+
+    @property
+    def p99_fct(self) -> float:
+        """99th-percentile per-connection completion time, seconds."""
+        return float(np.quantile(self.connection_fct, 0.99))
+
+    @property
+    def mean_fct(self) -> float:
+        """Mean per-connection completion time, seconds."""
+        return float(np.mean(self.connection_fct))
+
+
+@dataclass(frozen=True)
+class EcmpFlowletStudy:
+    """topo_ecmp_vs_flowlet: hash-collision hotspot, ECMP vs flowlet."""
+
+    n_connections: int
+    bursts_per_connection: int
+    burst_bytes: float
+    ecmp: RoutingRunProfile
+    flowlet: RoutingRunProfile
+
+    @property
+    def goodput_gain(self) -> float:
+        """Flowlet goodput over ECMP goodput (> 1 means flowlet wins)."""
+        return self.flowlet.goodput / self.ecmp.goodput
+
+    @property
+    def p99_reduction(self) -> float:
+        """Fraction of the ECMP p99 FCT that flowlet shaves off."""
+        return 1.0 - self.flowlet.p99_fct / self.ecmp.p99_fct
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        return [
+            Row("ecmp goodput (pinned labels)", "collapses to one spine",
+                f"{self.ecmp.goodput / GBPS:.2f} Gbps"),
+            Row("flowlet goodput (same labels)", "spreads across spines",
+                f"{self.flowlet.goodput / GBPS:.2f} Gbps"),
+            Row("flowlet / ecmp goodput", "> 1",
+                f"{self.goodput_gain:.2f}x"),
+            Row("p99 connection FCT ecmp -> flowlet", "drops",
+                f"{self.ecmp.p99_fct:.3f} s -> {self.flowlet.p99_fct:.3f} s"),
+        ]
+
+
+def _summarise_ecmp_flowlet(result: EcmpFlowletStudy) -> dict[str, float]:
+    out = {
+        "goodput_gain": result.goodput_gain,
+        "p99_reduction": result.p99_reduction,
+    }
+    for profile in (result.ecmp, result.flowlet):
+        key = profile.routing_impl
+        out[f"{key}.goodput"] = profile.goodput
+        out[f"{key}.p99_fct"] = profile.p99_fct
+        out[f"{key}.mean_fct"] = profile.mean_fct
+        out[f"{key}.completed"] = float(profile.completed)
+    return out
+
+
+def _run_hotspot(routing_impl: str, seed: int) -> RoutingRunProfile:
+    """Run the hotspot burst chains under one routing implementation."""
+    spec = _hotspot_spec()
+    config = SimulationConfig(
+        cluster=spec,
+        duration=30.0,
+        seed=seed,
+        routing_impl=routing_impl,
+    )
+    simulator = Simulator(config)
+    topology = simulator.topology
+
+    senders = list(topology.servers_in_rack(0))
+    # Receivers spread over the other leaves: no shared access downlink.
+    receivers = [
+        topology.servers_in_rack(1 + i % (topology.num_racks - 1))[
+            i // (topology.num_racks - 1)
+        ]
+        for i in range(len(senders))
+    ]
+    pairs = list(zip(senders, receivers))
+    keys = _pinned_keys(topology, seed, pairs)
+
+    start = 0.01
+    first_launch = {}
+    last_done = {}
+
+    def launch(index: int, burst: int) -> None:
+        src, dst = pairs[index]
+        first_launch.setdefault(index, simulator.now())
+
+        def done(transfer) -> None:
+            last_done[index] = transfer.end_time
+            if burst + 1 < HOTSPOT_BURSTS:
+                simulator.engine.schedule(
+                    transfer.end_time + HOTSPOT_GAP,
+                    lambda: launch(index, burst + 1),
+                )
+
+        simulator.start_transfer(
+            src, dst, HOTSPOT_BURST_BYTES,
+            TransferMeta(kind="hotspot", connection_key=keys[index]),
+            on_complete=done,
+        )
+
+    for index in range(len(pairs)):
+        simulator.engine.schedule(start, lambda i=index: launch(i, 0))
+
+    result = simulator.run(schedule=empty_schedule(config.duration))
+    transfers = result.transfers
+    makespan = max(t.end_time for t in transfers) - start
+    fct = tuple(sorted(
+        last_done[i] - first_launch[i] for i in sorted(last_done)
+    ))
+    return RoutingRunProfile(
+        routing_impl=routing_impl,
+        completed=len(transfers),
+        makespan=makespan,
+        goodput=sum(t.size for t in transfers) / makespan,
+        connection_fct=fct,
+    )
+
+
+@experiment("topo_ecmp_vs_flowlet", figure="T1",
+            title="ECMP hash collisions vs flowlet switching",
+            kind="ablation", summarise=_summarise_ecmp_flowlet)
+def run_ecmp_vs_flowlet(seed: int = 0) -> EcmpFlowletStudy:
+    """The deterministic hash-collision hotspot, both routing impls.
+
+    Connection keys are searched (per seed) so every ECMP flow pins to
+    spine 0; the flowlet run uses the *same* keys and wins purely by
+    re-hashing at burst boundaries.
+    """
+    ecmp = _run_hotspot("ecmp", seed)
+    flowlet = _run_hotspot("flowlet", seed)
+    return EcmpFlowletStudy(
+        n_connections=len(ecmp.connection_fct),
+        bursts_per_connection=HOTSPOT_BURSTS,
+        burst_bytes=HOTSPOT_BURST_BYTES,
+        ecmp=ecmp,
+        flowlet=flowlet,
+    )
+
+
+# ------------------------------------------------------ topo_fabric_sweep
+
+
+#: The matched 16-server fabrics the sweep compares.  Uplinks are
+#: deliberately thin (1 Gbps per cable, against 2 x 1 Gbps of offered
+#: NIC bandwidth per rack) so the *fabric* is the binding constraint:
+#: the tree funnels each rack through one uplink while the multi-path
+#: fabrics aggregate two, which is exactly the contrast the sweep is
+#: meant to expose.
+FABRIC_SPECS: dict[str, ClusterSpec] = {
+    "tree": ClusterSpec(
+        racks=8, servers_per_rack=2, racks_per_vlan=4, external_hosts=0,
+        tor_uplink_capacity=1 * GBPS, agg_uplink_capacity=2 * GBPS,
+    ),
+    "fat_tree": ClusterSpec.fat_tree(
+        k=4, servers_per_rack=2, external_hosts=0,
+        tor_uplink_capacity=1 * GBPS, agg_uplink_capacity=1 * GBPS,
+    ),
+    "leaf_spine": ClusterSpec.leaf_spine(
+        racks=8, spines=2, servers_per_rack=2, external_hosts=0,
+        tor_uplink_capacity=1 * GBPS,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FabricRunProfile:
+    """One fabric's outcome under the matched empirical workload."""
+
+    topology_kind: str
+    bisection_bandwidth: float
+    offered_flows: int
+    completed: int
+    offered_bytes: float
+    goodput: float
+    #: Sorted completed-flow FCTs, seconds.
+    fct: tuple[float, ...]
+
+    @property
+    def median_fct(self) -> float:
+        return float(np.median(self.fct)) if self.fct else 0.0
+
+    @property
+    def p99_fct(self) -> float:
+        return float(np.quantile(self.fct, 0.99)) if self.fct else 0.0
+
+
+@dataclass(frozen=True)
+class FabricSweep:
+    """topo_fabric_sweep: one workload, three fabrics."""
+
+    mix_name: str
+    target_load: float
+    duration: float
+    profiles: tuple[FabricRunProfile, ...]
+
+    def profile(self, kind: str) -> FabricRunProfile:
+        """The profile for one fabric (KeyError when absent)."""
+        for entry in self.profiles:
+            if entry.topology_kind == kind:
+                return entry
+        raise KeyError(kind)
+
+    @property
+    def fat_tree_bisection_gain(self) -> float:
+        """Fat-tree bisection bandwidth over the tree's."""
+        return (
+            self.profile("fat_tree").bisection_bandwidth
+            / self.profile("tree").bisection_bandwidth
+        )
+
+    def rows(self) -> list[Row]:
+        """Summary table."""
+        rows = []
+        for p in self.profiles:
+            rows.append(Row(
+                f"{p.topology_kind}: bisection / goodput",
+                "fat-tree richest",
+                f"{p.bisection_bandwidth / GBPS:.1f} Gbps / "
+                f"{p.goodput / GBPS:.2f} Gbps",
+            ))
+            rows.append(Row(
+                f"{p.topology_kind}: median / p99 FCT",
+                "load-dependent",
+                f"{p.median_fct * 1e3:.1f} / {p.p99_fct * 1e3:.1f} ms",
+            ))
+        return rows
+
+
+def _summarise_fabric_sweep(result: FabricSweep) -> dict[str, float]:
+    out = {"fat_tree_bisection_gain": result.fat_tree_bisection_gain}
+    for p in result.profiles:
+        key = p.topology_kind
+        out[f"{key}.bisection_bandwidth"] = p.bisection_bandwidth
+        out[f"{key}.goodput"] = p.goodput
+        out[f"{key}.completed"] = float(p.completed)
+        out[f"{key}.median_fct"] = p.median_fct
+        out[f"{key}.p99_fct"] = p.p99_fct
+    return out
+
+
+def _run_fabric(
+    kind: str,
+    spec: ClusterSpec,
+    workload: EmpiricalWorkload,
+    duration: float,
+    seed: int,
+) -> FabricRunProfile:
+    """Drive the generated flow schedule through one fabric."""
+    from ..cluster.routing import bisection_bandwidth
+
+    config = SimulationConfig(
+        cluster=spec,
+        duration=duration,
+        seed=seed,
+        routing_impl="ecmp",
+    )
+    simulator = Simulator(config)
+    topology = simulator.topology
+    flows = workload.generate(topology, duration * 0.8, seed=seed)
+
+    def launch(index: int) -> None:
+        simulator.start_transfer(
+            int(flows.src[index]),
+            int(flows.dst[index]),
+            float(flows.size[index]),
+            TransferMeta(kind="empirical", connection_key=("emp", index)),
+            on_complete=lambda transfer: None,
+        )
+
+    for index in range(len(flows)):
+        simulator.engine.schedule(
+            float(flows.start[index]), lambda i=index: launch(i)
+        )
+
+    result = simulator.run(schedule=empty_schedule(duration))
+    transfers = result.transfers
+    window = (
+        max(t.end_time for t in transfers) - min(t.start_time for t in transfers)
+        if transfers else duration
+    )
+    return FabricRunProfile(
+        topology_kind=kind,
+        bisection_bandwidth=bisection_bandwidth(topology),
+        offered_flows=len(flows),
+        completed=len(transfers),
+        offered_bytes=flows.total_bytes,
+        goodput=sum(t.size for t in transfers) / max(window, 1e-12),
+        fct=tuple(sorted(t.duration for t in transfers)),
+    )
+
+
+@experiment("topo_fabric_sweep", figure="T2",
+            title="matched workload across the topology family",
+            kind="ablation", summarise=_summarise_fabric_sweep)
+def run_fabric_sweep(
+    seed: int = 0,
+    mix_name: str = "websearch",
+    target_load: float = 0.25,
+    duration: float = 5.0,
+) -> FabricSweep:
+    """Run one empirical workload over all three fabrics.
+
+    The flow schedule is regenerated per fabric from the same seed and
+    mix — topologies with equal server counts see statistically
+    identical offered load, so goodput/FCT differences are the fabric's.
+    """
+    workload = EmpiricalWorkload(
+        mix=flow_size_mix(mix_name),
+        target_load=target_load,
+        intra_rack_fraction=0.5,
+    )
+    profiles = tuple(
+        _run_fabric(kind, spec, workload, duration, seed)
+        for kind, spec in FABRIC_SPECS.items()
+    )
+    return FabricSweep(
+        mix_name=mix_name,
+        target_load=target_load,
+        duration=duration,
+        profiles=profiles,
+    )

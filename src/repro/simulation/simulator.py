@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from ..cluster.routing import Router
+from ..cluster.routing import Router, make_router
 from ..cluster.topology import ClusterTopology
 from ..instrumentation.applog import ApplicationLog
 
@@ -70,7 +70,12 @@ class Simulator:
         self.config = config
         self.telemetry = telemetry or NULL_TELEMETRY
         self.topology = ClusterTopology(config.cluster)
-        self.router = Router(self.topology)
+        self.router = make_router(
+            self.topology,
+            config.routing_impl,
+            seed=config.seed,
+            flowlet_idle_gap=config.flowlet_idle_gap,
+        )
         self.randomness = RandomSource(config.seed)
         self.engine = EventEngine()
         self.link_loads = LinkLoadTracker(
@@ -146,8 +151,15 @@ class Simulator:
         on_complete: Callable[[Transfer], None],
     ) -> None:
         """Launch a transfer over the network (or complete it instantly
-        when the endpoints coincide and no links are crossed)."""
-        path = self.router.path_links(src, dst)
+        when the endpoints coincide and no links are crossed).
+
+        The path is chosen per *flow*: under ECMP/flowlet routing the
+        transfer's ``meta.connection_key`` is the hashed flow identity,
+        so retries and phase-mates of one connection stick together.
+        """
+        path = self.router.path_for_flow(
+            src, dst, key=meta.connection_key, now=self.now()
+        )
         if not path:
             transfer = Transfer(
                 transfer_id=-1, src=src, dst=dst, size=size,
@@ -177,6 +189,10 @@ class Simulator:
             for transfer, callback in completed:
                 self.collector.observe_transfer(transfer)
                 self.transfers.append(transfer)
+                self.router.note_activity(
+                    transfer.src, transfer.dst,
+                    transfer.meta.connection_key, transfer.end_time,
+                )
                 if callback is not None:
                     callback(transfer)
 

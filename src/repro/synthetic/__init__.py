@@ -11,9 +11,29 @@ arrival processes from the second.
 These are the models the evaluation experiments compare *against* the
 simulated ground truth — e.g. whether a gravity fit can stand in for
 the measured TM (Fig 12-14's tomography question).
+
+:mod:`.empirical` adds the complementary DCT²Gen-style generator: flow
+sizes drawn from measured CDF presets at a target link-load fraction,
+used to drive matched workloads across the topology family.
 """
 
 from .arrivals import StopAndGoArrivals
+from .empirical import (
+    MIX_PRESETS,
+    EmpiricalWorkload,
+    FlowSizeMix,
+    GeneratedFlows,
+    flow_size_mix,
+)
 from .model import SyntheticTrafficModel, gravity_synthetic_tm
 
-__all__ = ["SyntheticTrafficModel", "gravity_synthetic_tm", "StopAndGoArrivals"]
+__all__ = [
+    "SyntheticTrafficModel",
+    "gravity_synthetic_tm",
+    "StopAndGoArrivals",
+    "FlowSizeMix",
+    "MIX_PRESETS",
+    "flow_size_mix",
+    "EmpiricalWorkload",
+    "GeneratedFlows",
+]

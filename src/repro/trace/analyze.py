@@ -21,7 +21,7 @@ from multiprocessing import get_context
 
 import numpy as np
 
-from ..cluster.topology import ClusterSpec, ClusterTopology
+from ..cluster.topology import ClusterTopology, spec_from_mapping
 from ..core.congestion import DEFAULT_THRESHOLD, CongestionSummary
 from ..core.flows import DEFAULT_INACTIVITY_TIMEOUT, FlowTable
 from ..core.streaming import (
@@ -72,12 +72,21 @@ class TraceAnalysis:
 
 
 def _topology_from_meta(meta: dict) -> ClusterTopology:
+    """Rebuild the (possibly non-tree) topology a trace was recorded on.
+
+    Version-tolerant in both directions: seed-era traces (meta_version 1,
+    no ``topology_kind`` in the spec) rebuild the original tree from the
+    dataclass defaults, and unknown future spec keys are dropped (see
+    :func:`~repro.cluster.topology.spec_from_mapping`).  The dispatch on
+    ``topology_kind`` inside :class:`ClusterTopology` then builds the
+    right fabric.
+    """
     spec = meta.get("cluster_spec")
     if spec is None:
         raise ValueError(
             "trace has no cluster_spec in its meta; cannot rebuild the topology"
         )
-    return ClusterTopology(ClusterSpec(**spec))
+    return ClusterTopology(spec_from_mapping(spec))
 
 
 def _duration_from(reader: TraceReader) -> float:

@@ -40,15 +40,28 @@ class RecordResult:
     result: SimulationResult
 
 
+#: Version of the meta block written below.  Version 1 (implicit — the
+#: key is absent from seed-era traces) predates the topology family:
+#: its ``cluster_spec`` lacks ``topology_kind``/``fat_tree_k``/
+#: ``spine_count`` and there is no ``routing_impl``; readers fall back
+#: to the tree defaults via
+#: :func:`~repro.cluster.topology.spec_from_mapping`.  Version 2 records
+#: the full spec of any fabric plus the routing policy.
+TRACE_META_VERSION = 2
+
+
 def trace_meta(config: SimulationConfig) -> dict:
     """The provenance block stored in a recorded trace's manifest."""
     from ..experiments.cache import config_fingerprint
 
     return {
         "kind": "socket-events",
+        "meta_version": TRACE_META_VERSION,
         "seed": config.seed,
         "duration": config.duration,
         "transport_impl": config.transport_impl,
+        "routing_impl": config.routing_impl,
+        "topology_kind": config.cluster.topology_kind,
         "day_length": config.workload.day_length,
         "cluster_spec": asdict(config.cluster),
         "clock_skew_max": config.collector.clock_skew_max,

@@ -879,3 +879,194 @@ def check_queue_conservation(ctx) -> list[Violation]:
             residual_bytes=float(residual[worst]),
         ))
     return violations
+
+
+# ------------------------------------------------------ topology / routing
+
+
+@checker(
+    "topology.degree_conservation",
+    tags=("cheap", "topology"),
+    requires=("topology",),
+)
+def check_degree_conservation(ctx) -> list[Violation]:
+    """The built fabric is structurally sound, whatever its kind.
+
+    Link ids are dense and match their index, every directed link has a
+    reverse twin of equal capacity (cables are duplex), per-node
+    in-degree equals out-degree, and the cached ``capacities`` array
+    agrees with the link list.  Holds for the tree and for every
+    :mod:`~repro.cluster.fabrics` member.
+    """
+    topology = ctx.topology
+    violations: list[Violation] = []
+    links = topology.links
+    in_degree = np.zeros(topology.num_nodes, dtype=np.int64)
+    out_degree = np.zeros(topology.num_nodes, dtype=np.int64)
+    reverse = {}
+    for index, link in enumerate(links):
+        if link.link_id != index:
+            violations.append(make_violation(
+                "topology.degree_conservation",
+                "link id does not match its index",
+                index=index, link_id=link.link_id,
+            ))
+        out_degree[link.src] += 1
+        in_degree[link.dst] += 1
+        reverse[(link.src, link.dst)] = link
+    for link in links:
+        twin = reverse.get((link.dst, link.src))
+        if twin is None:
+            violations.append(make_violation(
+                "topology.degree_conservation",
+                "directed link has no reverse twin",
+                link_id=link.link_id, src=link.src, dst=link.dst,
+            ))
+        elif twin.capacity != link.capacity:
+            violations.append(make_violation(
+                "topology.degree_conservation",
+                "duplex pair capacities differ",
+                link_id=link.link_id, twin_id=twin.link_id,
+            ))
+    unbalanced = np.flatnonzero(in_degree != out_degree)
+    if unbalanced.size:
+        node = int(unbalanced[0])
+        violations.append(make_violation(
+            "topology.degree_conservation",
+            "node in-degree != out-degree",
+            nodes=int(unbalanced.size), first_node=node,
+            in_degree=int(in_degree[node]), out_degree=int(out_degree[node]),
+        ))
+    capacities = np.array([link.capacity for link in links])
+    if topology.capacities.shape != capacities.shape or not np.array_equal(
+        topology.capacities, capacities
+    ):
+        violations.append(make_violation(
+            "topology.degree_conservation",
+            "cached capacities array disagrees with the link list",
+        ))
+    return violations
+
+
+def _path_violations(topology, name: str, src: int, dst: int) -> list[Violation]:
+    """Structural checks on one endpoint pair's equal-cost path set."""
+    violations: list[Violation] = []
+    paths = topology.equal_cost_node_paths(src, dst)
+    if not paths:
+        return [make_violation(name, "empty equal-cost set", src=src, dst=dst)]
+    if len(set(paths)) != len(paths):
+        violations.append(make_violation(
+            name, "duplicate equal-cost paths", src=src, dst=dst,
+        ))
+    if len({len(path) for path in paths}) != 1:
+        violations.append(make_violation(
+            name, "equal-cost paths have unequal length", src=src, dst=dst,
+        ))
+    for path in paths:
+        if path[0] != src or path[-1] != dst:
+            violations.append(make_violation(
+                name, "path endpoints do not match the pair",
+                src=src, dst=dst, path=list(path),
+            ))
+        if len(set(path)) != len(path):
+            violations.append(make_violation(
+                name, "path visits a node twice (loop)",
+                src=src, dst=dst, path=list(path),
+            ))
+        for a, b in zip(path[:-1], path[1:]):
+            try:
+                topology.link_between(a, b)
+            except KeyError:
+                violations.append(make_violation(
+                    name, "path hop is not a direct link",
+                    src=src, dst=dst, hop=(a, b),
+                ))
+    return violations
+
+
+@checker(
+    "routing.path_consistency",
+    tags=("cheap", "routing", "topology"),
+    requires=("topology",),
+)
+def check_path_consistency(ctx) -> list[Violation]:
+    """Routing agrees with the fabric, single- and multi-path alike.
+
+    Over a bounded deterministic endpoint sample: every equal-cost path
+    is a loop-free walk over existing directed links connecting exactly
+    the pair, all paths of a set share one length, ECMP/flowlet always
+    choose from inside the set, and the canonical ``Router`` path is the
+    set's first member.  The tomography A-matrix extends consistently to
+    multi-path: the ``multipath=True`` variant of ``tor_routing_matrix``
+    keeps entries in ``[0, 1]`` and each column sums to the mean number
+    of observed links its pair's equal-cost paths cross.
+    """
+    from ..cluster.routing import (
+        EcmpRouter,
+        FlowletRouter,
+        Router,
+        tor_routing_matrix,
+    )
+
+    topology = ctx.topology
+    name = "routing.path_consistency"
+    violations: list[Violation] = []
+
+    # One server per rack (up to 6 racks) plus up to 2 external hosts:
+    # enough to cross every tier without quadratic blowup on big fabrics.
+    sample = [
+        topology.servers_in_rack(rack)[0]
+        for rack in range(min(topology.num_racks, 6))
+    ]
+    sample.extend(list(topology.external_hosts())[:2])
+
+    router = Router(topology)
+    ecmp = EcmpRouter(topology, seed=1)
+    flowlet = FlowletRouter(topology, seed=1)
+    for src in sample:
+        for dst in sample:
+            if src == dst:
+                continue
+            violations.extend(_path_violations(topology, name, src, dst))
+            choices = router.equal_cost_paths(src, dst)
+            if router.path_links(src, dst) != choices[0]:
+                violations.append(make_violation(
+                    name, "canonical path is not the first equal-cost path",
+                    src=src, dst=dst,
+                ))
+            for label in (0, 1, 2**32 + 7):
+                if ecmp.path_for_flow(src, dst, key=label) not in choices:
+                    violations.append(make_violation(
+                        name, "ECMP chose a path outside the equal-cost set",
+                        src=src, dst=dst, label=label,
+                    ))
+                if flowlet.path_for_flow(src, dst, key=label) not in choices:
+                    violations.append(make_violation(
+                        name, "flowlet chose a path outside the equal-cost set",
+                        src=src, dst=dst, label=label,
+                    ))
+
+    if topology.num_racks <= 12:
+        matrix, pairs, observed = tor_routing_matrix(topology, multipath=True)
+        if matrix.size and (matrix.min() < 0.0 or matrix.max() > 1.0 + 1e-12):
+            violations.append(make_violation(
+                name, "multipath routing matrix entries outside [0, 1]",
+            ))
+        observed_set = set(observed)
+        tor_router = Router(topology)
+        for column, (i, j) in enumerate(pairs):
+            paths = tor_router.equal_cost_paths(
+                topology.tor_of_rack(i), topology.tor_of_rack(j)
+            )
+            expected = sum(
+                sum(1 for link_id in path if link_id in observed_set)
+                for path in paths
+            ) / len(paths)
+            if not _close(float(matrix[:, column].sum()), expected):
+                violations.append(make_violation(
+                    name,
+                    "multipath A-matrix column sum != mean observed hops",
+                    pair=(i, j), column_sum=float(matrix[:, column].sum()),
+                    expected=expected,
+                ))
+    return violations

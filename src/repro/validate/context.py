@@ -216,12 +216,14 @@ class ValidationContext:
     def topology(self):
         """The cluster topology (rebuilt from trace meta when needed)."""
         if self._topology is None:
-            from ..cluster.topology import ClusterSpec, ClusterTopology
+            from ..cluster.topology import ClusterTopology, spec_from_mapping
 
             spec = self.reader.meta.get("cluster_spec") if self.reader else None
             if spec is None:
                 raise ValueError("context has no topology and no cluster_spec")
-            self._topology = ClusterTopology(ClusterSpec(**spec))
+            # Version-tolerant: seed-era specs rebuild the tree from
+            # defaults, unknown future keys are dropped.
+            self._topology = ClusterTopology(spec_from_mapping(spec))
         return self._topology
 
     @property

@@ -29,6 +29,9 @@ __all__ = [
     "churn_ops",
     "cluster_specs",
     "event_logs",
+    "fabric_specs",
+    "fabric_topologies",
+    "routing_impls",
     "simulation_configs",
     "topologies",
 ]
@@ -125,6 +128,46 @@ def cluster_specs(max_racks: int = 4) -> st.SearchStrategy[ClusterSpec]:
 def topologies(max_racks: int = 4) -> st.SearchStrategy[ClusterTopology]:
     """Built topologies over :func:`cluster_specs`."""
     return cluster_specs(max_racks).map(ClusterTopology)
+
+
+def fabric_specs() -> st.SearchStrategy[ClusterSpec]:
+    """Specs over the whole topology family (tree, fat-tree, leaf-spine).
+
+    Small enough that path enumeration stays cheap, diverse enough to
+    cover every fabric's structural cases: single/multiple pods, one or
+    several spines, with and without external hosts.
+    """
+    fat_tree = st.builds(
+        lambda k, servers, external: ClusterSpec.fat_tree(
+            k=k, servers_per_rack=servers, external_hosts=external,
+        ),
+        k=st.sampled_from([2, 4]),
+        servers=st.integers(min_value=2, max_value=3),
+        external=st.integers(min_value=0, max_value=2),
+    )
+    leaf_spine = st.builds(
+        lambda racks, spines, servers, external: ClusterSpec.leaf_spine(
+            racks=racks, spines=spines, servers_per_rack=servers,
+            external_hosts=external,
+        ),
+        racks=st.integers(min_value=2, max_value=4),
+        spines=st.integers(min_value=1, max_value=3),
+        servers=st.integers(min_value=2, max_value=3),
+        external=st.integers(min_value=0, max_value=2),
+    )
+    return st.one_of(cluster_specs(max_racks=4), fat_tree, leaf_spine)
+
+
+def fabric_topologies() -> st.SearchStrategy[ClusterTopology]:
+    """Built topologies over :func:`fabric_specs`."""
+    return fabric_specs().map(ClusterTopology)
+
+
+def routing_impls() -> st.SearchStrategy[str]:
+    """One of the registered per-flow routing implementations."""
+    from repro.cluster.routing import ROUTING_IMPLS
+
+    return st.sampled_from(ROUTING_IMPLS)
 
 
 @st.composite

@@ -37,8 +37,10 @@ from repro.workload.generator import WorkloadConfig
 def tiny_config(seed: int = 0, duration: float = 20.0) -> SimulationConfig:
     """A seconds-fast campaign for cache-behaviour tests."""
     return SimulationConfig(
+        # spine_count is inert on a tree, but pre-setting it keeps the
+        # single-field topology_kind perturbation below a valid spec.
         cluster=ClusterSpec(racks=2, servers_per_rack=2, racks_per_vlan=2,
-                            external_hosts=1),
+                            external_hosts=1, spine_count=1),
         workload=WorkloadConfig(job_arrival_rate=0.3, day_load_factors=(1.0,),
                                 day_length=duration),
         duration=duration,
@@ -54,6 +56,10 @@ _SPECIAL = {
     "fairness": lambda value: "bottleneck" if value == "maxmin" else "maxmin",
     "transport_impl": lambda value: (
         "reference" if value == "vectorized" else "vectorized"
+    ),
+    "routing_impl": lambda value: "ecmp" if value == "single" else "single",
+    "topology_kind": lambda value: (
+        "leaf_spine" if value == "tree" else "tree"
     ),
     "template_weights": lambda value: {
         **value, next(iter(value)): next(iter(value.values())) * 2.0

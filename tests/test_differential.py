@@ -82,3 +82,103 @@ def test_three_paths_agree(index, config, tmp_path, assert_invariants):
     # And every invariant checker passes on both live and trace contexts.
     assert_invariants(result)
     assert_invariants(str(trace_path))
+
+
+# ------------------------------------------------- topology dimension
+
+
+def _chunk_hashes(manifest: dict) -> list[str]:
+    return [chunk["sha256"] for chunk in manifest["chunks"]]
+
+
+_TREE_CONFIG = SimulationConfig(
+    cluster=ClusterSpec(racks=3, servers_per_rack=3, racks_per_vlan=2),
+    workload=WorkloadConfig(job_arrival_rate=0.3),
+    duration=15.0,
+    seed=_FUZZ_SEED % 1000,
+)
+
+_FLUID_IMPLS = ("vectorized", "reference", "csr", "incremental")
+
+
+@pytest.mark.parametrize("transport_impl", _FLUID_IMPLS)
+def test_tree_bit_identical_across_routing(transport_impl, tmp_path):
+    """On the tree every equal-cost set is a singleton, so ECMP and
+    flowlet routing degenerate to the canonical path: per transport
+    impl, every routing impl must produce byte-identical event streams
+    (chunk content hashes) and link-load sidecars.  (Impls are compared
+    within themselves, not to each other — completion ordering between
+    the incremental and batch allocators differs by design, and did at
+    the seed revision too.)"""
+    import dataclasses
+
+    baseline = None
+    for routing_impl in ("single", "ecmp", "flowlet"):
+        config = dataclasses.replace(
+            _TREE_CONFIG,
+            transport_impl=transport_impl,
+            routing_impl=routing_impl,
+        )
+        record = record_trace(
+            config,
+            tmp_path / f"tree-{transport_impl}-{routing_impl}.reprotrace",
+            chunk_size=512,
+        )
+        hashes = _chunk_hashes(record.manifest)
+        loads_hash = record.manifest["linkloads"]["sha256"]
+        assert hashes, "campaign produced no events"
+        if baseline is None:
+            baseline = (hashes, loads_hash)
+        else:
+            assert (hashes, loads_hash) == baseline, (
+                f"{transport_impl}/{routing_impl} diverged from "
+                f"{transport_impl}/single on the tree"
+            )
+
+
+def _fabric_configs() -> list[SimulationConfig]:
+    seed = _FUZZ_SEED % 997
+    workload = WorkloadConfig(job_arrival_rate=0.3)
+    return [
+        SimulationConfig(
+            cluster=ClusterSpec.fat_tree(k=2, servers_per_rack=3),
+            workload=workload, duration=15.0, seed=seed,
+            routing_impl="ecmp",
+        ),
+        SimulationConfig(
+            cluster=ClusterSpec.leaf_spine(racks=3, spines=2,
+                                           servers_per_rack=3),
+            workload=workload, duration=15.0, seed=seed,
+            routing_impl="flowlet",
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "config", _fabric_configs(),
+    ids=lambda c: f"{c.cluster.topology_kind}-{c.routing_impl}",
+)
+def test_fabric_three_paths_agree(config, tmp_path, assert_invariants):
+    """The in-memory / streaming / trace-backed agreement holds on the
+    multi-path fabrics too, including trace-meta topology rehydration."""
+    trace_path = tmp_path / f"{config.cluster.topology_kind}.reprotrace"
+    record = record_trace(config, trace_path, chunk_size=512)
+
+    result = simulate(config)
+    flows_mem = reconstruct_flows(result.socket_log)
+    assert record.result.stats["socket_events_streamed"] == len(
+        result.socket_log
+    )
+
+    analysis = analyze_trace(trace_path, jobs=1, window=10.0)
+    assert _flow_tables_equal(analysis.flows, flows_mem)
+
+    dataset = dataset_from_trace(trace_path)
+    assert dataset.result.topology.kind == config.cluster.topology_kind
+    assert _flow_tables_equal(dataset.flows, flows_mem)
+    assert np.array_equal(
+        dataset.utilization, result.link_loads.utilization_matrix()
+    )
+
+    assert_invariants(result)
+    assert_invariants(str(trace_path))

@@ -101,3 +101,87 @@ class TestArchitectureDoc:
             assert (_REPO_ROOT / target).exists(), (
                 f"ARCHITECTURE.md references missing path {target}"
             )
+
+    def test_topology_family_documented(self, text):
+        """The cluster subsystem section covers the fabric family and the
+        per-flow routing impls, and points at the real modules."""
+        for module in ("src/repro/cluster/fabrics.py",
+                       "src/repro/cluster/routing.py"):
+            assert module in text, f"ARCHITECTURE.md missing {module}"
+        for kind in ("fat-tree", "leaf-spine"):
+            assert kind in text, f"dataflow diagram missing fabric {kind}"
+        for impl in ("ecmp", "flowlet"):
+            assert impl in text, f"routing impl {impl} undocumented"
+
+
+class TestTopologyDocs:
+    """Guards for the T1/T2 satellite docs: the scenario matrix in
+    EXPERIMENTS.md and the fabric-selection section in README.md must
+    track the registered experiments and the CLI flags they describe."""
+
+    @pytest.fixture(scope="class")
+    def experiments_text(self):
+        path = _REPO_ROOT / "EXPERIMENTS.md"
+        assert path.exists(), "EXPERIMENTS.md missing from repo root"
+        return path.read_text()
+
+    @pytest.fixture(scope="class")
+    def readme_text(self):
+        path = _REPO_ROOT / "README.md"
+        assert path.exists(), "README.md missing from repo root"
+        return path.read_text()
+
+    def test_experiments_scenario_matrix(self, experiments_text):
+        from repro.cluster.routing import ROUTING_IMPLS
+        from repro.cluster.topology import TOPOLOGY_KINDS
+
+        assert "T1" in experiments_text and "T2" in experiments_text
+        for kind in TOPOLOGY_KINDS:
+            assert f"`{kind}`" in experiments_text, (
+                f"scenario matrix missing fabric {kind}"
+            )
+        for impl in ROUTING_IMPLS:
+            assert f"`{impl}`" in experiments_text, (
+                f"scenario matrix missing routing impl {impl}"
+            )
+
+    def test_experiments_name_registered_topo_studies(self, experiments_text):
+        from repro.experiments.registry import get_experiment
+
+        for name in ("topo_ecmp_vs_flowlet", "topo_fabric_sweep"):
+            assert get_experiment(name) is not None
+            assert name in experiments_text, (
+                f"EXPERIMENTS.md does not document experiment {name}"
+            )
+
+    def test_experiments_campaign_commands(self, experiments_text):
+        assert "repro campaign run" in experiments_text
+        assert "repro ablations topo_ecmp_vs_flowlet" in experiments_text
+
+    def test_readme_fabric_section(self, readme_text):
+        assert "## Choosing a fabric" in readme_text
+        for flag in ("--topology", "--fat-tree-k", "--spines", "--routing"):
+            assert flag in readme_text, (
+                f"README fabric section missing CLI flag {flag}"
+            )
+        for ctor in ("ClusterSpec.fat_tree", "ClusterSpec.leaf_spine"):
+            assert ctor in readme_text, (
+                f"README fabric section missing constructor {ctor}"
+            )
+
+    def test_readme_cli_flags_exist(self, readme_text):
+        """Every --flag the README's fabric section shows must be a real
+        option on both the simulate and trace-record parsers."""
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args([
+            "simulate", "--topology", "leaf_spine", "--spines", "3",
+            "--routing", "flowlet", "--duration", "5",
+        ])
+        assert args.topology == "leaf_spine" and args.routing == "flowlet"
+        args = parser.parse_args([
+            "trace", "record", "--topology", "fat_tree", "--fat-tree-k",
+            "4", "--routing", "ecmp", "--out", "x.reprotrace",
+        ])
+        assert args.fat_tree_k == 4 and args.routing == "ecmp"

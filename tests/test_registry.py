@@ -21,6 +21,7 @@ EXPECTED_FIGURES = {
 EXPECTED_ABLATIONS = {
     "locality", "conncap", "gravity",
     "cc_fct", "cc_ecn_sweep", "cc_incast",
+    "topo_ecmp_vs_flowlet", "topo_fabric_sweep",
 }
 
 
