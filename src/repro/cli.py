@@ -43,6 +43,7 @@ import argparse
 import pathlib
 import re
 import sys
+import time as _time
 
 from .cluster.routing import ROUTING_IMPLS
 from .cluster.topology import TOPOLOGY_KINDS, ClusterSpec
@@ -215,10 +216,41 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="per-seed progress heartbeats on stderr "
                                    "every SECONDS of simulated time "
                                    "(default: off)")
+    campaign_run.add_argument("--pool", choices=("warm", "spawn"),
+                              default="warm",
+                              help="execution substrate: 'warm' (default) is "
+                                   "the resumable work-queue scheduler with "
+                                   "persistent workers; 'spawn' the one-shot "
+                                   "per-seed process pool")
+    campaign_run.add_argument("--resume", action="store_true",
+                              help="honour results published by a previous "
+                                   "(possibly interrupted) run of this exact "
+                                   "campaign; only missing seeds are computed "
+                                   "(warm pool only)")
+    campaign_run.add_argument("--lease-ttl", type=float, default=None,
+                              metavar="SECONDS",
+                              help="work-unit lease time-to-live; a worker "
+                                   "whose heartbeat is older than this is "
+                                   "presumed dead and its unit taken over "
+                                   "(default 30)")
     campaign_report = campaign_sub.add_parser(
         "report", help="render a campaign manifest as tables")
     campaign_report.add_argument("manifest", nargs="?",
                                  default="campaign-manifest.json")
+    campaign_status = campaign_sub.add_parser(
+        "status", help="inspect a campaign's work queue (leases, results)")
+    campaign_status.add_argument("--seeds", type=int, default=4,
+                                 help="number of seeds the campaign covers")
+    campaign_status.add_argument("--base-seed", type=int, default=None,
+                                 help="first seed (default: the config's seed)")
+    campaign_status.add_argument("--experiments", default=None,
+                                 help="comma-separated registry names "
+                                      "(default: every figure experiment)")
+    campaign_status.add_argument("--standard", action="store_true",
+                                 help="the campaign uses the standard config")
+    campaign_status.add_argument("--cache-dir", default=None, metavar="DIR",
+                                 help="cache location the campaign runs in "
+                                      "(default .repro-cache)")
 
     cache = sub.add_parser("cache", help="inspect the on-disk dataset cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -593,6 +625,8 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "report":
         return _cmd_campaign_report(args)
+    if args.campaign_command == "status":
+        return _cmd_campaign_status(args)
     from .experiments import (
         campaign_manifest,
         experiment_names,
@@ -621,7 +655,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     durations: list[float] = []
 
     def report_progress(record: dict, completed: int, total: int) -> None:
-        source = "disk cache" if record["from_disk_cache"] else "built"
+        if record.get("resumed"):
+            source = "resumed"
+        else:
+            source = "disk cache" if record["from_disk_cache"] else "built"
         durations.append(record["wall_seconds"])
         remaining = total - completed
         eta = ""
@@ -636,6 +673,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               f"{completed}/{total}{eta}",
               file=sys.stderr, flush=True)
 
+    if args.resume and args.pool != "warm":
+        print("--resume requires --pool warm", file=sys.stderr)
+        return 2
     tele = Telemetry()
     result = run_campaign(
         config,
@@ -647,6 +687,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         disk_cache=False if args.no_disk_cache else True,
         progress=report_progress,
         heartbeat_interval=args.heartbeat,
+        pool=args.pool,
+        resume=args.resume,
+        lease_ttl=args.lease_ttl,
     )
     manifest = campaign_manifest(result, tele)
     manifest.write(args.manifest_out)
@@ -661,6 +704,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"{len(result.experiments)} experiments) to {args.manifest_out}")
     print(f"wrote campaign timeline ({result.campaign_id}) to {timeline_out}\n"
           f"render it with: repro telemetry timeline {timeline_out}")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .experiments import experiment_names, small_config, standard_config
+    from .experiments.reporting import format_table
+    from .experiments.scheduler import queue_status
+
+    names = (
+        [name.strip() for name in args.experiments.split(",") if name.strip()]
+        if args.experiments
+        else experiment_names(kind="figure")
+    )
+    config = standard_config() if args.standard else small_config()
+    if args.base_seed is not None:
+        config = config.with_seed(args.base_seed)
+    seeds = [config.seed + i for i in range(args.seeds)]
+    status = queue_status(config, seeds, names, cache_dir=args.cache_dir)
+    print(f"queue {status['queue_id']} at {status['queue_dir']}"
+          + ("" if status["exists"] else " (not created yet)"))
+    rows = []
+    for unit in status["units"]:
+        lease = unit["lease"]
+        holder = ""
+        if lease is not None:
+            age = max(0.0, _time.time() - float(lease.get("heartbeat", 0.0)))
+            holder = (f"pid {lease.get('pid')}@{lease.get('host')} "
+                      f"heartbeat {age:.1f}s ago")
+        rows.append((
+            str(unit["seed"]),
+            unit["fingerprint"][:12],
+            unit["state"],
+            "yes" if unit["shm"] else "",
+            holder,
+        ))
+    print(format_table(
+        "work units", rows,
+        headers=("seed", "fingerprint", "state", "shm", "lease"),
+    ))
+    counts = status["counts"]
+    total = sum(counts.values())
+    print(f"\n{counts['done']}/{total} done, {counts['leased']} leased, "
+          f"{counts['stale']} stale, {counts['pending']} pending")
+    if counts["done"] < total:
+        print("resume with: repro campaign run --resume "
+              "(matching seeds/experiments/cache-dir)")
     return 0
 
 

@@ -30,6 +30,7 @@ from . import (
     tomography_study,
     topo_study,
 )
+from . import scheduler, shm
 from .cache import (
     DatasetDiskCache,
     config_fingerprint,
@@ -41,6 +42,11 @@ from .campaign import (
     campaign_manifest,
     render_campaign_report,
     run_campaign,
+)
+from .scheduler import (
+    DEFAULT_LEASE_TTL,
+    campaign_queue_id,
+    queue_status,
 )
 from .common import (
     DAY_LENGTH,
@@ -89,6 +95,11 @@ __all__ = [
     "run_campaign",
     "campaign_manifest",
     "render_campaign_report",
+    "scheduler",
+    "shm",
+    "DEFAULT_LEASE_TTL",
+    "campaign_queue_id",
+    "queue_status",
     "fig02",
     "fig03",
     "fig04",

@@ -46,6 +46,7 @@ __all__ = [
     "LRUCache",
     "DatasetDiskCache",
     "default_cache_dir",
+    "NPZ_FIELDS",
 ]
 
 #: Bump to invalidate every persisted dataset (format or semantics change).
@@ -210,7 +211,9 @@ class LRUCache:
 # ---------------------------------------------------------------- disk cache
 
 #: Big numeric payloads stored in ``arrays.npz`` instead of the pickle.
-_NPZ_FIELDS = ("utilization", "observed_links")
+#: The scheduler's shared-memory hand-off publishes exactly this set.
+NPZ_FIELDS = ("utilization", "observed_links")
+_NPZ_FIELDS = NPZ_FIELDS
 
 
 class DatasetDiskCache:
@@ -235,8 +238,15 @@ class DatasetDiskCache:
         """Directory that does/would hold this fingerprint's artefacts."""
         return self.root / f"dataset-{fingerprint}"
 
-    def load(self, fingerprint: str):
-        """The cached dataset, or None on miss/version-mismatch/corruption."""
+    def load(self, fingerprint: str, arrays: dict | None = None):
+        """The cached dataset, or None on miss/version-mismatch/corruption.
+
+        ``arrays`` (if given) supplies the large numeric fields from
+        elsewhere — the scheduler passes arrays attached from shared
+        memory (:mod:`repro.experiments.shm`) so only the pickled object
+        graph is read from disk and the npz decompress is skipped.  Any
+        field missing from ``arrays`` still loads from ``arrays.npz``.
+        """
         entry = self.entry_dir(fingerprint)
         try:
             with open(entry / "meta.json", "r", encoding="utf-8") as handle:
@@ -245,9 +255,15 @@ class DatasetDiskCache:
                 return None
             with open(entry / "dataset.pkl", "rb") as handle:
                 dataset = pickle.load(handle)
-            with np.load(entry / "arrays.npz") as arrays:
-                restored = {name: arrays[name] for name in _NPZ_FIELDS}
-            return dataclasses.replace(dataset, **restored)
+            restored = dict(arrays) if arrays else {}
+            missing = [name for name in _NPZ_FIELDS if name not in restored]
+            if missing:
+                with np.load(entry / "arrays.npz") as stored:
+                    for name in missing:
+                        restored[name] = stored[name]
+            return dataclasses.replace(
+                dataset, **{name: restored[name] for name in _NPZ_FIELDS}
+            )
         except (OSError, json.JSONDecodeError, KeyError, EOFError,
                 pickle.UnpicklingError, ValueError, AttributeError,
                 ModuleNotFoundError):

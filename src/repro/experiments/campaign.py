@@ -74,6 +74,10 @@ class SeedRun:
     from_disk_cache: bool
     #: ``{experiment name: {metric: value}}`` numeric summary rows.
     summaries: dict = field(default_factory=dict)
+    #: True when this seed's record was loaded from a previously
+    #: published queue result (``pool="warm"`` with ``resume=True``)
+    #: instead of being recomputed in this invocation.
+    resumed: bool = False
 
     def to_dict(self) -> dict:
         """JSON-friendly record (manifest ``per_seed`` rows)."""
@@ -97,6 +101,9 @@ class CampaignResult:
     #: Merged cross-process timeline (:mod:`repro.telemetry.merge`);
     #: written next to the manifest by ``repro campaign run``.
     timeline: dict = field(default_factory=dict)
+    #: Work-queue bookkeeping when run under ``pool="warm"``
+    #: (queue id/dir, takeovers, resumed seeds, respawns).
+    scheduler: dict = field(default_factory=dict)
 
     def extra(self) -> dict:
         """The manifest ``extra['campaign']`` payload."""
@@ -109,6 +116,8 @@ class CampaignResult:
             "per_seed": [run.to_dict() for run in self.seed_runs],
             "aggregates": self.aggregates,
         }
+        if self.scheduler:
+            payload["scheduler"] = dict(self.scheduler)
         if self.timeline:
             payload["observability"] = {
                 "coverage": self.timeline.get("coverage", 0.0),
@@ -245,6 +254,10 @@ def run_campaign(
     progress: Callable[[dict, int, int], None] | None = None,
     campaign_id: str | None = None,
     heartbeat_interval: float | None = None,
+    pool: str = "spawn",
+    resume: bool = False,
+    lease_ttl: float | None = None,
+    use_shm: bool | None = None,
 ) -> CampaignResult:
     """Run the campaign over multiple seeds, optionally in parallel.
 
@@ -256,6 +269,20 @@ def run_campaign(
     serial-vs-parallel determinism tests meaningful.  ``progress`` (if
     given) is called with ``(record, completed, total)`` per seed.
 
+    ``pool`` selects the execution substrate: ``"spawn"`` (default) is
+    the one-shot per-seed process pool described above; ``"warm"`` runs
+    the :mod:`~repro.experiments.scheduler` work queue — persistent
+    workers claiming config-fingerprint keys through lease files in the
+    cache directory, with shared-memory dataset hand-off.  Under
+    ``"warm"``, ``resume=True`` honours results a previous (possibly
+    interrupted) invocation published — only missing seeds are
+    computed, and the finished campaign's content hashes are identical
+    to an uninterrupted run — while ``resume=False`` resets the queue
+    first.  ``lease_ttl`` bounds how long a dead worker's claim blocks
+    takeover; ``use_shm`` force-enables/disables the shared-memory
+    hand-off (default: on for multi-worker warm pools with a disk
+    cache).  Both are ignored by the spawn pool.
+
     ``campaign_id`` is the trace context every worker stamps on its
     spans (default: derived from the config fingerprint — deterministic,
     so re-runs of the same campaign are diffable).  With
@@ -264,6 +291,8 @@ def run_campaign(
     carries a merged cross-process ``timeline`` whose per-worker lanes
     and phase totals say where the wall-clock went.
     """
+    if pool not in ("spawn", "warm"):
+        raise ValueError(f"unknown pool {pool!r}: expected 'spawn' or 'warm'")
     tele = telemetry or NULL_TELEMETRY
     if base_config is None:
         base_config = small_config()
@@ -295,21 +324,30 @@ def run_campaign(
         )
 
     records: dict[int, dict] = {}
+    scheduler_info: dict = {}
     window_start = time.time()
     started = time.perf_counter()
     with tele.span("campaign.run", seeds=len(seed_list), jobs=jobs,
-                   campaign_id=campaign_id):
+                   campaign_id=campaign_id, pool=pool):
         def fan_in() -> tuple[list[dict], dict]:
             # Merge every worker's metrics, spans and resource phases
             # into the campaign-wide timeline (and, through it, the
             # parent telemetry session the manifest snapshots).  For
             # parallel runs this happens *inside* the pool context: the
             # timeline window closes at merge end, and pool shutdown is
-            # not billed as campaign dead time.
+            # not billed as campaign dead time.  Resumed records carry
+            # no report — their stale lanes would misdate the window —
+            # so they contribute hashes and summaries only.
             ordered = [records[seed] for seed in seed_list]
+            reports = []
+            for record in ordered:
+                record.setdefault("resumed", False)
+                report = record.pop("report", None)
+                if report is not None and not record["resumed"]:
+                    reports.append(report)
             with tele.span("campaign.merge", campaign_id=campaign_id):
                 timeline = merge_worker_reports(
-                    [record.pop("report") for record in ordered],
+                    reports,
                     campaign_id=campaign_id,
                     window_start=window_start,
                     jobs=jobs,
@@ -317,7 +355,30 @@ def run_campaign(
                 )
             return ordered, timeline
 
-        if jobs <= 1:
+        if pool == "warm":
+            from .scheduler import DEFAULT_LEASE_TTL, run_queue
+
+            outcome = run_queue(
+                base_config, seed_list, names,
+                jobs=jobs, telemetry=tele, cache_dir=cache_dir,
+                disk_cache=disk_cache, progress=progress,
+                campaign_id=campaign_id,
+                heartbeat_interval=heartbeat_interval,
+                lease_ttl=lease_ttl if lease_ttl else DEFAULT_LEASE_TTL,
+                resume=resume, use_shm=use_shm,
+            )
+            records.update(outcome["records"])
+            scheduler_info = {
+                "pool": "warm",
+                "queue_id": outcome["queue_id"],
+                "queue_dir": outcome["queue_dir"],
+                "takeovers": outcome["takeovers"],
+                "resumed_seeds": outcome["resumed_seeds"],
+                "respawns": outcome["respawns"],
+                "use_shm": outcome["use_shm"],
+            }
+            ordered, timeline = fan_in()
+        elif jobs <= 1:
             for seed in seed_list:
                 record = _run_one_seed(payload(seed))
                 records[record["seed"]] = record
@@ -353,6 +414,7 @@ def run_campaign(
         aggregates=aggregate_summaries(seed_runs, names),
         campaign_id=campaign_id,
         timeline=timeline,
+        scheduler=scheduler_info,
     )
 
 
@@ -372,28 +434,70 @@ def _format_value(value: float) -> str:
     return f"{value:.6g}"
 
 
+def _seed_row(run: dict) -> tuple:
+    """One per-seed table row, tolerant of partial records.
+
+    A manifest written mid-campaign (interrupted run, or a queue result
+    recovered without timings) may lack any field; missing values render
+    as ``?`` instead of crashing the report.
+    """
+    def seconds(name: str) -> str:
+        value = run.get(name)
+        return f"{value:.2f}" if isinstance(value, (int, float)) else "?"
+
+    source = "disk" if run.get("from_disk_cache") else "built"
+    if run.get("resumed"):
+        source += " (resumed)"
+    content_hash = run.get("content_hash") or "?"
+    return (
+        str(run.get("seed", "?")),
+        content_hash[:12],
+        seconds("build_seconds"),
+        seconds("wall_seconds"),
+        source,
+    )
+
+
 def render_campaign_report(campaign: dict) -> str:
-    """Human-readable tables from a manifest's ``extra['campaign']``."""
+    """Human-readable tables from a manifest's ``extra['campaign']``.
+
+    Degrades gracefully on a manifest from an interrupted run: partial
+    per-seed records render with ``?`` placeholders, and seeds the
+    campaign planned but never completed appear as ``missing`` rows so
+    the operator sees exactly what a ``--resume`` would pick up.
+    """
     sections = []
-    per_seed = campaign.get("per_seed", [])
-    rows = [
-        (
-            str(run["seed"]),
-            run["content_hash"][:12],
-            f"{run['build_seconds']:.2f}",
-            f"{run['wall_seconds']:.2f}",
-            "disk" if run.get("from_disk_cache") else "built",
-        )
-        for run in per_seed
+    per_seed = [run for run in campaign.get("per_seed", []) if isinstance(run, dict)]
+    rows = [_seed_row(run) for run in per_seed]
+    completed = {run.get("seed") for run in per_seed}
+    missing = [
+        seed for seed in campaign.get("seeds", []) if seed not in completed
     ]
+    for seed in missing:
+        rows.append((str(seed), "-", "-", "-", "missing"))
     title = (
         f"campaign — {len(per_seed)} seeds, jobs={campaign.get('jobs', '?')}, "
         f"{campaign.get('wall_seconds', 0.0):.2f}s wall"
     )
+    if missing:
+        title += f" — INCOMPLETE ({len(missing)} seed(s) missing)"
     sections.append(format_table(
         title, rows,
         headers=("seed", "content hash", "build s", "total s", "dataset"),
     ))
+    scheduler = campaign.get("scheduler")
+    if scheduler:
+        notes = [
+            f"queue {scheduler.get('queue_id', '?')} at "
+            f"{scheduler.get('queue_dir', '?')}"
+        ]
+        if scheduler.get("resumed_seeds"):
+            notes.append(f"resumed seeds {scheduler['resumed_seeds']}")
+        if scheduler.get("takeovers"):
+            notes.append(f"{scheduler['takeovers']} lease takeover(s)")
+        if scheduler.get("respawns"):
+            notes.append(f"{scheduler['respawns']} worker respawn(s)")
+        sections.append("scheduler: " + "; ".join(notes))
     observability = campaign.get("observability")
     if observability and observability.get("phase_totals"):
         rows = [

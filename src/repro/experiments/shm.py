@@ -1,0 +1,244 @@
+"""Shared-memory dataset hand-off between campaign workers on one host.
+
+The scheduler's work units are content-addressed by config fingerprint,
+so two workers that need the same dataset — a stale-lease takeover
+retrying a crashed worker's unit, or per-experiment units split over one
+seed — would otherwise each pay the npz decompress.  This module lets
+the first worker that materialises a dataset publish its large numeric
+arrays into POSIX shared memory (:mod:`multiprocessing.shared_memory`)
+and drop a small JSON **manifest** (array name → shm block / dtype /
+shape) into the campaign's queue directory; later workers on the same
+host attach the blocks zero-copy and rebuild the dataset from the disk
+cache's object graph plus the shared arrays, skipping the array load
+entirely (the timeline's ``shm-attach`` phase).
+
+Lifecycle is parent-owned: workers only *create* segments and report
+them home; the campaign parent tracks every published manifest in a
+:class:`SharedSegmentTracker` and unlinks all blocks when the campaign
+finishes (or crashed workers leave them behind — the parent sweep
+covers those too).  Attachment is strictly best-effort: a missing or
+already-unlinked block falls back to the ordinary disk load, so shared
+memory is a fast path, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import secrets
+from typing import Iterable
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib since 3.8, but keep the import gated
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "HAVE_SHM",
+    "SHM_MANIFEST_VERSION",
+    "publish_arrays",
+    "attach_arrays",
+    "unlink_manifest",
+    "manifest_nbytes",
+    "SharedSegmentTracker",
+]
+
+HAVE_SHM = shared_memory is not None
+
+SHM_MANIFEST_VERSION = 1
+
+
+def _block_name(token: str, array: str) -> str:
+    """A host-unique shm block name, short enough for POSIX limits."""
+    suffix = secrets.token_hex(4)
+    return f"repro-{token[:12]}-{array[:24]}-{os.getpid()}-{suffix}"
+
+
+def _untrack(name: str) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    On 3.11/3.12 *attaching* a segment also registers it with the
+    resource tracker, which would unlink it when the attaching process
+    exits — destroying a block the publisher's other consumers still
+    need.  Ownership lives with the campaign parent, so every
+    non-owning process unregisters.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except (KeyError, ValueError):  # pragma: no cover - already untracked
+        pass
+
+
+def publish_arrays(token: str, arrays: dict[str, np.ndarray]) -> dict:
+    """Copy arrays into fresh shm blocks; return the JSON-able manifest.
+
+    The publishing worker keeps no handle: the segments persist in
+    ``/dev/shm`` until the parent unlinks them.  Raises ``OSError`` when
+    shared memory is unavailable or full — callers treat that as
+    "publish skipped", never as a failure of the unit.
+    """
+    if not HAVE_SHM:
+        raise OSError("multiprocessing.shared_memory is unavailable")
+    manifest: dict = {"version": SHM_MANIFEST_VERSION, "token": token,
+                      "pid": os.getpid(), "arrays": {}}
+    created: list = []
+    try:
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes),
+                name=_block_name(token, name),
+            )
+            created.append(block)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+            view[...] = array
+            del view
+            manifest["arrays"][name] = {
+                "shm": block.name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "nbytes": int(array.nbytes),
+            }
+    except BaseException:
+        for block in created:
+            try:
+                block.close()
+                block.unlink()
+            except OSError:  # pragma: no cover - best-effort rollback
+                pass
+        raise
+    for block in created:
+        # The publisher is not the owner: keep the segment alive after
+        # this process exits by handing tracking duty to the parent.
+        _untrack(block.name)
+        block.close()
+    return manifest
+
+
+def attach_arrays(manifest: dict) -> dict[str, np.ndarray] | None:
+    """Materialise a manifest's arrays as copies out of shared memory.
+
+    Returns ``None`` when any block is gone (unlinked by the parent or
+    never published on this host) — the caller falls back to the disk
+    cache.  Arrays are *copied* out so the segment can be unlinked while
+    results built from it are still alive; the copy skips only the npz
+    decompress, which is where the time goes.
+    """
+    if not HAVE_SHM or manifest.get("version") != SHM_MANIFEST_VERSION:
+        return None
+    arrays: dict[str, np.ndarray] = {}
+    blocks = []
+    try:
+        for name, spec in manifest.get("arrays", {}).items():
+            block = shared_memory.SharedMemory(name=spec["shm"])
+            blocks.append(block)
+            view = np.ndarray(
+                tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]),
+                buffer=block.buf,
+            )
+            arrays[name] = np.array(view, copy=True)
+            del view
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    finally:
+        for block in blocks:
+            _untrack(block.name)
+            try:
+                block.close()
+            except OSError:  # pragma: no cover
+                pass
+    return arrays
+
+
+def unlink_manifest(manifest: dict) -> int:
+    """Unlink every block a manifest names; returns how many existed.
+
+    No ``_untrack`` here: attaching registered the block with this
+    process's resource tracker, and ``SharedMemory.unlink`` unregisters
+    it again — the pair balances exactly once.
+    """
+    if not HAVE_SHM:
+        return 0
+    removed = 0
+    for spec in manifest.get("arrays", {}).values():
+        try:
+            block = shared_memory.SharedMemory(name=spec["shm"])
+        except (OSError, ValueError):
+            continue
+        try:
+            block.close()
+            block.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - already gone
+            pass
+    return removed
+
+
+def manifest_nbytes(manifest: dict) -> int:
+    """Total bytes of shared memory a manifest describes (for sizing)."""
+    return sum(int(spec.get("nbytes", 0))
+               for spec in manifest.get("arrays", {}).values())
+
+
+class SharedSegmentTracker:
+    """Parent-side ledger of published shm manifests, by fingerprint.
+
+    Workers report each manifest they publish; the parent records it
+    here (idempotently — a takeover may republish a fingerprint) and
+    unlinks everything at campaign end.  ``sweep`` also scans a queue
+    directory for ``*.shm.json`` manifests written by workers that died
+    before reporting, so no segment outlives the campaign.
+    """
+
+    def __init__(self) -> None:
+        self._manifests: dict[str, dict] = {}
+
+    def __len__(self) -> int:
+        return len(self._manifests)
+
+    @property
+    def total_nbytes(self) -> int:
+        """Bytes of shared memory currently tracked."""
+        return sum(manifest_nbytes(m) for m in self._manifests.values())
+
+    def record(self, fingerprint: str, manifest: dict) -> None:
+        """Track a published manifest (earlier publisher wins)."""
+        if fingerprint in self._manifests:
+            stored = self._manifests[fingerprint]
+            if stored.get("arrays") != manifest.get("arrays"):
+                # A takeover republished: both sets of blocks exist;
+                # release the newcomer immediately, keep the original.
+                unlink_manifest(manifest)
+            return
+        self._manifests[fingerprint] = manifest
+
+    def sweep(self, queue_dir, fingerprints: Iterable[str] = ()) -> None:
+        """Adopt manifests left on disk by workers that died unreported."""
+        root = pathlib.Path(queue_dir)
+        if not root.is_dir():
+            return
+        known = set(fingerprints) | set(self._manifests)
+        for path in root.glob("*.shm.json"):
+            fingerprint = path.name[: -len(".shm.json")]
+            if fingerprint in self._manifests:
+                continue
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if fingerprint in known or manifest.get("token") == fingerprint:
+                self._manifests[fingerprint] = manifest
+
+    def unlink_all(self) -> int:
+        """Unlink every tracked segment; returns blocks removed."""
+        removed = 0
+        for manifest in self._manifests.values():
+            removed += unlink_manifest(manifest)
+        self._manifests.clear()
+        return removed

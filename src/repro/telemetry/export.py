@@ -47,6 +47,9 @@ _PHASE_CHARS = {
     "spawn": "s",
     "import": "i",
     "wait": "w",
+    "claim": "a",
+    "lease-wait": "W",
+    "shm-attach": "h",
     "dataset-load": "d",
     "compute": "c",
     "merge": "m",
@@ -84,9 +87,12 @@ def render_timeline(timeline: dict, width: int = 64) -> str:
             for segment in lane.get("segments", [])
             for phase in segment.get("phases", [])
         ]
-        # Queue-wait paints first so overlapping segments (one worker,
-        # many seeds) never hide the active phase under a later wait.
-        phases.sort(key=lambda p: (p.get("name") != "wait", p.get("start", 0.0)))
+        # Wait-like phases paint first so overlapping segments (one
+        # worker, many seeds) never hide the active phase under a wait.
+        phases.sort(key=lambda p: (
+            p.get("name") not in ("wait", "lease-wait"),
+            p.get("start", 0.0),
+        ))
         for phase in phases:
             mark = _PHASE_CHARS.get(phase.get("name", ""), "#")
             lo = col(float(phase.get("start", start)))

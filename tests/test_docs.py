@@ -185,3 +185,87 @@ class TestTopologyDocs:
             "4", "--routing", "ecmp", "--out", "x.reprotrace",
         ])
         assert args.fat_tree_k == 4 and args.routing == "ecmp"
+
+
+class TestOperationsHandbook:
+    """Guards for docs/OPERATIONS.md and the scheduler docs satellite:
+    the handbook's paths must exist, the CLI invocations it shows must
+    parse, and the surrounding docs must keep their scheduler sections."""
+
+    @pytest.fixture(scope="class")
+    def text(self):
+        path = _REPO_ROOT / "docs" / "OPERATIONS.md"
+        assert path.exists(), "docs/OPERATIONS.md missing"
+        return path.read_text()
+
+    def test_covers_the_operational_topics(self, text):
+        for topic in ("--resume", "campaign status", "--lease-ttl",
+                      "TTL", "stale", "takeover", "/dev/shm",
+                      "manifest_nbytes", "dataset_load_ratio"):
+            assert topic in text, f"OPERATIONS.md does not cover {topic}"
+
+    def test_referenced_paths_exist(self, text):
+        import re
+
+        for match in re.findall(r"`((?:src|benchmarks|tests|docs)/[^`*]+)`",
+                                text):
+            target = match.split("::")[0].rstrip("/")
+            assert (_REPO_ROOT / target).exists(), (
+                f"OPERATIONS.md references missing path {target}"
+            )
+
+    def test_lease_ttl_and_phase_chars_match_the_code(self, text):
+        from repro.experiments.scheduler import DEFAULT_LEASE_TTL
+        from repro.telemetry.export import _PHASE_CHARS
+
+        assert f"{DEFAULT_LEASE_TTL:.0f} s" in text, (
+            "OPERATIONS.md states a default TTL that is not "
+            f"DEFAULT_LEASE_TTL ({DEFAULT_LEASE_TTL})"
+        )
+        for phase, char in _PHASE_CHARS.items():
+            assert f"`{char}` | {phase}" in text, (
+                f"OPERATIONS.md phase table missing {char} = {phase}"
+            )
+
+    def test_cli_flags_parse(self, text):
+        """The run/status/resume invocations the handbook (and README's
+        scaling section) show must be real parser options."""
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args([
+            "campaign", "run", "--seeds", "8", "--jobs", "4",
+            "--experiments", "fig02,fig09", "--pool", "warm",
+            "--resume", "--lease-ttl", "10",
+            "--cache-dir", ".repro-cache",
+        ])
+        assert args.pool == "warm" and args.resume
+        assert args.lease_ttl == 10.0
+        args = parser.parse_args([
+            "campaign", "status", "--seeds", "8",
+            "--experiments", "fig02,fig09", "--cache-dir", ".repro-cache",
+        ])
+        assert args.campaign_command == "status"
+        args = parser.parse_args(["campaign", "run", "--pool", "spawn"])
+        assert args.pool == "spawn"
+
+    def test_readme_scaling_section(self):
+        readme = (_REPO_ROOT / "README.md").read_text()
+        assert "## Scaling a campaign" in readme
+        for anchor in ("--resume", "campaign status", "docs/OPERATIONS.md"):
+            assert anchor in readme, f"README scaling section missing {anchor}"
+
+    def test_experiments_resume_semantics_section(self):
+        experiments = (_REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "`--resume` reproducibility semantics" in experiments
+        assert "content hashes" in experiments
+
+    def test_architecture_scheduler_dataflow(self):
+        architecture = (_REPO_ROOT / "ARCHITECTURE.md").read_text()
+        assert "## Campaign scheduler dataflow" in architecture
+        for step in ("claim", "publish", "merge",
+                     "src/repro/experiments/scheduler.py",
+                     "src/repro/experiments/shm.py"):
+            assert step in architecture, (
+                f"ARCHITECTURE.md scheduler dataflow missing {step}"
+            )

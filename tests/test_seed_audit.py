@@ -25,6 +25,7 @@ AUDITED = {
     ("figures",): "--seed",
     ("ablations",): "--seed",
     ("campaign", "run"): "--base-seed",
+    ("campaign", "status"): "--base-seed",
     ("validate",): "--seed",
 }
 
@@ -146,6 +147,18 @@ def test_validate_manifest_hash_stable(tmp_path, recorded_trace):
                    "--manifest-out", str(manifests[i])],
         lambda i: _manifest_fingerprint(manifests[i]),
     )
+
+
+def test_campaign_status_queue_id_stable(tmp_path, capsys):
+    """Status inspection derives the same queue id on every invocation."""
+    outputs = []
+    for _ in range(2):
+        assert main(["campaign", "status", "--seeds", "2", "--base-seed", "7",
+                     "--experiments", "fig02",
+                     "--cache-dir", str(tmp_path)]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+    assert "queue " in outputs[0]
 
 
 @pytest.mark.slow

@@ -1,0 +1,121 @@
+"""Shared-memory dataset hand-off: publish/attach round-trips, cleanup.
+
+The scheduler treats shared memory strictly as a fast path — these
+tests pin the contract that makes that safe: attach returns exactly
+what was published (bit-identical, dtype/shape preserved), any failure
+mode degrades to ``None`` (never an exception), and every block a
+campaign creates is unlinkable by the parent exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.HAVE_SHM, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def _arrays() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(17)
+    return {
+        "utilization": rng.random((6, 40)),
+        "observed_links": np.arange(9, dtype=int),
+    }
+
+
+class TestPublishAttach:
+    def test_round_trip_is_bit_identical(self):
+        arrays = _arrays()
+        manifest = shm.publish_arrays("deadbeef" * 8, arrays)
+        try:
+            attached = shm.attach_arrays(manifest)
+            assert attached is not None
+            assert set(attached) == set(arrays)
+            for name, array in arrays.items():
+                assert attached[name].dtype == array.dtype
+                assert attached[name].shape == array.shape
+                np.testing.assert_array_equal(attached[name], array)
+        finally:
+            shm.unlink_manifest(manifest)
+
+    def test_attached_arrays_are_copies(self):
+        arrays = _arrays()
+        manifest = shm.publish_arrays("cafebabe" * 8, arrays)
+        try:
+            attached = shm.attach_arrays(manifest)
+            attached["utilization"][0, 0] = -1.0
+            again = shm.attach_arrays(manifest)
+            assert again["utilization"][0, 0] == arrays["utilization"][0, 0]
+        finally:
+            shm.unlink_manifest(manifest)
+
+    def test_manifest_is_json_safe_and_sized(self):
+        arrays = _arrays()
+        manifest = shm.publish_arrays("0123abcd" * 8, arrays)
+        try:
+            round_tripped = json.loads(json.dumps(manifest))
+            assert round_tripped["arrays"].keys() == arrays.keys()
+            expected = sum(a.nbytes for a in arrays.values())
+            assert shm.manifest_nbytes(manifest) == expected
+        finally:
+            shm.unlink_manifest(manifest)
+
+    def test_attach_after_unlink_returns_none(self):
+        manifest = shm.publish_arrays("feedface" * 8, _arrays())
+        assert shm.unlink_manifest(manifest) == len(manifest["arrays"])
+        assert shm.attach_arrays(manifest) is None
+        # A second unlink finds nothing and does not raise.
+        assert shm.unlink_manifest(manifest) == 0
+
+    def test_attach_rejects_foreign_manifests(self):
+        assert shm.attach_arrays({}) is None
+        assert shm.attach_arrays({"version": 999, "arrays": {}}) is None
+        assert shm.attach_arrays({
+            "version": shm.SHM_MANIFEST_VERSION,
+            "arrays": {"utilization": {
+                "shm": "repro-does-not-exist-xyz",
+                "dtype": "float64", "shape": [2, 2], "nbytes": 32,
+            }},
+        }) is None
+
+
+class TestSharedSegmentTracker:
+    def test_record_is_idempotent_and_unlinks_duplicates(self):
+        fingerprint = "ab" * 32
+        first = shm.publish_arrays(fingerprint, _arrays())
+        duplicate = shm.publish_arrays(fingerprint, _arrays())
+        tracker = shm.SharedSegmentTracker()
+        tracker.record(fingerprint, first)
+        tracker.record(fingerprint, first)  # same manifest: no-op
+        assert len(tracker) == 1
+        # A takeover republish loses: its blocks are freed immediately.
+        tracker.record(fingerprint, duplicate)
+        assert shm.attach_arrays(duplicate) is None
+        assert shm.attach_arrays(first) is not None
+        assert tracker.unlink_all() == len(first["arrays"])
+        assert shm.attach_arrays(first) is None
+
+    def test_sweep_adopts_orphan_manifests(self, tmp_path):
+        fingerprint = "cd" * 32
+        manifest = shm.publish_arrays(fingerprint, _arrays())
+        (tmp_path / f"{fingerprint}.shm.json").write_text(json.dumps(manifest))
+        tracker = shm.SharedSegmentTracker()
+        tracker.sweep(tmp_path, [fingerprint])
+        assert len(tracker) == 1
+        assert tracker.total_nbytes == shm.manifest_nbytes(manifest)
+        assert tracker.unlink_all() == len(manifest["arrays"])
+
+    def test_sweep_ignores_unknown_and_corrupt_files(self, tmp_path):
+        (tmp_path / "ffff.shm.json").write_text("{not json")
+        stranger = {"version": shm.SHM_MANIFEST_VERSION, "token": "other",
+                    "arrays": {}}
+        (tmp_path / ("ee" * 32 + ".shm.json")).write_text(json.dumps(stranger))
+        tracker = shm.SharedSegmentTracker()
+        tracker.sweep(tmp_path, ["aa" * 32])
+        assert len(tracker) == 0
